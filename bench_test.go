@@ -1,0 +1,360 @@
+package bhive
+
+// Benchmark harness: one benchmark per table/figure of the paper plus
+// ablation and micro benchmarks. Each BenchmarkTableN regenerates the
+// corresponding result; custom metrics attach the headline numbers (error
+// rates, profiled fractions) to the benchmark output so `go test -bench`
+// output doubles as an experiment log.
+//
+// Scale: benchmarks default to 0.003 of the full suite so the whole run
+// finishes in minutes; set BHIVE_BENCH_SCALE to raise it (the paper's full
+// scale is 1.0 = 358,561 blocks).
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"bhive/internal/exec"
+	"bhive/internal/harness"
+	"bhive/internal/machine"
+	"bhive/internal/models"
+	"bhive/internal/models/ithemal"
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+	"bhive/internal/vm"
+	"bhive/internal/x86"
+)
+
+func benchScale() float64 {
+	if v := os.Getenv("BHIVE_BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.003
+}
+
+var (
+	suiteOnce sync.Once
+	suite     *harness.Suite
+)
+
+func benchSuite() *harness.Suite {
+	suiteOnce.Do(func() {
+		cfg := harness.DefaultConfig()
+		cfg.Scale = benchScale()
+		suite = harness.New(cfg)
+	})
+	return suite
+}
+
+func parseNum(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("bad number %q", s)
+	}
+	return v
+}
+
+// BenchmarkTable1Ablation regenerates the measurement ablation (Table I).
+func BenchmarkTable1Ablation(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab := s.Table1()
+		for _, row := range tab.Rows {
+			name := map[string]string{
+				"None":                       "pctNone",
+				"Mapping all accessed pages": "pctMapped",
+				"More intelligent unrolling": "pctFull",
+			}[row[0]]
+			v, err := strconv.ParseFloat(row[1][:len(row[1])-1], 64)
+			if err == nil && name != "" {
+				b.ReportMetric(v, name)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2SampleBlock regenerates the per-block ablation (Table II).
+func BenchmarkTable2SampleBlock(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab := s.Table2()
+		b.ReportMetric(parseNum(b, tab.Rows[4][1]), "finalTP")
+	}
+}
+
+// BenchmarkTable3Corpus regenerates the source-application counts.
+func BenchmarkTable3Corpus(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab := s.Table3()
+		if tab.Rows[len(tab.Rows)-1][2] != "358561" {
+			b.Fatal("table III total drifted")
+		}
+	}
+}
+
+// BenchmarkTable4Categories regenerates the LDA category table.
+func BenchmarkTable4Categories(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab := s.Table4()
+		b.ReportMetric(parseNum(b, tab.Rows[1][2]), "cat2Blocks")
+		b.ReportMetric(parseNum(b, tab.Rows[5][2]), "cat6Blocks")
+	}
+}
+
+// BenchmarkFigAppsVsClusters regenerates the per-application breakdown.
+func BenchmarkFigAppsVsClusters(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab := s.FigAppsVsClusters()
+		if len(tab.Rows) != 10 {
+			b.Fatal("application rows")
+		}
+	}
+}
+
+// BenchmarkTable5Overall regenerates the headline error table (Table V)
+// for the three analytical models on all three microarchitectures.
+func BenchmarkTable5Overall(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab := s.Table5()
+		for _, row := range tab.Rows {
+			b.ReportMetric(parseNum(b, row[2]), "err_"+row[0]+"_"+row[1])
+		}
+	}
+}
+
+// BenchmarkFigClusterErr regenerates the per-category error breakdown on
+// Haswell (the per-cluster figures).
+func BenchmarkFigClusterErr(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab := s.FigClusterErr(uarch.Haswell())
+		if len(tab.Rows) != 6 {
+			b.Fatal("category rows")
+		}
+	}
+}
+
+// BenchmarkFigAppErr regenerates the per-application error breakdown on
+// Haswell (the per-application figures).
+func BenchmarkFigAppErr(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab := s.FigAppErr(uarch.Haswell())
+		if len(tab.Rows) != 10 {
+			b.Fatal("application rows")
+		}
+	}
+}
+
+// BenchmarkCaseStudy regenerates the interesting-blocks table.
+func BenchmarkCaseStudy(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab, err := s.CaseStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(parseNum(b, tab.Rows[0][1]), "divMeasured")
+	}
+}
+
+// BenchmarkFigScheduling regenerates the llvm-mca vs IACA schedule figure.
+func BenchmarkFigScheduling(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.FigScheduling(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable6Google regenerates the Spanner/Dremel accuracy table.
+func BenchmarkTable6Google(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab := s.Table6()
+		if len(tab.Rows) < 4 {
+			b.Fatal("google rows")
+		}
+		b.ReportMetric(parseNum(b, tab.Rows[0][4]), "spannerTauIACA")
+	}
+}
+
+// BenchmarkFigGoogleBlocks regenerates the Spanner/Dremel composition.
+func BenchmarkFigGoogleBlocks(b *testing.B) {
+	s := benchSuite()
+	for i := 0; i < b.N; i++ {
+		tab := s.FigGoogleBlocks()
+		// Category-6 share, weighted by frequency (paper: 40-50%).
+		b.ReportMetric(parseNum(b, tab.Rows[0][6]), "spannerCat6Pct")
+	}
+}
+
+// --- Ablation benchmarks for the design choices DESIGN.md calls out ---
+
+// BenchmarkAblationDerivedVsNaive compares acceptance under the two
+// unrolling strategies on a large kernel block.
+func BenchmarkAblationDerivedVsNaive(b *testing.B) {
+	big := harness.SampleTFBlock()
+	naive := profiler.New(uarch.Haswell(), profiler.MappingOptions())
+	derived := profiler.New(uarch.Haswell(), profiler.DefaultOptions())
+	for i := 0; i < b.N; i++ {
+		rn := naive.Profile(big)
+		rd := derived.Profile(big)
+		if rn.Status == profiler.StatusOK {
+			b.Fatal("naive unrolling must fail on the big block")
+		}
+		if rd.Status != profiler.StatusOK {
+			b.Fatalf("derived method must succeed: %v", rd.Status)
+		}
+		b.ReportMetric(rd.Throughput, "derivedTP")
+	}
+}
+
+// BenchmarkAblationSinglePhysPage compares the single-physical-page trick
+// against per-page frames on a page-strided block.
+func BenchmarkAblationSinglePhysPage(b *testing.B) {
+	block, err := x86.ParseBlock(`mov rax, qword ptr [rbx]
+		mov rcx, qword ptr [rbx+0x1000]
+		mov rdx, qword ptr [rbx+0x2000]
+		mov rsi, qword ptr [rbx+0x3000]
+		mov r8, qword ptr [rbx+0x4000]
+		mov r9, qword ptr [rbx+0x5000]
+		mov r10, qword ptr [rbx+0x6000]
+		mov r11, qword ptr [rbx+0x7000]
+		mov r12, qword ptr [rbx+0x8000]
+		mov r13, qword ptr [rbx+0x9000]
+		mov r14, qword ptr [rbx+0xa000]`, x86.SyntaxIntel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	multi := profiler.MappingOptions()
+	multi.SinglePhysPage = false
+	pm := profiler.New(uarch.Haswell(), multi)
+	ps := profiler.New(uarch.Haswell(), profiler.MappingOptions())
+	for i := 0; i < b.N; i++ {
+		if pm.Profile(block).Status != profiler.StatusCacheMiss {
+			b.Fatal("distinct frames must miss")
+		}
+		if ps.Profile(block).Status != profiler.StatusOK {
+			b.Fatal("single frame must hit")
+		}
+	}
+}
+
+// BenchmarkAblationFTZ compares measurement with and without the MXCSR
+// gradual-underflow protection on a subnormal-heavy block.
+func BenchmarkAblationFTZ(b *testing.B) {
+	block, err := x86.ParseBlock(`mov eax, 0x00200000
+		movd xmm1, eax
+		mulss xmm0, xmm1
+		addss xmm2, xmm0`, x86.SyntaxIntel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	on := profiler.New(uarch.Haswell(), profiler.DefaultOptions())
+	offOpts := profiler.DefaultOptions()
+	offOpts.DisableSubnormals = false
+	off := profiler.New(uarch.Haswell(), offOpts)
+	for i := 0; i < b.N; i++ {
+		ron, roff := on.Profile(block), off.Profile(block)
+		if ron.Status != profiler.StatusOK || roff.Status != profiler.StatusOK {
+			b.Fatalf("%v %v", ron.Status, roff.Status)
+		}
+		b.ReportMetric(roff.Throughput/ron.Throughput, "subnormalSlowdown")
+	}
+}
+
+// --- Micro benchmarks of the substrates ---
+
+func BenchmarkProfileSmallBlock(b *testing.B) {
+	block, _ := x86.ParseBlock("add rax, rbx\nmov rcx, qword ptr [rsp+8]", x86.SyntaxIntel)
+	p := profiler.New(uarch.Haswell(), profiler.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Profile(block).Status != profiler.StatusOK {
+			b.Fatal("profile failed")
+		}
+	}
+}
+
+func BenchmarkPredictIACA(b *testing.B) {
+	block, _ := x86.ParseBlock(harness.CRCBlockText, x86.SyntaxATT)
+	m := models.NewIACA(uarch.Haswell())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictIthemal(b *testing.B) {
+	block, _ := x86.ParseBlock(harness.CRCBlockText, x86.SyntaxATT)
+	m := ithemal.New(32, 64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	block, _ := x86.ParseBlock(harness.CRCBlockText, x86.SyntaxATT)
+	raw, err := block.Bytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := x86.DecodeBlock(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineSimulation(b *testing.B) {
+	cpu := uarch.Haswell()
+	block, _ := x86.ParseBlock(harness.CRCBlockText, x86.SyntaxATT)
+	m := machine.New(cpu, 1)
+	var insts []x86.Inst
+	for i := 0; i < 16; i++ {
+		insts = append(insts, block.Insts...)
+	}
+	prog, err := m.Prepare(insts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := m.AS.NewPhysPage()
+	frame.Fill(0x12345600)
+	var steps []exec.Step
+	for {
+		st := &exec.State{FTZ: true, DAZ: true}
+		st.InitRegisters(0x12345600)
+		var runErr error
+		steps, runErr = m.Execute(prog, st)
+		if runErr == nil {
+			break
+		}
+		f, ok := runErr.(*vm.Fault)
+		if !ok {
+			b.Fatal(runErr)
+		}
+		m.AS.Map(f.Addr, frame)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Time(prog, steps, machine.Config{})
+	}
+	b.ReportMetric(float64(len(steps)), "dynInsts")
+}

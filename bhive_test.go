@@ -1,0 +1,128 @@
+package bhive
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicProfileFlow(t *testing.T) {
+	block, err := ParseBlock("add rax, rbx\nmov rcx, qword ptr [rsp+8]", SyntaxIntel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range Microarchitectures() {
+		res, err := Profile(arch, block)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if res.Status != StatusOK || res.Throughput <= 0 {
+			t.Fatalf("%s: %v %f", arch, res.Status, res.Throughput)
+		}
+	}
+	if _, err := Profile("pentium4", block); err == nil {
+		t.Fatal("unknown microarchitecture must error")
+	}
+}
+
+func TestPublicHexRoundtrip(t *testing.T) {
+	block, err := ParseBlock("xor %edx, %edx\ndiv %ecx", SyntaxATT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := block.Hex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := BlockFromHex(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != block.String() {
+		t.Fatal("hex roundtrip")
+	}
+}
+
+func TestPublicModels(t *testing.T) {
+	ms, err := Models("haswell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("three analytical models, got %d", len(ms))
+	}
+	names := map[string]bool{}
+	for _, m := range ms {
+		names[m.Name()] = true
+	}
+	for _, want := range []string{"IACA", "llvm-mca", "OSACA"} {
+		if !names[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestPublicBaselineVsFull(t *testing.T) {
+	// The motivating property, through the public API: a memory block
+	// crashes under the baseline and profiles under the full methodology.
+	block, err := ParseBlock("mov rax, qword ptr [rdi+0x40]", SyntaxIntel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ProfileWith("haswell", block, BaselineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Status != StatusCrashed {
+		t.Fatalf("baseline: %v", base.Status)
+	}
+	full, err := Profile("haswell", block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Status != StatusOK {
+		t.Fatalf("full: %v", full.Status)
+	}
+}
+
+func TestPublicCorpusAndLearnedModel(t *testing.T) {
+	recs := GenerateCorpus(0.0005, 3)
+	if len(recs) < 100 {
+		t.Fatalf("corpus too small: %d", len(recs))
+	}
+	// Train a tiny learned model on a few measured blocks.
+	var samples []TrainSample
+	for i := range recs {
+		if len(samples) == 40 {
+			break
+		}
+		res, err := Profile("haswell", recs[i].Block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == StatusOK && res.Throughput > 0 {
+			samples = append(samples, TrainSample{Block: recs[i].Block, Throughput: res.Throughput})
+		}
+	}
+	m := NewLearnedModel(8, 16, 1)
+	m.Train(samples, TrainOptions{Epochs: 2, LR: 1e-3, Seed: 1})
+	p, err := m.Predict(samples[0].Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 {
+		t.Fatalf("prediction %f", p)
+	}
+}
+
+func TestExperimentNames(t *testing.T) {
+	names := Experiments()
+	if len(names) < 10 {
+		t.Fatalf("expected the full experiment index, got %v", names)
+	}
+	joined := strings.Join(names, " ")
+	for _, want := range []string{"table1", "table5", "case-study", "fig-scheduling"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command bhive-classify fits the LDA basic-block classifier over a
+// generated corpus and prints the category table and the per-application
+// breakdown; with -block or stdin input it classifies a single block.
+//
+// Usage:
+//
+//	bhive-classify -scale 0.01
+//	echo 'vmulps %ymm0, %ymm1, %ymm2' | bhive-classify -scale 0.01 -stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bhive/internal/classify"
+	"bhive/internal/corpus"
+	"bhive/internal/harness"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.01, "corpus scale")
+		seed  = flag.Int64("seed", 7, "seed")
+		stdin = flag.Bool("stdin", false, "classify one block read from stdin")
+		block = flag.String("block", "", "classify one block given as assembly")
+	)
+	flag.Parse()
+
+	recs := corpus.GenerateAll(*scale, *seed)
+	blocks := make([]*x86.Block, len(recs))
+	for i := range recs {
+		blocks[i] = recs[i].Block
+	}
+	opts := classify.DefaultOptions()
+	opts.Seed = *seed
+	cls := classify.Fit(uarch.Haswell(), blocks, opts)
+
+	if *stdin || *block != "" {
+		text := *block
+		if *stdin {
+			raw, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				fatal(err)
+			}
+			text = string(raw)
+		}
+		b, err := x86.ParseBlock(text, x86.SyntaxAuto)
+		if err != nil {
+			fatal(err)
+		}
+		cat := cls.Classify(b)
+		fmt.Printf("%s: %s\n", cat, cat.Description())
+		return
+	}
+
+	// Corpus-level report, via the harness renderers.
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	s := harness.New(cfg)
+	fmt.Print(s.Table4().Render())
+	fmt.Println()
+	fmt.Print(s.FigAppsVsClusters().Render())
+	fmt.Println()
+	fmt.Print(s.FigExamples())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bhive-classify:", err)
+	os.Exit(1)
+}

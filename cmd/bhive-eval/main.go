@@ -1,0 +1,61 @@
+// Command bhive-eval regenerates the paper's tables and figures against
+// the simulated machine. Each experiment id corresponds to one table or
+// figure; see DESIGN.md for the index.
+//
+// Usage:
+//
+//	bhive-eval -exp table5 -scale 0.01
+//	bhive-eval -exp case-study
+//	bhive-eval -exp fig-cluster-err -uarch haswell
+//	bhive-eval -exp all -scale 0.005 -ithemal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bhive/internal/corpus"
+	"bhive/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: "+strings.Join(harness.Names(), ", ")+", or all")
+		scale   = flag.Float64("scale", 0.01, "corpus scale (1.0 = the paper's 358,561 blocks)")
+		seed    = flag.Int64("seed", 7, "seed")
+		arch    = flag.String("uarch", "", "restrict per-µarch figures to one microarchitecture")
+		trainIt = flag.Bool("ithemal", false, "train and include the learned model (slow)")
+		epochs  = flag.Int("ithemal-epochs", 12, "LSTM training epochs")
+		corpusF = flag.String("corpus", "", "load the corpus from a bhive-collect CSV instead of generating it")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.Seed = *seed
+	cfg.TrainIthemal = *trainIt
+	cfg.IthemalEpochs = *epochs
+	if *corpusF != "" {
+		f, err := os.Open(*corpusF)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bhive-eval:", err)
+			os.Exit(1)
+		}
+		cfg.Records, err = corpus.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bhive-eval:", err)
+			os.Exit(1)
+		}
+	}
+
+	s := harness.New(cfg)
+	out, err := s.Run(*exp, *arch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhive-eval:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

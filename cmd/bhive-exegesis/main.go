@@ -1,0 +1,58 @@
+// Command bhive-exegesis measures per-instruction latency, reciprocal
+// throughput and execution-port usage by generating micro-benchmarks on
+// the simulated machine — the llvm-exegesis / Abel-and-Reineke side of the
+// tooling the paper surveys. Like those tools, it is limited to
+// register-only instruction forms.
+//
+// Usage:
+//
+//	bhive-exegesis -uarch haswell
+//	bhive-exegesis -uarch skylake -inst 'addss xmm0, xmm1'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bhive/internal/portmap"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+func main() {
+	var (
+		arch = flag.String("uarch", "haswell", "microarchitecture")
+		inst = flag.String("inst", "", "measure a single instruction (default: the built-in template set)")
+	)
+	flag.Parse()
+
+	cpu, err := uarch.ByName(*arch)
+	if err != nil {
+		fatal(err)
+	}
+
+	templates := portmap.DefaultTemplates()
+	if *inst != "" {
+		in, err := x86.ParseInst(*inst, x86.SyntaxAuto)
+		if err != nil {
+			fatal(err)
+		}
+		templates = []x86.Inst{in}
+	}
+
+	entries, err := portmap.BuildTable(cpu, templates)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-28s %9s %12s %8s %6s\n", "instruction", "latency", "rthroughput", "ports", "µops")
+	for _, e := range entries {
+		fmt.Printf("%-28s %9.2f %12.2f %8s %6.2f\n",
+			e.Inst, e.Latency, e.RThroughput, e.Ports, e.UopsPer)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bhive-exegesis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// Command bhive-profile measures the steady-state throughput (cycles per
+// iteration) of one x86-64 basic block on a simulated microarchitecture,
+// using the full BHive methodology or any ablated subset of it.
+//
+// Usage:
+//
+//	bhive-profile -uarch haswell -hex 4801d8
+//	bhive-profile -uarch haswell -block 'add rax, rbx'
+//	echo 'xor %edx, %edx
+//	div %ecx' | bhive-profile -models
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bhive"
+	"bhive/internal/models"
+	"bhive/internal/uarch"
+)
+
+func main() {
+	var (
+		arch      = flag.String("uarch", "haswell", "microarchitecture: ivybridge, haswell, skylake")
+		hexStr    = flag.String("hex", "", "basic block as machine-code hex")
+		blockText = flag.String("block", "", "basic block as assembly (Intel or AT&T; default: read stdin)")
+		noMap     = flag.Bool("no-mapping", false, "disable page mapping (Agner-script baseline)")
+		naive     = flag.Bool("naive-unroll", false, "time a single 100x unroll instead of the derived method")
+		keepSub   = flag.Bool("keep-subnormals", false, "do not set MXCSR FTZ/DAZ")
+		noFilter  = flag.Bool("no-misaligned-filter", false, "accept measurements with line-splitting accesses")
+		runModels = flag.Bool("models", false, "also print the analytical models' predictions")
+		report    = flag.Bool("report", false, "print an IACA-style port-pressure report")
+	)
+	flag.Parse()
+
+	block, err := readBlock(*hexStr, *blockText)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := bhive.DefaultOptions()
+	if *noMap {
+		opts = bhive.BaselineOptions()
+	}
+	if *naive {
+		opts.DerivedThroughput = false
+	}
+	if *keepSub {
+		opts.DisableSubnormals = false
+	}
+	if *noFilter {
+		opts.FilterMisaligned = false
+	}
+
+	res, err := bhive.ProfileWith(*arch, block, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("uarch:       %s\n", *arch)
+	fmt.Printf("block:       %d instructions\n", len(block.Insts))
+	fmt.Printf("status:      %s\n", res.Status)
+	if res.Status == bhive.StatusOK {
+		fmt.Printf("throughput:  %.2f cycles/iteration\n", res.Throughput)
+		fmt.Printf("unroll:      %d and %d\n", res.UnrollLo, res.UnrollHi)
+		fmt.Printf("pages:       %d mapped by the monitor\n", res.PagesMapped)
+		fmt.Printf("samples:     %d/%d clean\n", res.CleanSamples, 16)
+	} else if res.Err != nil {
+		fmt.Printf("error:       %v\n", res.Err)
+	}
+
+	if *runModels {
+		ms, err := bhive.Models(*arch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("models:")
+		for _, m := range ms {
+			p, err := m.Predict(block)
+			if err != nil {
+				fmt.Printf("  %-9s -  (%v)\n", m.Name(), err)
+				continue
+			}
+			fmt.Printf("  %-9s %.2f\n", m.Name(), p)
+		}
+	}
+
+	if *report {
+		cpu, err := uarch.ByName(*arch)
+		if err != nil {
+			fatal(err)
+		}
+		text, err := models.Report(cpu, block)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(text)
+	}
+}
+
+func readBlock(hexStr, blockText string) (*bhive.Block, error) {
+	switch {
+	case hexStr != "":
+		return bhive.BlockFromHex(hexStr)
+	case blockText != "":
+		return bhive.ParseBlock(blockText, bhive.SyntaxAuto)
+	default:
+		raw, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return bhive.ParseBlock(string(raw), bhive.SyntaxAuto)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bhive-profile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command bhive-train trains the Ithemal-style LSTM throughput predictor
+// on a measured corpus and writes the model weights to disk.
+//
+// Usage:
+//
+//	bhive-train -uarch haswell -scale 0.005 -epochs 14 -out hsw.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"bhive/internal/corpus"
+	"bhive/internal/models/ithemal"
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+)
+
+func main() {
+	var (
+		arch   = flag.String("uarch", "haswell", "microarchitecture")
+		scale  = flag.Float64("scale", 0.004, "corpus scale for training data")
+		seed   = flag.Int64("seed", 7, "seed")
+		epochs = flag.Int("epochs", 14, "training epochs")
+		lr     = flag.Float64("lr", 1e-3, "initial learning rate")
+		out    = flag.String("out", "ithemal.model", "output weights file")
+	)
+	flag.Parse()
+
+	cpu, err := uarch.ByName(*arch)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "generating corpus at scale %g...\n", *scale)
+	recs := corpus.GenerateAll(*scale, *seed)
+
+	fmt.Fprintf(os.Stderr, "profiling %d blocks on %s...\n", len(recs), cpu.Name)
+	samples := measure(cpu, recs)
+	fmt.Fprintf(os.Stderr, "%d blocks profiled successfully\n", len(samples))
+
+	m := ithemal.New(32, 64, *seed)
+	cfg := ithemal.TrainConfig{
+		Epochs: *epochs,
+		LR:     *lr,
+		Seed:   *seed,
+		Progress: func(epoch int, loss float64) {
+			fmt.Fprintf(os.Stderr, "epoch %2d: loss %.4f\n", epoch, loss)
+		},
+	}
+	m.Train(samples, cfg)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func measure(cpu *uarch.CPU, recs []corpus.Record) []ithemal.Sample {
+	out := make([]ithemal.Sample, len(recs))
+	ok := make([]bool, len(recs))
+	var wg sync.WaitGroup
+	ch := make(chan int, len(recs))
+	for i := range recs {
+		ch <- i
+	}
+	close(ch)
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := profiler.New(cpu, profiler.DefaultOptions())
+			for i := range ch {
+				r := p.Profile(recs[i].Block)
+				if r.Status == profiler.StatusOK && r.Throughput > 0 {
+					out[i] = ithemal.Sample{Block: recs[i].Block, Throughput: r.Throughput}
+					ok[i] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var samples []ithemal.Sample
+	for i := range out {
+		if ok[i] {
+			samples = append(samples, out[i])
+		}
+	}
+	return samples
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bhive-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module bhive
+
+go 1.22

@@ -1,0 +1,123 @@
+package classify
+
+import (
+	"testing"
+
+	"bhive/internal/corpus"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+func parseBlocks(t *testing.T, texts []string) []*x86.Block {
+	t.Helper()
+	out := make([]*x86.Block, len(texts))
+	for i, text := range texts {
+		b, err := x86.ParseBlock(text, x86.SyntaxAuto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// TestArchetypes checks that hand-built archetype blocks land in their
+// expected categories once mixed into a diverse corpus.
+func TestArchetypes(t *testing.T) {
+	loadBlock := "mov rax, qword ptr [rbx]\nmov rcx, qword ptr [rbx+8]\nmov rdx, qword ptr [rbx+16]"
+	storeBlock := "mov qword ptr [rbx], rax\nmov qword ptr [rbx+8], rcx\nmov qword ptr [rbx+16], rdx"
+	vecBlock := "vmulps %ymm0, %ymm1, %ymm2\nvaddps %ymm3, %ymm4, %ymm5\nvmulps %ymm6, %ymm7, %ymm8\nvaddps %ymm9, %ymm10, %ymm11"
+	aluBlock := "add rax, rbx\nsub rcx, rdx\nand r8, r9\nadd r10, 4\nmov r11, qword ptr [rsp]"
+	mixBlock := "mov rax, qword ptr [rbx]\nmov qword ptr [rsi], rcx\nmov rdx, qword ptr [rbx+8]\nmov qword ptr [rsi+8], r8"
+	scalarVec := "addss xmm0, xmm1\nadd rax, rbx\nmulss xmm2, xmm3\nsub rcx, rdx"
+
+	archetypes := parseBlocks(t, []string{loadBlock, storeBlock, vecBlock, aluBlock, mixBlock, scalarVec})
+
+	// Pad with corpus blocks so LDA has data to shape its topics.
+	recs := corpus.GenerateAll(0.001, 5)
+	blocks := append([]*x86.Block{}, archetypes...)
+	for i := range recs {
+		blocks = append(blocks, recs[i].Block)
+	}
+
+	c := Fit(uarch.Haswell(), blocks, DefaultOptions())
+
+	// Two topics attract load-heavy documents (pure loads vs loads mixed
+	// with stores); a short all-load block may land in either.
+	if got := c.Category(0); got != CatMostlyLoads && got != CatLoadStoreMix {
+		t.Errorf("load block classified %v", got)
+	}
+	if got := c.Category(1); got != CatMostlyStores && got != CatLoadStoreMix {
+		t.Errorf("store block classified %v", got)
+	}
+	if got := c.Category(2); got != CatPureVector && got != CatScalarVecMix {
+		t.Errorf("vector block classified %v", got)
+	}
+}
+
+func TestCategoriesDistinct(t *testing.T) {
+	recs := corpus.GenerateAll(0.002, 5)
+	blocks := make([]*x86.Block, len(recs))
+	for i := range recs {
+		blocks[i] = recs[i].Block
+	}
+	c := Fit(uarch.Haswell(), blocks, DefaultOptions())
+	counts := c.Counts()
+	if len(counts) < 4 {
+		t.Fatalf("expected at least 4 populated categories, got %v", counts)
+	}
+	// Topic labels must be a permutation: six distinct categories.
+	seen := map[Category]bool{}
+	for _, cat := range c.topicCat {
+		if seen[cat] {
+			t.Fatalf("duplicate label %v", cat)
+		}
+		seen[cat] = true
+	}
+	// The paper's broad shape: pure-vector blocks are the rarest class.
+	if counts[CatPureVector] >= counts[CatMostlyLoads] {
+		t.Errorf("pure-vector should be rare: %v", counts)
+	}
+}
+
+func TestClassifyNewBlock(t *testing.T) {
+	recs := corpus.GenerateAll(0.001, 5)
+	blocks := make([]*x86.Block, len(recs))
+	for i := range recs {
+		blocks[i] = recs[i].Block
+	}
+	c := Fit(uarch.Haswell(), blocks, DefaultOptions())
+	nb, err := x86.ParseBlock("mov rax, qword ptr [rbx]\nmov rcx, qword ptr [rbx+8]\nmov rdx, qword ptr [rbx+24]\nmov r8, qword ptr [rbx+32]", x86.SyntaxIntel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Classify(nb); got != CatMostlyLoads && got != CatLoadStoreMix {
+		t.Errorf("new load block classified %v", got)
+	}
+}
+
+func TestExample(t *testing.T) {
+	recs := corpus.GenerateAll(0.001, 5)
+	blocks := make([]*x86.Block, len(recs))
+	for i := range recs {
+		blocks[i] = recs[i].Block
+	}
+	c := Fit(uarch.Haswell(), blocks, DefaultOptions())
+	for cat := Category(1); cat <= NumCategories; cat++ {
+		idx := c.Example(cat)
+		if idx >= 0 && c.Category(idx) != cat {
+			t.Errorf("example for %v has category %v", cat, c.Category(idx))
+		}
+	}
+}
+
+func TestDescriptions(t *testing.T) {
+	for cat := Category(1); cat <= NumCategories; cat++ {
+		if cat.Description() == "" {
+			t.Errorf("%v lacks a description", cat)
+		}
+	}
+	if CatPureVector.String() != "Category-2" {
+		t.Fatal("category numbering")
+	}
+}

@@ -1,0 +1,229 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+func TestTable3Counts(t *testing.T) {
+	total := 0
+	for _, a := range Apps() {
+		if a.InTable3 {
+			total += a.Blocks
+		}
+	}
+	if total != Table3Total {
+		t.Fatalf("Table III total %d, want %d", total, Table3Total)
+	}
+	want := map[string]int{
+		"OpenBlas": 19032, "Redis": 9343, "SQLite": 8871, "GZip": 2272,
+		"TensorFlow": 71988, "Clang/LLVM": 212758, "Eigen": 4545,
+		"Embree": 12602, "FFmpeg": 17150,
+	}
+	for _, a := range Apps() {
+		if !a.InTable3 {
+			continue
+		}
+		if want[a.Name] != a.Blocks {
+			t.Errorf("%s: %d blocks, want %d", a.Name, a.Blocks, want[a.Name])
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := AppByName("GZip")
+	r1 := a.Generate(0.1, 42)
+	r2 := a.Generate(0.1, 42)
+	if len(r1) != len(r2) {
+		t.Fatal("length mismatch")
+	}
+	for i := range r1 {
+		h1, _ := r1[i].Block.Hex()
+		h2, _ := r2[i].Block.Hex()
+		if h1 != h2 || r1[i].Freq != r2[i].Freq {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	r3 := a.Generate(0.1, 43)
+	h1, _ := r1[0].Block.Hex()
+	h3, _ := r3[0].Block.Hex()
+	if h1 == h3 {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestGeneratedBlocksEncodeAndDecode(t *testing.T) {
+	for _, a := range Apps() {
+		recs := a.Generate(0.005, 1)
+		for _, r := range recs {
+			raw, err := r.Block.Bytes()
+			if err != nil {
+				t.Fatalf("%s: encode: %v", a.Name, err)
+			}
+			insts, err := x86.DecodeBlock(raw)
+			if err != nil {
+				t.Fatalf("%s: decode: %v\n%s", a.Name, err, r.Block)
+			}
+			if len(insts) != len(r.Block.Insts) {
+				t.Fatalf("%s: decode count mismatch", a.Name)
+			}
+		}
+	}
+}
+
+func TestCorpusProfileRates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiling sweep")
+	}
+	// The ablation shape of Table I: baseline profiles a small minority
+	// (the register-only blocks), mapping the vast majority, the derived
+	// method more still.
+	recs := GenerateTable3(0.004, 7)
+	if len(recs) < 1000 {
+		t.Fatalf("scale too small: %d", len(recs))
+	}
+
+	rate := func(opts profiler.Options) float64 {
+		p := profiler.New(uarch.Haswell(), opts)
+		ok := 0
+		for i := range recs {
+			if p.Profile(recs[i].Block).Status == profiler.StatusOK {
+				ok++
+			}
+		}
+		return float64(ok) / float64(len(recs))
+	}
+
+	base := rate(profiler.BaselineOptions())
+	mapped := rate(profiler.MappingOptions())
+	full := rate(profiler.DefaultOptions())
+
+	t.Logf("profiled: baseline %.2f%%, mapping %.2f%%, full %.2f%% (paper: 16.65 / 91.28 / 94.24)",
+		100*base, 100*mapped, 100*full)
+
+	if base < 0.08 || base > 0.30 {
+		t.Errorf("baseline rate %.3f outside the paper's regime (~0.17)", base)
+	}
+	if mapped < 0.80 || mapped > 0.97 {
+		t.Errorf("mapping rate %.3f outside the paper's regime (~0.91)", mapped)
+	}
+	if full <= mapped {
+		t.Errorf("derived unrolling must recover blocks: %.3f vs %.3f", full, mapped)
+	}
+	if full < 0.88 {
+		t.Errorf("full methodology rate %.3f too low (~0.94 expected)", full)
+	}
+}
+
+func TestFrequenciesHeavyTailed(t *testing.T) {
+	recs := AppByName("TensorFlow").Generate(0.02, 3)
+	var total, max uint64
+	for _, r := range recs {
+		total += r.Freq
+		if r.Freq > max {
+			max = r.Freq
+		}
+	}
+	if max < total/100 {
+		t.Fatalf("expected a heavy tail: max %d of total %d", max, total)
+	}
+	top := TopByFreq(recs, 10)
+	if top[0].Freq < top[9].Freq {
+		t.Fatal("TopByFreq must sort descending")
+	}
+}
+
+func TestGoogleAppsLoadDominated(t *testing.T) {
+	for _, a := range GoogleApps() {
+		recs := a.Generate(0.01, 5)
+		loads, insts := 0, 0
+		for _, r := range recs {
+			loads += r.Block.NumLoads()
+			insts += len(r.Block.Insts)
+		}
+		frac := float64(loads) / float64(insts)
+		if frac < 0.18 {
+			t.Errorf("%s: load fraction %.2f too low for a server workload", a.Name, frac)
+		}
+	}
+}
+
+func TestVectorizationSkew(t *testing.T) {
+	vecFrac := func(name string) float64 {
+		recs := AppByName(name).Generate(0.02, 9)
+		vec := 0
+		for _, r := range recs {
+			if r.Block.HasVector() {
+				vec++
+			}
+		}
+		return float64(vec) / float64(len(recs))
+	}
+	blas, llvm := vecFrac("OpenBlas"), vecFrac("Clang/LLVM")
+	if blas < 2*llvm {
+		t.Fatalf("OpenBLAS (%.2f) must be far more vectorized than LLVM (%.2f)", blas, llvm)
+	}
+}
+
+func TestStaticDisassemblyConfusion(t *testing.T) {
+	recs := AppByName("SQLite").Generate(0.02, 11)
+	blocks := make([]*x86.Block, 0, len(recs))
+	for i := range recs {
+		blocks = append(blocks, recs[i].Block)
+	}
+	img, err := BuildImage(blocks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := LinearSweep(img)
+	if res.Errors == 0 && res.Misaligned == 0 {
+		t.Fatal("the padding bytes should confuse a linear sweep somewhere")
+	}
+	t.Logf("linear sweep: %d insts, %d errors, %d/%d block starts missed",
+		res.Insts, res.Errors, res.Misaligned, len(blocks))
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	recs := AppByName("Redis").Generate(0.01, 3)
+	var buf strings.Builder
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i].App != recs[i].App || got[i].Freq != recs[i].Freq {
+			t.Fatalf("record %d metadata mismatch", i)
+		}
+		h1, _ := got[i].Block.Hex()
+		h2, _ := recs[i].Block.Hex()
+		if h1 != h2 {
+			t.Fatalf("record %d block mismatch", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("app,hex,freq\nfoo,zz,1\n")); err == nil {
+		t.Fatal("bad hex must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("foo,90\n")); err == nil {
+		t.Fatal("missing fields must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("foo,90,notanumber\n")); err == nil {
+		t.Fatal("bad frequency must error")
+	}
+	recs, err := ReadCSV(strings.NewReader("app,hex,freq\n\nfoo,90,5\n"))
+	if err != nil || len(recs) != 1 || recs[0].Freq != 5 {
+		t.Fatalf("blank lines and header must be tolerated: %v %v", recs, err)
+	}
+}

@@ -1,0 +1,63 @@
+package corpus
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"bhive/internal/x86"
+)
+
+// WriteCSV stores records in the suite's interchange format:
+// a header line followed by "app,hex,freq" rows.
+func WriteCSV(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "app,hex,freq"); err != nil {
+		return err
+	}
+	for i := range recs {
+		hexStr, err := recs[i].Block.Hex()
+		if err != nil {
+			return fmt.Errorf("corpus: encode record %d: %w", i, err)
+		}
+		if _, err := fmt.Fprintf(bw, "%s,%s,%d\n", recs[i].App, hexStr, recs[i].Freq); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV loads records written by WriteCSV (or by cmd/bhive-collect),
+// decoding each block from its machine-code hex.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || (line == 1 && strings.HasPrefix(text, "app,")) {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("corpus: line %d: want 3 fields, got %d", line, len(parts))
+		}
+		block, err := x86.BlockFromHex(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+		}
+		freq, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: bad frequency %q", line, parts[2])
+		}
+		out = append(out, Record{App: parts[0], Block: block, Freq: freq})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"bhive/internal/x86"
+)
+
+// This file reproduces the paper's motivation for dynamic collection:
+// "precise static disassembly of x86 binaries is undecidable ... we
+// discovered cases where static disassemblers cannot distinguish padding
+// bytes from instructions." BuildImage lays blocks out the way a linker
+// does — with alignment padding between functions — and LinearSweep is the
+// naive static disassembler that walks the bytes and misparses across the
+// padding.
+
+// Image is a synthetic text section.
+type Image struct {
+	Bytes []byte
+	// BlockOffsets are the true starting offsets of each block (the ground
+	// truth a dynamic tracer observes).
+	BlockOffsets []int
+}
+
+// BuildImage concatenates the blocks' machine code with x86 padding bytes
+// (single-byte INT3-style 0xCC fill and fragments that alias real opcode
+// prefixes) between them, aligned to 16 bytes as linkers emit functions.
+func BuildImage(blocks []*x86.Block, seed int64) (*Image, error) {
+	rng := rand.New(rand.NewSource(seed))
+	img := &Image{}
+	for _, b := range blocks {
+		code, err := b.Bytes()
+		if err != nil {
+			return nil, err
+		}
+		img.BlockOffsets = append(img.BlockOffsets, len(img.Bytes))
+		img.Bytes = append(img.Bytes, code...)
+		// Pad to 16 bytes with bytes that look like instruction prefixes
+		// half of the time — exactly what confuses a linear sweep.
+		for len(img.Bytes)%16 != 0 {
+			if rng.Intn(2) == 0 {
+				img.Bytes = append(img.Bytes, 0xCC)
+			} else {
+				img.Bytes = append(img.Bytes, []byte{0x66, 0x48, 0x0F}[rng.Intn(3)])
+			}
+		}
+	}
+	return img, nil
+}
+
+// SweepResult summarizes a linear-sweep disassembly attempt.
+type SweepResult struct {
+	Insts      int // instructions decoded
+	Errors     int // positions where decoding failed and resynced
+	Misaligned int // true block starts the sweep decoded mid-instruction
+}
+
+// LinearSweep decodes the image from offset 0, resynchronizing one byte
+// after each failure — the classic static approach that the paper rejects
+// in favor of dynamic collection.
+func LinearSweep(img *Image) SweepResult {
+	var res SweepResult
+	covered := make(map[int]bool) // offsets decoded as instruction starts
+	off := 0
+	for off < len(img.Bytes) {
+		_, n, err := x86.Decode(img.Bytes[off:])
+		if err != nil {
+			res.Errors++
+			off++
+			continue
+		}
+		covered[off] = true
+		res.Insts++
+		off += n
+	}
+	for _, o := range img.BlockOffsets {
+		if !covered[o] {
+			res.Misaligned++
+		}
+	}
+	return res
+}

@@ -1,0 +1,571 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"bhive/internal/x86"
+)
+
+// Register discipline for generated blocks: pointer registers keep their
+// initialized pattern value (so memory operands stay mappable); scratch
+// registers absorb computation results.
+var (
+	ptrRegs     = []x86.Reg{x86.RBX, x86.RSI, x86.RDI, x86.R12, x86.R13, x86.R14}
+	scratchRegs = []x86.Reg{x86.RAX, x86.RCX, x86.RDX, x86.R8, x86.R9, x86.R10, x86.R11, x86.R15}
+)
+
+// blockGen builds one basic block under a mix.
+type blockGen struct {
+	rng *rand.Rand
+	m   *mix
+
+	insts []x86.Inst
+	// small marks scratch registers whose runtime value may be below the
+	// first mappable page (using one as a base would crash the block).
+	small map[x86.Reg]bool
+}
+
+func newBlockGen(rng *rand.Rand, m *mix) *blockGen {
+	return &blockGen{rng: rng, m: m, small: make(map[x86.Reg]bool)}
+}
+
+func (g *blockGen) emit(in x86.Inst) {
+	if _, err := x86.Encode(in); err != nil {
+		// Should not happen; generators only build encodable shapes.
+		panic("corpus: generated unencodable instruction: " + in.String() + ": " + err.Error())
+	}
+	g.insts = append(g.insts, in)
+}
+
+func (g *blockGen) scratch() x86.Reg { return scratchRegs[g.rng.Intn(len(scratchRegs))] }
+
+// pointer returns a register safe to use as a memory base.
+func (g *blockGen) pointer() x86.Reg { return ptrRegs[g.rng.Intn(len(ptrRegs))] }
+
+// cleanScratch returns a scratch register not marked small.
+func (g *blockGen) cleanScratch() x86.Reg {
+	for i := 0; i < 8; i++ {
+		r := g.scratch()
+		if !g.small[r] {
+			return r
+		}
+	}
+	return x86.R15
+}
+
+func (g *blockGen) gp(r x86.Reg, size int) x86.Reg { return x86.GPReg(r.Num(), size) }
+
+func (g *blockGen) vec() x86.Reg {
+	if g.m.use256 && g.rng.Intn(3) > 0 {
+		return x86.VecReg(g.rng.Intn(16), 32)
+	}
+	return x86.VecReg(g.rng.Intn(16), 16)
+}
+
+func (g *blockGen) xmm() x86.Reg { return x86.VecReg(g.rng.Intn(16), 16) }
+
+// mem builds an int memory operand of the given size off a pointer base.
+// Displacements are size-aligned so ordinary blocks never split lines.
+func (g *blockGen) mem(size int) x86.Mem {
+	disp := int32(g.rng.Intn(512/size)) * int32(size)
+	m := x86.Mem{Base: g.pointer(), Disp: disp, Size: uint8(size)}
+	if g.rng.Intn(4) == 0 {
+		// Indexed form; scaled pattern+pattern stays mappable.
+		m.Index = g.pointer()
+		m.Scale = 1
+		if g.rng.Intn(3) == 0 {
+			m.Scale = uint8(size)
+		}
+	}
+	return m
+}
+
+// vmem builds a vector memory operand, aligned to its width.
+func (g *blockGen) vmem(size int) x86.Mem {
+	disp := int32(g.rng.Intn(1+256/size)) * int32(size)
+	return x86.Mem{Base: g.pointer(), Disp: disp, Size: uint8(size)}
+}
+
+func (g *blockGen) imm(max int) int64 { return int64(g.rng.Intn(max) + 1) }
+
+var aluOps = []x86.Op{x86.ADD, x86.SUB, x86.AND, x86.OR, x86.XOR}
+var vecFPOpsSSE = []x86.Op{x86.ADDPS, x86.MULPS, x86.SUBPS, x86.ADDSS, x86.MULSS,
+	x86.ADDSD, x86.MULSD, x86.MINPS, x86.MAXPS, x86.SUBSS, x86.ADDPD, x86.MULPD}
+var vecFPOpsAVX = []x86.Op{x86.VADDPS, x86.VMULPS, x86.VSUBPS, x86.VADDPD,
+	x86.VMULPD, x86.VMINPS, x86.VMAXPS, x86.VADDSS, x86.VMULSD}
+var fmaOps = []x86.Op{x86.VFMADD231PS, x86.VFMADD213PS, x86.VFMADD231PD, x86.VFNMADD231PS}
+var vecIntOpsSSE = []x86.Op{x86.PADDB, x86.PADDW, x86.PADDD, x86.PSUBW, x86.PSUBD,
+	x86.PAND, x86.POR, x86.PXOR, x86.PMULLW, x86.PCMPEQB, x86.PCMPGTD, x86.PADDQ}
+var vecIntOpsAVX = []x86.Op{x86.VPADDB, x86.VPADDD, x86.VPSUBD, x86.VPAND,
+	x86.VPOR, x86.VPXOR, x86.VPMULLW, x86.VPCMPEQD, x86.VPADDQ}
+var shuffleOpsSSE = []x86.Op{x86.PSHUFD, x86.SHUFPS, x86.PUNPCKLBW, x86.PUNPCKLWD,
+	x86.PUNPCKLDQ, x86.UNPCKLPS}
+var shiftOps = []x86.Op{x86.SHL, x86.SHR, x86.SAR, x86.ROL, x86.ROR}
+var cmovOps = []x86.Op{x86.CMOVE, x86.CMOVNE, x86.CMOVL, x86.CMOVB, x86.CMOVA, x86.CMOVGE}
+var setOps = []x86.Op{x86.SETE, x86.SETNE, x86.SETL, x86.SETB, x86.SETA}
+
+// gpSize picks a plausible scalar operand width (64-bit dominant).
+func (g *blockGen) gpSize() int {
+	switch g.rng.Intn(10) {
+	case 0:
+		return 1
+	case 1, 2:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// step emits one instruction (occasionally a short idiom of 2–3) of the
+// given kind. memOK=false restricts to register-only forms.
+func (g *blockGen) step(k kind, memOK bool) {
+	switch k {
+	case kALU:
+		op := aluOps[g.rng.Intn(len(aluOps))]
+		size := g.gpSize()
+		dst := g.gp(g.scratch(), size)
+		if g.rng.Intn(3) == 0 {
+			g.emit(x86.NewInst(op, x86.RegOp(dst), x86.ImmOp(g.imm(127))))
+		} else {
+			src := g.gp(g.scratch(), size)
+			if dst.Base64() == src.Base64() && (op == x86.XOR || op == x86.SUB) {
+				// would be a zero idiom; make it an add instead
+				op = x86.ADD
+			}
+			g.emit(x86.NewInst(op, x86.RegOp(dst), x86.RegOp(src)))
+		}
+		if op == x86.XOR || op == x86.AND {
+			// Logic results can be tiny; stop using this register as a base.
+			g.small[dst.Base64()] = true
+		}
+
+	case kLoad:
+		size := g.gpSize()
+		if size == 1 && g.rng.Intn(2) == 0 {
+			g.emit(x86.NewInst(x86.MOVZX, x86.RegOp(g.gp(g.scratch(), 4)), x86.MemOp(g.mem(1))))
+			return
+		}
+		dst := g.scratch()
+		g.emit(x86.NewInst(x86.MOV, x86.RegOp(g.gp(dst, size)), x86.MemOp(g.mem(size))))
+		if size >= 4 {
+			delete(g.small, dst.Base64()) // loaded the page fill pattern
+		}
+
+	case kStore:
+		size := g.gpSize()
+		if g.rng.Intn(4) == 0 {
+			g.emit(x86.NewInst(x86.MOV, x86.MemOp(g.mem(size)), x86.ImmOp(g.imm(100))))
+			return
+		}
+		g.emit(x86.NewInst(x86.MOV, x86.MemOp(g.mem(size)), x86.RegOp(g.gp(g.scratch(), size))))
+
+	case kRMWMem:
+		op := aluOps[g.rng.Intn(len(aluOps))]
+		size := g.gpSize()
+		if g.rng.Intn(2) == 0 {
+			g.emit(x86.NewInst(op, x86.MemOp(g.mem(size)), x86.ImmOp(g.imm(100))))
+		} else {
+			g.emit(x86.NewInst(op, x86.MemOp(g.mem(size)), x86.RegOp(g.gp(g.scratch(), size))))
+		}
+
+	case kShiftBit:
+		switch g.rng.Intn(6) {
+		case 0:
+			g.emit(x86.NewInst(x86.BSWAP, x86.RegOp(g.scratch())))
+		case 1:
+			g.emit(x86.NewInst(x86.POPCNT, x86.RegOp(g.cleanScratch()), x86.RegOp(g.scratch())))
+		case 2:
+			g.emit(x86.NewInst(x86.TZCNT, x86.RegOp(g.cleanScratch()), x86.RegOp(g.scratch())))
+			g.small[g.insts[len(g.insts)-1].Args[0].Reg.Base64()] = true
+		default:
+			op := shiftOps[g.rng.Intn(len(shiftOps))]
+			r := g.scratch()
+			g.emit(x86.NewInst(op, x86.RegOp(r), x86.ImmOp(g.imm(31))))
+			g.small[r.Base64()] = true
+		}
+
+	case kLEA:
+		m := x86.Mem{Base: g.pointer(), Disp: int32(g.rng.Intn(256))}
+		if g.rng.Intn(2) == 0 {
+			m.Index = g.pointer()
+			m.Scale = []uint8{1, 2, 4, 8}[g.rng.Intn(4)]
+		}
+		dst := g.scratch()
+		g.emit(x86.NewInst(x86.LEA, x86.RegOp(dst), x86.MemOp(m)))
+		delete(g.small, dst)
+
+	case kMulDiv:
+		// Multiplies dominate; integer division is rare in real code.
+		switch g.rng.Intn(10) {
+		case 0: // 32-bit unsigned divide with zeroed rdx (the common idiom)
+			g.emit(x86.NewInst(x86.XOR, x86.RegOp(x86.EDX), x86.RegOp(x86.EDX)))
+			div := g.pointer() // pattern value: never zero
+			g.emit(x86.NewInst(x86.DIV, x86.RegOp(g.gp(div, 4))))
+			g.small[x86.RDX] = true
+		case 1: // signed divide after sign extension
+			g.emit(x86.NewInst(x86.CDQ))
+			g.emit(x86.NewInst(x86.IDIV, x86.RegOp(g.gp(g.pointer(), 4))))
+			g.small[x86.RDX] = true
+		case 2:
+			g.emit(x86.NewInst(x86.IMUL, x86.RegOp(g.cleanScratch()), x86.RegOp(g.scratch()),
+				x86.ImmOp(g.imm(100))))
+		default:
+			g.emit(x86.NewInst(x86.IMUL, x86.RegOp(g.scratch()), x86.RegOp(g.scratch())))
+		}
+
+	case kCmpFlag:
+		size := 8
+		if g.rng.Intn(3) == 0 {
+			size = 4
+		}
+		if memOK && g.rng.Intn(4) == 0 {
+			g.emit(x86.NewInst(x86.CMP, x86.RegOp(g.gp(g.scratch(), size)), x86.MemOp(g.mem(size))))
+		} else if g.rng.Intn(2) == 0 {
+			g.emit(x86.NewInst(x86.CMP, x86.RegOp(g.gp(g.scratch(), size)), x86.RegOp(g.gp(g.scratch(), size))))
+		} else {
+			g.emit(x86.NewInst(x86.TEST, x86.RegOp(g.gp(g.scratch(), size)), x86.RegOp(g.gp(g.scratch(), size))))
+		}
+		switch g.rng.Intn(3) {
+		case 0:
+			g.emit(x86.NewInst(cmovOps[g.rng.Intn(len(cmovOps))],
+				x86.RegOp(g.cleanScratch()), x86.RegOp(g.scratch())))
+		case 1:
+			r := g.scratch()
+			g.emit(x86.NewInst(setOps[g.rng.Intn(len(setOps))], x86.RegOp(g.gp(r, 1))))
+			g.small[r.Base64()] = true
+		}
+
+	case kVecFP:
+		if g.m.useFMA && g.rng.Intn(3) == 0 {
+			op := fmaOps[g.rng.Intn(len(fmaOps))]
+			g.emit(x86.NewInst(op, x86.RegOp(g.vec256()), x86.RegOp(g.vec256()), x86.RegOp(g.vec256())))
+			return
+		}
+		if g.m.useAVX && g.rng.Intn(2) == 0 {
+			op := vecFPOpsAVX[g.rng.Intn(len(vecFPOpsAVX))]
+			w := g.avxWidthFor(op)
+			g.emit(x86.NewInst(op, x86.RegOp(w()), x86.RegOp(w()), x86.RegOp(w())))
+			return
+		}
+		op := vecFPOpsSSE[g.rng.Intn(len(vecFPOpsSSE))]
+		g.emit(x86.NewInst(op, x86.RegOp(g.xmm()), x86.RegOp(g.xmm())))
+
+	case kVecLoad:
+		if g.m.useAVX && g.m.use256 && g.rng.Intn(2) == 0 {
+			g.emit(x86.NewInst(x86.VMOVUPS, x86.RegOp(x86.VecReg(g.rng.Intn(16), 32)),
+				x86.MemOp(g.vmem(32))))
+			return
+		}
+		switch g.rng.Intn(3) {
+		case 0:
+			g.emit(x86.NewInst(x86.MOVSS, x86.RegOp(g.xmm()), x86.MemOp(g.vmem(4))))
+		case 1:
+			g.emit(x86.NewInst(x86.MOVSD, x86.RegOp(g.xmm()), x86.MemOp(g.vmem(8))))
+		default:
+			g.emit(x86.NewInst(x86.MOVUPS, x86.RegOp(g.xmm()), x86.MemOp(g.vmem(16))))
+		}
+
+	case kVecStore:
+		if g.m.useAVX && g.m.use256 && g.rng.Intn(2) == 0 {
+			g.emit(x86.NewInst(x86.VMOVUPS, x86.MemOp(g.vmem(32)),
+				x86.RegOp(x86.VecReg(g.rng.Intn(16), 32))))
+			return
+		}
+		switch g.rng.Intn(3) {
+		case 0:
+			g.emit(x86.NewInst(x86.MOVSS, x86.MemOp(g.vmem(4)), x86.RegOp(g.xmm())))
+		case 1:
+			g.emit(x86.NewInst(x86.MOVSD, x86.MemOp(g.vmem(8)), x86.RegOp(g.xmm())))
+		default:
+			g.emit(x86.NewInst(x86.MOVUPS, x86.MemOp(g.vmem(16)), x86.RegOp(g.xmm())))
+		}
+
+	case kVecInt:
+		if g.m.useAVX && g.rng.Intn(2) == 0 {
+			op := vecIntOpsAVX[g.rng.Intn(len(vecIntOpsAVX))]
+			w := g.xmm
+			if g.m.use256 {
+				w = func() x86.Reg { return x86.VecReg(g.rng.Intn(16), 32) }
+			}
+			g.emit(x86.NewInst(op, x86.RegOp(w()), x86.RegOp(w()), x86.RegOp(w())))
+			return
+		}
+		op := vecIntOpsSSE[g.rng.Intn(len(vecIntOpsSSE))]
+		a, b := g.xmm(), g.xmm()
+		if a == b && (op == x86.PXOR || op == x86.PSUBD || op == x86.PCMPGTD) {
+			op = x86.PADDD
+		}
+		g.emit(x86.NewInst(op, x86.RegOp(a), x86.RegOp(b)))
+
+	case kShuffle:
+		op := shuffleOpsSSE[g.rng.Intn(len(shuffleOpsSSE))]
+		switch op {
+		case x86.PSHUFD:
+			g.emit(x86.NewInst(op, x86.RegOp(g.xmm()), x86.RegOp(g.xmm()), x86.ImmOp(int64(g.rng.Intn(128)))))
+		case x86.SHUFPS:
+			g.emit(x86.NewInst(op, x86.RegOp(g.xmm()), x86.RegOp(g.xmm()), x86.ImmOp(int64(g.rng.Intn(128)))))
+		default:
+			g.emit(x86.NewInst(op, x86.RegOp(g.xmm()), x86.RegOp(g.xmm())))
+		}
+
+	case kConvert:
+		switch g.rng.Intn(4) {
+		case 0:
+			g.emit(x86.NewInst(x86.CVTSI2SD, x86.RegOp(g.xmm()), x86.RegOp(g.scratch())))
+		case 1:
+			g.emit(x86.NewInst(x86.CVTTSD2SI, x86.RegOp(g.cleanScratch()), x86.RegOp(g.xmm())))
+			g.small[g.insts[len(g.insts)-1].Args[0].Reg.Base64()] = true
+		case 2:
+			g.emit(x86.NewInst(x86.CVTSS2SD, x86.RegOp(g.xmm()), x86.RegOp(g.xmm())))
+		default:
+			g.emit(x86.NewInst(x86.CVTDQ2PS, x86.RegOp(g.xmm()), x86.RegOp(g.xmm())))
+		}
+
+	case kZeroIdiom:
+		switch g.rng.Intn(3) {
+		case 0:
+			r := g.gp(g.scratch(), 4)
+			g.emit(x86.NewInst(x86.XOR, x86.RegOp(r), x86.RegOp(r)))
+			g.small[r.Base64()] = true
+		case 1:
+			v := g.xmm()
+			g.emit(x86.NewInst(x86.PXOR, x86.RegOp(v), x86.RegOp(v)))
+		default:
+			if g.m.useAVX {
+				v := g.xmm()
+				g.emit(x86.NewInst(x86.VXORPS, x86.RegOp(v), x86.RegOp(v), x86.RegOp(v)))
+			} else {
+				v := g.xmm()
+				g.emit(x86.NewInst(x86.XORPS, x86.RegOp(v), x86.RegOp(v)))
+			}
+		}
+
+	case kStack:
+		if g.rng.Intn(2) == 0 {
+			g.emit(x86.NewInst(x86.PUSH, x86.RegOp(g.scratch())))
+			g.emit(x86.NewInst(x86.POP, x86.RegOp(g.scratch())))
+		} else {
+			g.emit(x86.NewInst(x86.MOV, x86.RegOp(g.scratch()),
+				x86.MemOp(x86.Mem{Base: x86.RSP, Disp: int32(8 * g.rng.Intn(16)), Size: 8})))
+		}
+	}
+}
+
+func (g *blockGen) vec256() x86.Reg {
+	if g.m.use256 {
+		return x86.VecReg(g.rng.Intn(16), 32)
+	}
+	return g.xmm()
+}
+
+// avxWidthFor returns a register source matching the op's scalar/packed
+// width (scalar AVX ops must use xmm).
+func (g *blockGen) avxWidthFor(op x86.Op) func() x86.Reg {
+	switch op {
+	case x86.VADDSS, x86.VMULSD, x86.VADDSD, x86.VMULSS, x86.VSUBSS, x86.VSUBSD:
+		return g.xmm
+	}
+	if g.m.use256 {
+		return func() x86.Reg { return x86.VecReg(g.rng.Intn(16), 32) }
+	}
+	return g.xmm
+}
+
+// memKinds reports whether a kind touches memory.
+func memKind(k kind) bool {
+	switch k {
+	case kLoad, kStore, kRMWMem, kVecLoad, kVecStore, kStack:
+		return true
+	}
+	return false
+}
+
+// pick samples a kind from the mix, optionally excluding memory kinds.
+func (g *blockGen) pick(memOK bool) kind {
+	total := 0.0
+	for k := kind(0); k < numKinds; k++ {
+		if !memOK && memKind(k) {
+			continue
+		}
+		total += g.m.weights[k]
+	}
+	x := g.rng.Float64() * total
+	for k := kind(0); k < numKinds; k++ {
+		if !memOK && memKind(k) {
+			continue
+		}
+		x -= g.m.weights[k]
+		if x < 0 {
+			return k
+		}
+	}
+	return kALU
+}
+
+// Block flavors.
+
+func (g *blockGen) ordinary(n int, memOK bool) {
+	for len(g.insts) < n {
+		g.step(g.pick(memOK), memOK)
+	}
+	// "Most [blocks] contain memory accesses" (paper §1): every block that
+	// is not explicitly register-only touches memory at least once.
+	if memOK && !g.hasMem() {
+		if g.m.weights[kVecLoad] > g.m.weights[kLoad] {
+			g.step(kVecLoad, true)
+		} else {
+			g.step(kLoad, true)
+		}
+	}
+}
+
+func (g *blockGen) hasMem() bool {
+	for i := range g.insts {
+		if g.insts[i].IsLoad() || g.insts[i].IsStore() {
+			return true
+		}
+	}
+	return false
+}
+
+// badPointer produces a block that dereferences an unmappable address.
+func (g *blockGen) badPointer() {
+	g.ordinary(2+g.rng.Intn(3), true)
+	r := g.scratch()
+	if g.rng.Intn(2) == 0 {
+		// Low (null-ish) pointer.
+		g.emit(x86.NewInst(x86.MOV, x86.RegOp(g.gp(r, 4)), x86.ImmOp(int64(g.rng.Intn(2048)))))
+	} else {
+		// Non-canonical / kernel-half pointer.
+		g.emit(x86.NewInst(x86.MOV, x86.RegOp(r), x86.ImmOp(int64(-1)<<47)))
+	}
+	g.emit(x86.NewInst(x86.MOV, x86.RegOp(g.scratch()),
+		x86.MemOp(x86.Mem{Base: r, Size: 8})))
+}
+
+// misaligned produces a block with a line-splitting access.
+func (g *blockGen) misaligned() {
+	g.ordinary(3+g.rng.Intn(4), true)
+	g.emit(x86.NewInst(x86.MOV, x86.RegOp(g.scratch()),
+		x86.MemOp(x86.Mem{Base: g.pointer(), Disp: 0x3c, Size: 8})))
+}
+
+// subnormalBlock produces FP work on denormal inputs.
+func (g *blockGen) subnormalBlock() {
+	r := g.scratch()
+	g.emit(x86.NewInst(x86.MOV, x86.RegOp(g.gp(r, 4)), x86.ImmOp(0x00200000))) // subnormal f32
+	g.emit(x86.NewInst(x86.MOVD, x86.RegOp(g.xmm()), x86.RegOp(g.gp(r, 4))))
+	g.small[r.Base64()] = true
+	for i := 0; i < 2+g.rng.Intn(3); i++ {
+		op := []x86.Op{x86.ADDSS, x86.MULSS, x86.ADDPS, x86.MULPS}[g.rng.Intn(4)]
+		g.emit(x86.NewInst(op, x86.RegOp(g.xmm()), x86.RegOp(g.xmm())))
+	}
+}
+
+// bigKernel produces an unrolled numerical inner loop long enough that a
+// naive 100x unroll overflows the instruction cache. These are the long
+// vector-arithmetic-dominated blocks (GEMM-style: several FMAs per load)
+// that populate the paper's purely-vector category.
+func (g *blockGen) bigKernel() {
+	n := 90 + g.rng.Intn(130)
+	vecKind := kVecFP
+	if g.m.weights[kVecInt] > g.m.weights[kVecFP] {
+		vecKind = kVecInt
+	}
+	for len(g.insts) < n {
+		switch g.rng.Intn(10) {
+		case 0:
+			g.step(kALU, true)
+		case 1:
+			g.step(kVecLoad, true)
+		case 2:
+			g.step(kVecStore, true)
+		case 3:
+			g.step(kShuffle, true)
+		default:
+			g.step(vecKind, true)
+		}
+	}
+}
+
+// generate builds one block for the application.
+func (a *App) generate(rng *rand.Rand, hot bool) *x86.Block {
+	g := newBlockGen(rng, &a.mix)
+	m := &a.mix
+	if hot && (m.hotLoadHeavy || m.hotVectorized) {
+		// Hot inner-loop bodies take dedicated generators and skip the
+		// crash/filter hazards: they are the well-behaved kernels.
+		return a.generateHot(rng)
+	}
+	r := rng.Float64()
+	switch {
+	case r < m.badPtrFrac:
+		g.badPointer()
+	case r < m.badPtrFrac+m.misalignFrac:
+		g.misaligned()
+	case r < m.badPtrFrac+m.misalignFrac+m.subnormalFrac:
+		g.subnormalBlock()
+	case r < m.badPtrFrac+m.misalignFrac+m.subnormalFrac+m.bigBlockFrac:
+		g.bigKernel()
+	case r < m.badPtrFrac+m.misalignFrac+m.subnormalFrac+m.bigBlockFrac+m.regOnlyFrac:
+		n := 1 + rng.Intn(2*m.lenMean)
+		g.ordinary(n, false)
+	default:
+		n := 1 + rng.Intn(2*m.lenMean)
+		g.ordinary(n, true)
+	}
+	return &x86.Block{Insts: g.insts}
+}
+
+// generateHot builds a hot inner-loop block: load-dominated scans for
+// server workloads, vector kernels for numeric libraries.
+func (a *App) generateHot(rng *rand.Rand) *x86.Block {
+	m := &a.mix
+	n := 3 + rng.Intn(2*m.lenMean)
+	g := newBlockGen(rng, m)
+
+	if m.hotLoadHeavy && (!m.hotVectorized || rng.Intn(20) < 17) {
+		// Load-dominated scans and pointer chases: 40-50% of the Google
+		// workloads' runtime per the paper. No stores: scans read.
+		for len(g.insts) < n+2 {
+			if rng.Intn(8) == 0 {
+				g.step(kALU, true)
+			} else {
+				g.step(kLoad, true)
+			}
+		}
+		return &x86.Block{Insts: g.insts}
+	}
+
+	// Vector kernels: statically rare, dynamically dominant. A minority
+	// are purely vector arithmetic (register-resident accumulator
+	// updates) — the paper's rare category-2.
+	vecKind := kVecFP
+	if m.weights[kVecInt] > m.weights[kVecFP] {
+		vecKind = kVecInt
+	}
+	if rng.Intn(5) == 0 && !m.hotLoadHeavy {
+		pn := 16 + rng.Intn(48)
+		for len(g.insts) < pn {
+			if rng.Intn(4) == 0 {
+				g.step(kShuffle, false)
+			} else {
+				g.step(vecKind, false)
+			}
+		}
+		return &x86.Block{Insts: g.insts}
+	}
+	for len(g.insts) < n+2 {
+		switch rng.Intn(8) {
+		case 0:
+			g.step(g.pick(true), true)
+		case 1, 2:
+			g.step(kVecLoad, true)
+		case 3:
+			g.step(kVecStore, true)
+		default:
+			g.step(vecKind, true)
+		}
+	}
+	return &x86.Block{Insts: g.insts}
+}

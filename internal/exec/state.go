@@ -1,0 +1,239 @@
+// Package exec is the functional (architectural) executor for the x86-64
+// subset: it computes register values, flags, memory addresses and
+// floating-point results. The measurement framework uses it twice per
+// basic block — once to discover the virtual pages the block touches (the
+// mapping run) and once more to produce the dynamic micro-op trace that the
+// cycle-level pipeline model times.
+package exec
+
+import (
+	"encoding/binary"
+	"math"
+
+	"bhive/internal/x86"
+)
+
+// State is the architectural register state of the simulated process.
+type State struct {
+	GPR [16]uint64
+	Vec [16][32]byte
+
+	// Status flags.
+	ZF, SF, CF, OF, PF bool
+
+	// MXCSR bits controlling gradual underflow: flush-to-zero and
+	// denormals-are-zero. BHive sets both to "normalize" FP timing.
+	FTZ, DAZ bool
+
+	// RIP is the address of the next instruction (for RIP-relative
+	// addressing); the run loop maintains it.
+	RIP uint64
+}
+
+// InitRegisters sets every general-purpose register to the given pattern
+// and fills vector registers with it too — the BHive initialization step
+// that makes loaded values usable as pointers.
+func (s *State) InitRegisters(pattern uint64) {
+	for i := range s.GPR {
+		s.GPR[i] = pattern
+	}
+	var lane [8]byte
+	binary.LittleEndian.PutUint64(lane[:], pattern)
+	for i := range s.Vec {
+		for o := 0; o < 32; o += 8 {
+			copy(s.Vec[i][o:o+8], lane[:])
+		}
+	}
+	s.ZF, s.SF, s.CF, s.OF, s.PF = false, false, false, false, false
+}
+
+// ReadGPR returns the value of a general-purpose register, zero-extended
+// to 64 bits.
+func (s *State) ReadGPR(r x86.Reg) uint64 {
+	full := s.GPR[r.Base64().Num()]
+	switch r.Class() {
+	case x86.ClassGP64:
+		return full
+	case x86.ClassGP32:
+		return full & 0xFFFFFFFF
+	case x86.ClassGP16:
+		return full & 0xFFFF
+	case x86.ClassGP8:
+		if r.IsHighByte() {
+			return (full >> 8) & 0xFF
+		}
+		return full & 0xFF
+	}
+	return 0
+}
+
+// WriteGPR stores v into r with x86 merge semantics: 8- and 16-bit writes
+// merge into the surrounding register, 32-bit writes zero-extend.
+func (s *State) WriteGPR(r x86.Reg, v uint64) {
+	n := r.Base64().Num()
+	switch r.Class() {
+	case x86.ClassGP64:
+		s.GPR[n] = v
+	case x86.ClassGP32:
+		s.GPR[n] = v & 0xFFFFFFFF
+	case x86.ClassGP16:
+		s.GPR[n] = s.GPR[n]&^uint64(0xFFFF) | v&0xFFFF
+	case x86.ClassGP8:
+		if r.IsHighByte() {
+			s.GPR[n] = s.GPR[n]&^uint64(0xFF00) | (v&0xFF)<<8
+		} else {
+			s.GPR[n] = s.GPR[n]&^uint64(0xFF) | v&0xFF
+		}
+	}
+}
+
+// vecNum returns the register file slot of a vector register.
+func vecNum(r x86.Reg) int { return r.Num() }
+
+// ReadVec copies the register's full 256-bit value.
+func (s *State) ReadVec(r x86.Reg) [32]byte { return s.Vec[vecNum(r)] }
+
+// WriteVec writes width bytes of val into r. Legacy SSE (zeroUpper=false)
+// preserves bytes above width; VEX encodings zero them.
+func (s *State) WriteVec(r x86.Reg, val [32]byte, width int, zeroUpper bool) {
+	n := vecNum(r)
+	copy(s.Vec[n][:width], val[:width])
+	if zeroUpper {
+		for i := width; i < 32; i++ {
+			s.Vec[n][i] = 0
+		}
+	}
+}
+
+// Cond evaluates an x86 condition code against the flags.
+func (s *State) Cond(c x86.Cond) bool {
+	switch c {
+	case x86.CondE:
+		return s.ZF
+	case x86.CondNE:
+		return !s.ZF
+	case x86.CondL:
+		return s.SF != s.OF
+	case x86.CondLE:
+		return s.ZF || s.SF != s.OF
+	case x86.CondG:
+		return !s.ZF && s.SF == s.OF
+	case x86.CondGE:
+		return s.SF == s.OF
+	case x86.CondB:
+		return s.CF
+	case x86.CondBE:
+		return s.CF || s.ZF
+	case x86.CondA:
+		return !s.CF && !s.ZF
+	case x86.CondAE:
+		return !s.CF
+	case x86.CondS:
+		return s.SF
+	case x86.CondNS:
+		return !s.SF
+	}
+	return false
+}
+
+// setLogicFlags sets flags after a logical op (CF=OF=0).
+func (s *State) setLogicFlags(res uint64, size int) {
+	s.CF, s.OF = false, false
+	s.setZSP(res, size)
+}
+
+// setZSP sets ZF, SF and PF from a result.
+func (s *State) setZSP(res uint64, size int) {
+	res = maskTo(res, size)
+	s.ZF = res == 0
+	s.SF = res>>(uint(size)*8-1)&1 == 1
+	// PF covers the low byte only.
+	b := res & 0xFF
+	b ^= b >> 4
+	b ^= b >> 2
+	b ^= b >> 1
+	s.PF = b&1 == 0
+}
+
+// setAddFlags sets flags for a + b (+carry) = res.
+func (s *State) setAddFlags(a, b, res uint64, size int) {
+	bits := uint(size) * 8
+	a, b, res = maskTo(a, size), maskTo(b, size), maskTo(res, size)
+	s.CF = res < a || (res == a && b != 0)
+	sa, sb, sr := a>>(bits-1)&1, b>>(bits-1)&1, res>>(bits-1)&1
+	s.OF = sa == sb && sa != sr
+	s.setZSP(res, size)
+}
+
+// setSubFlags sets flags for a - b (- borrow) = res.
+func (s *State) setSubFlags(a, b, res uint64, size int) {
+	bits := uint(size) * 8
+	a, b, res = maskTo(a, size), maskTo(b, size), maskTo(res, size)
+	s.CF = a < b || (a == b && res != 0)
+	sa, sb, sr := a>>(bits-1)&1, b>>(bits-1)&1, res>>(bits-1)&1
+	s.OF = sa != sb && sa != sr
+	s.setZSP(res, size)
+}
+
+func maskTo(v uint64, size int) uint64 {
+	if size >= 8 {
+		return v
+	}
+	return v & (1<<(uint(size)*8) - 1)
+}
+
+func signExtend(v uint64, size int) int64 {
+	switch size {
+	case 1:
+		return int64(int8(v))
+	case 2:
+		return int64(int16(v))
+	case 4:
+		return int64(int32(v))
+	}
+	return int64(v)
+}
+
+// --- float lane helpers ---
+
+func getF32(v *[32]byte, lane int) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(v[lane*4:]))
+}
+
+func setF32(v *[32]byte, lane int, f float32) {
+	binary.LittleEndian.PutUint32(v[lane*4:], math.Float32bits(f))
+}
+
+func getF64(v *[32]byte, lane int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(v[lane*8:]))
+}
+
+func setF64(v *[32]byte, lane int, f float64) {
+	binary.LittleEndian.PutUint64(v[lane*8:], math.Float64bits(f))
+}
+
+func getU32(v *[32]byte, lane int) uint32 { return binary.LittleEndian.Uint32(v[lane*4:]) }
+func setU32(v *[32]byte, lane int, x uint32) {
+	binary.LittleEndian.PutUint32(v[lane*4:], x)
+}
+func getU64(v *[32]byte, lane int) uint64 { return binary.LittleEndian.Uint64(v[lane*8:]) }
+func setU64(v *[32]byte, lane int, x uint64) {
+	binary.LittleEndian.PutUint64(v[lane*8:], x)
+}
+func getU16(v *[32]byte, lane int) uint16 { return binary.LittleEndian.Uint16(v[lane*2:]) }
+func setU16(v *[32]byte, lane int, x uint16) {
+	binary.LittleEndian.PutUint16(v[lane*2:], x)
+}
+
+// isSubnormal32 reports whether f is a denormal (nonzero with zero
+// exponent) — the inputs that trigger the microcoded gradual-underflow
+// path and its up-to-20x slowdown.
+func isSubnormal32(f float32) bool {
+	b := math.Float32bits(f)
+	return b&0x7F800000 == 0 && b&0x007FFFFF != 0
+}
+
+func isSubnormal64(f float64) bool {
+	b := math.Float64bits(f)
+	return b&0x7FF0000000000000 == 0 && b&0x000FFFFFFFFFFFFF != 0
+}

@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bhive/internal/vm"
+	"bhive/internal/x86"
+)
+
+// TestExecuteEveryForm executes one canonical instance of every encoding
+// form in the ISA table against a mapped address space: the executor must
+// handle each without "unimplemented" errors or panics.
+func TestExecuteEveryForm(t *testing.T) {
+	base := uint64(0x100000)
+	for i := range x86.Forms {
+		f := &x86.Forms[i]
+		if f.Op.IsBranch() {
+			continue
+		}
+		in := formInstance(f)
+		if in == nil {
+			continue
+		}
+		as := vm.New()
+		page := as.NewPhysPage()
+		page.Fill(uint32(base))
+		// Map generously around the base pattern.
+		for off := uint64(0); off < 0x4000; off += vm.PageSize {
+			as.Map(base+off, page)
+		}
+		r := NewRunner(as)
+		r.State.InitRegisters(base)
+		r.State.FTZ, r.State.DAZ = true, true
+		err := r.Run([]x86.Inst{*in}, nil)
+		if err != nil {
+			// Faults on exotic addresses are fine; "unimplemented" is not.
+			if _, ok := err.(*vm.Fault); ok {
+				continue
+			}
+			if _, ok := err.(DivideError); ok {
+				continue
+			}
+			if _, ok := err.(*AlignmentError); ok {
+				continue
+			}
+			t.Errorf("%v: %v", in, err)
+		}
+	}
+}
+
+// formInstance builds a canonical executable instruction for a form.
+func formInstance(f *x86.Form) *x86.Inst {
+	in := &x86.Inst{Op: f.Op}
+	for _, p := range f.Args {
+		switch p {
+		case x86.PatR8:
+			in.Args = append(in.Args, x86.RegOp(x86.CL))
+		case x86.PatR16:
+			in.Args = append(in.Args, x86.RegOp(x86.CX))
+		case x86.PatR32:
+			in.Args = append(in.Args, x86.RegOp(x86.ECX))
+		case x86.PatR64:
+			in.Args = append(in.Args, x86.RegOp(x86.RCX))
+		case x86.PatRM8:
+			in.Args = append(in.Args, x86.MemOp(x86.Mem{Base: x86.RBX, Disp: 8, Size: 1}))
+		case x86.PatRM16:
+			in.Args = append(in.Args, x86.MemOp(x86.Mem{Base: x86.RBX, Disp: 8, Size: 2}))
+		case x86.PatRM32:
+			in.Args = append(in.Args, x86.MemOp(x86.Mem{Base: x86.RBX, Disp: 8, Size: 4}))
+		case x86.PatRM64:
+			in.Args = append(in.Args, x86.MemOp(x86.Mem{Base: x86.RBX, Disp: 8, Size: 8}))
+		case x86.PatM:
+			in.Args = append(in.Args, x86.MemOp(x86.Mem{Base: x86.RBX, Disp: 8}))
+		case x86.PatM32, x86.PatXM32:
+			in.Args = append(in.Args, x86.MemOp(x86.Mem{Base: x86.RBX, Disp: 16, Size: 4}))
+		case x86.PatM64, x86.PatXM64:
+			in.Args = append(in.Args, x86.MemOp(x86.Mem{Base: x86.RBX, Disp: 16, Size: 8}))
+		case x86.PatM128, x86.PatXM128:
+			in.Args = append(in.Args, x86.MemOp(x86.Mem{Base: x86.RBX, Disp: 16, Size: 16}))
+		case x86.PatM256, x86.PatYM256:
+			in.Args = append(in.Args, x86.MemOp(x86.Mem{Base: x86.RBX, Disp: 32, Size: 32}))
+		case x86.PatImm8, x86.PatImm16, x86.PatImm32, x86.PatImm64:
+			in.Args = append(in.Args, x86.ImmOp(5))
+		case x86.PatXMM:
+			in.Args = append(in.Args, x86.RegOp(x86.X3))
+		case x86.PatYMM:
+			in.Args = append(in.Args, x86.RegOp(x86.Y3))
+		case x86.PatCL:
+			in.Args = append(in.Args, x86.RegOp(x86.CL))
+		default:
+			return nil
+		}
+	}
+	return in
+}
+
+// TestALUReferenceProperty checks 64-bit add/sub/and/or/xor against Go's
+// own integer semantics with random operands via testing/quick.
+func TestALUReferenceProperty(t *testing.T) {
+	ops := []struct {
+		op  x86.Op
+		ref func(a, b uint64) uint64
+	}{
+		{x86.ADD, func(a, b uint64) uint64 { return a + b }},
+		{x86.SUB, func(a, b uint64) uint64 { return a - b }},
+		{x86.AND, func(a, b uint64) uint64 { return a & b }},
+		{x86.OR, func(a, b uint64) uint64 { return a | b }},
+		{x86.XOR, func(a, b uint64) uint64 { return a ^ b }},
+	}
+	for _, c := range ops {
+		c := c
+		f := func(a, b uint64) bool {
+			r := NewRunner(vm.New())
+			r.State.GPR[x86.RAX.Num()] = a
+			r.State.GPR[x86.RBX.Num()] = b
+			in := x86.NewInst(c.op, x86.RegOp(x86.RAX), x86.RegOp(x86.RBX))
+			if err := r.Run([]x86.Inst{in}, nil); err != nil {
+				return false
+			}
+			want := c.ref(a, b)
+			if r.State.GPR[x86.RAX.Num()] != want {
+				return false
+			}
+			// ZF must agree with the result.
+			return r.State.ZF == (want == 0)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Errorf("%v: %v", c.op, err)
+		}
+	}
+}
+
+// TestShiftReferenceProperty checks shifts against Go's shift semantics
+// with masked counts.
+func TestShiftReferenceProperty(t *testing.T) {
+	f := func(a uint64, count uint8) bool {
+		cnt := uint64(count) & 63
+		r := NewRunner(vm.New())
+		r.State.GPR[x86.RAX.Num()] = a
+		in := x86.NewInst(x86.SHL, x86.RegOp(x86.RAX), x86.ImmOp(int64(count)&63))
+		if err := r.Run([]x86.Inst{in}, nil); err != nil {
+			return false
+		}
+		return r.State.GPR[x86.RAX.Num()] == a<<cnt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDivReferenceProperty checks unsigned 64-bit division against Go.
+func TestDivReferenceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		lo := rng.Uint64()
+		d := rng.Uint64()
+		if d == 0 {
+			continue
+		}
+		r := NewRunner(vm.New())
+		r.State.GPR[x86.RAX.Num()] = lo
+		r.State.GPR[x86.RDX.Num()] = 0 // no overflow possible
+		r.State.GPR[x86.RCX.Num()] = d
+		in := x86.NewInst(x86.DIV, x86.RegOp(x86.RCX))
+		if err := r.Run([]x86.Inst{in}, nil); err != nil {
+			t.Fatalf("div %d/%d: %v", lo, d, err)
+		}
+		if r.State.GPR[x86.RAX.Num()] != lo/d || r.State.GPR[x86.RDX.Num()] != lo%d {
+			t.Fatalf("%d/%d: got q=%d r=%d", lo, d,
+				r.State.GPR[x86.RAX.Num()], r.State.GPR[x86.RDX.Num()])
+		}
+	}
+}
+
+// TestVectorFPReferenceProperty checks packed single-precision adds
+// against Go float32 arithmetic.
+func TestVectorFPReferenceProperty(t *testing.T) {
+	f := func(a, b [4]float32) bool {
+		r := NewRunner(vm.New())
+		for i := 0; i < 4; i++ {
+			if math.IsNaN(float64(a[i])) || math.IsNaN(float64(b[i])) {
+				return true
+			}
+			setF32(&r.State.Vec[1], i, a[i])
+			setF32(&r.State.Vec[2], i, b[i])
+		}
+		in := x86.NewInst(x86.ADDPS, x86.RegOp(x86.X1), x86.RegOp(x86.X2))
+		if err := r.Run([]x86.Inst{in}, nil); err != nil {
+			return false
+		}
+		for i := 0; i < 4; i++ {
+			if getF32(&r.State.Vec[1], i) != a[i]+b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

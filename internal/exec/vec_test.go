@@ -1,0 +1,204 @@
+package exec
+
+import (
+	"testing"
+
+	"bhive/internal/vm"
+	"bhive/internal/x86"
+)
+
+func runOne(t *testing.T, r *Runner, text string) {
+	t.Helper()
+	insts := mustParse(t, text)
+	if err := r.Run(insts, nil); err != nil {
+		t.Fatalf("%s: %v", text, err)
+	}
+}
+
+func TestPshufdSemantics(t *testing.T) {
+	r := NewRunner(vm.New())
+	for i := 0; i < 4; i++ {
+		setU32(&r.State.Vec[1], i, uint32(10+i))
+	}
+	// 0x1B = 00 01 10 11 → lanes 3,2,1,0 reversed.
+	runOne(t, r, "pshufd xmm0, xmm1, 0x1b")
+	for i := 0; i < 4; i++ {
+		if got := getU32(&r.State.Vec[0], i); got != uint32(13-i) {
+			t.Fatalf("lane %d = %d", i, got)
+		}
+	}
+}
+
+func TestShufpsSemantics(t *testing.T) {
+	r := NewRunner(vm.New())
+	for i := 0; i < 4; i++ {
+		setU32(&r.State.Vec[0], i, uint32(i))     // dst: 0 1 2 3
+		setU32(&r.State.Vec[1], i, uint32(100+i)) // src: 100..103
+	}
+	// imm 0x44 = lanes 0,1 from dst; lanes 0,1 from src.
+	runOne(t, r, "shufps xmm0, xmm1, 0x44")
+	want := []uint32{0, 1, 100, 101}
+	for i, w := range want {
+		if got := getU32(&r.State.Vec[0], i); got != w {
+			t.Fatalf("lane %d = %d want %d", i, got, w)
+		}
+	}
+}
+
+func TestPunpcklbwSemantics(t *testing.T) {
+	r := NewRunner(vm.New())
+	for i := 0; i < 8; i++ {
+		r.State.Vec[0][i] = byte(i)
+		r.State.Vec[1][i] = byte(0x80 + i)
+	}
+	runOne(t, r, "punpcklbw xmm0, xmm1")
+	for i := 0; i < 8; i++ {
+		if r.State.Vec[0][2*i] != byte(i) || r.State.Vec[0][2*i+1] != byte(0x80+i) {
+			t.Fatalf("interleave broken at %d: % x", i, r.State.Vec[0][:16])
+		}
+	}
+}
+
+func TestMovmskSemantics(t *testing.T) {
+	r := NewRunner(vm.New())
+	setF32(&r.State.Vec[1], 0, -1)
+	setF32(&r.State.Vec[1], 1, 2)
+	setF32(&r.State.Vec[1], 2, -3)
+	setF32(&r.State.Vec[1], 3, 4)
+	runOne(t, r, "movmskps eax, xmm1")
+	if got := r.State.ReadGPR(x86.EAX); got != 0b0101 {
+		t.Fatalf("movmskps = %#b", got)
+	}
+
+	r2 := NewRunner(vm.New())
+	for i := 0; i < 16; i++ {
+		if i%2 == 0 {
+			r2.State.Vec[1][i] = 0xFF
+		}
+	}
+	runOne(t, r2, "pmovmskb eax, xmm1")
+	if got := r2.State.ReadGPR(x86.EAX); got != 0x5555 {
+		t.Fatalf("pmovmskb = %#x", got)
+	}
+}
+
+func TestBroadcastSemantics(t *testing.T) {
+	base := uint64(0x50000)
+	r := mappedRunner(base)
+	r.State.WriteGPR(x86.RBX, base)
+	// Page filled with the pattern; broadcast the first dword.
+	runOne(t, r, "vbroadcastss (%rbx), %ymm2")
+	for i := 0; i < 8; i++ {
+		if getU32(&r.State.Vec[2], i) != 0x12345600 {
+			t.Fatalf("lane %d = %#x", i, getU32(&r.State.Vec[2], i))
+		}
+	}
+}
+
+func TestExtractInsert128(t *testing.T) {
+	r := NewRunner(vm.New())
+	for i := 0; i < 8; i++ {
+		setU32(&r.State.Vec[1], i, uint32(i))
+	}
+	runOne(t, r, "vextractf128 $1, %ymm1, %xmm0")
+	for i := 0; i < 4; i++ {
+		if getU32(&r.State.Vec[0], i) != uint32(4+i) {
+			t.Fatalf("extract lane %d = %d", i, getU32(&r.State.Vec[0], i))
+		}
+	}
+	runOne(t, r, "vinsertf128 $0, %xmm0, %ymm1, %ymm3")
+	if getU32(&r.State.Vec[3], 0) != 4 || getU32(&r.State.Vec[3], 4) != 4 {
+		t.Fatalf("insert: % x", r.State.Vec[3])
+	}
+}
+
+func TestCvtSemantics(t *testing.T) {
+	r := NewRunner(vm.New())
+	r.State.WriteGPR(x86.RAX, uint64(0xFFFFFFFFFFFFFFD6)) // -42
+	runOne(t, r, "cvtsi2sd xmm0, rax")
+	if got := getF64(&r.State.Vec[0], 0); got != -42 {
+		t.Fatalf("cvtsi2sd = %f", got)
+	}
+	runOne(t, r, "cvttsd2si rbx, xmm0")
+	if int64(r.State.GPR[x86.RBX.Num()]) != -42 {
+		t.Fatalf("cvttsd2si = %d", int64(r.State.GPR[x86.RBX.Num()]))
+	}
+	// Packed int→float.
+	for i := 0; i < 4; i++ {
+		setU32(&r.State.Vec[2], i, uint32(i*3))
+	}
+	runOne(t, r, "cvtdq2ps xmm3, xmm2")
+	for i := 0; i < 4; i++ {
+		if getF32(&r.State.Vec[3], i) != float32(i*3) {
+			t.Fatalf("cvtdq2ps lane %d", i)
+		}
+	}
+}
+
+func TestVecShiftSemantics(t *testing.T) {
+	r := NewRunner(vm.New())
+	for i := 0; i < 4; i++ {
+		setU32(&r.State.Vec[1], i, 0x80000001)
+	}
+	runOne(t, r, "psrld xmm1, 1")
+	if getU32(&r.State.Vec[1], 0) != 0x40000000 {
+		t.Fatalf("psrld: %#x", getU32(&r.State.Vec[1], 0))
+	}
+	// Arithmetic shift keeps the sign.
+	for i := 0; i < 4; i++ {
+		setU32(&r.State.Vec[2], i, 0x80000000)
+	}
+	runOne(t, r, "psrad xmm2, 4")
+	if getU32(&r.State.Vec[2], 0) != 0xF8000000 {
+		t.Fatalf("psrad: %#x", getU32(&r.State.Vec[2], 0))
+	}
+	// Shift count >= width zeroes logical shifts.
+	for i := 0; i < 4; i++ {
+		setU32(&r.State.Vec[3], i, 0xDEADBEEF)
+	}
+	runOne(t, r, "pslld xmm3, 40")
+	if getU32(&r.State.Vec[3], 0) != 0 {
+		t.Fatalf("oversized shift: %#x", getU32(&r.State.Vec[3], 0))
+	}
+}
+
+func TestMinMaxNaNSemantics(t *testing.T) {
+	// x86 min/max return the SECOND operand on NaN.
+	r := NewRunner(vm.New())
+	nan := float32(0)
+	nan = nan / nan
+	setF32(&r.State.Vec[0], 0, nan)
+	setF32(&r.State.Vec[1], 0, 7)
+	runOne(t, r, "minss xmm0, xmm1")
+	if getF32(&r.State.Vec[0], 0) != 7 {
+		t.Fatalf("minss NaN handling: %f", getF32(&r.State.Vec[0], 0))
+	}
+}
+
+func TestPmuludqSemantics(t *testing.T) {
+	r := NewRunner(vm.New())
+	setU32(&r.State.Vec[0], 0, 0xFFFFFFFF)
+	setU32(&r.State.Vec[0], 2, 3)
+	setU32(&r.State.Vec[1], 0, 2)
+	setU32(&r.State.Vec[1], 2, 5)
+	runOne(t, r, "pmuludq xmm0, xmm1")
+	if getU64(&r.State.Vec[0], 0) != 0x1FFFFFFFE {
+		t.Fatalf("lane 0 = %#x", getU64(&r.State.Vec[0], 0))
+	}
+	if getU64(&r.State.Vec[0], 1) != 15 {
+		t.Fatalf("lane 1 = %d", getU64(&r.State.Vec[0], 1))
+	}
+}
+
+func TestVMOVSSMergeSemantics(t *testing.T) {
+	r := NewRunner(vm.New())
+	for i := 0; i < 4; i++ {
+		setF32(&r.State.Vec[1], i, float32(10+i))
+		setF32(&r.State.Vec[2], i, float32(20+i))
+	}
+	// vmovss xmm0, xmm1, xmm2: low lane from xmm2, upper from xmm1.
+	runOne(t, r, "vmovss %xmm2, %xmm1, %xmm0") // ATT: src2, src1, dst
+	if getF32(&r.State.Vec[0], 0) != 20 || getF32(&r.State.Vec[0], 1) != 11 {
+		t.Fatalf("vmovss merge: %f %f", getF32(&r.State.Vec[0], 0), getF32(&r.State.Vec[0], 1))
+	}
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"fmt"
+
+	"bhive/internal/x86"
+)
+
+// The three case-study blocks of the paper (Haswell).
+
+// CRCBlockText is the Gzip updcrc inner loop (the motivating example and
+// the mis-scheduling case study; measured 8.25 in the paper).
+const CRCBlockText = `add $1, %rdi
+mov %edx, %eax
+shr $8, %rdx
+xorb -1(%rdi), %al
+movzbl %al, %eax
+xor 0x4110a(, %rax, 8), %rdx
+cmp %rcx, %rdi`
+
+// DivBlockText is the unsigned-division case study (measured 21.62).
+const DivBlockText = `xor %edx, %edx
+div %ecx
+test %edx, %edx`
+
+// ZeroIdiomBlockText is the vectorized-XOR zero idiom (measured 0.25).
+const ZeroIdiomBlockText = `vxorps %xmm2, %xmm2, %xmm2`
+
+// CaseStudyBlocks parses the three blocks.
+func CaseStudyBlocks() ([]*x86.Block, []string, error) {
+	texts := []string{DivBlockText, ZeroIdiomBlockText, CRCBlockText}
+	names := []string{"div (32-bit unsigned division)", "vxorps (zero idiom)", "gzip crc (memory dependence)"}
+	out := make([]*x86.Block, len(texts))
+	for i, t := range texts {
+		b, err := x86.ParseBlock(t, x86.SyntaxATT)
+		if err != nil {
+			return nil, nil, fmt.Errorf("case-study block %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return out, names, nil
+}
+
+// SampleTFBlock builds the Table-II sample block: a large (> 330-byte)
+// vectorized inner-loop body in the style of TensorFlow's CNN training
+// kernels. It is designed to hit every measurement hazard in sequence:
+//
+//   - it loads from eleven distinct virtual pages at the same page offset,
+//     so per-page physical frames overflow the 8-way L1 set (data-cache
+//     misses unless everything maps to one physical page);
+//   - its multiplier constant drives the loaded values into the subnormal
+//     range, so FP math takes the gradual-underflow assist unless MXCSR
+//     FTZ/DAZ is set;
+//   - its encoded size makes a naive 100x unroll overflow the 32KB L1
+//     instruction cache, which only the derived-throughput method avoids.
+func SampleTFBlock() *x86.Block {
+	var insts []x86.Inst
+
+	// Materialize the scaling constant ~1e-12f: pattern * 1e-12 is
+	// subnormal but not zero.
+	insts = append(insts,
+		x86.NewInst(x86.MOV, x86.RegOp(x86.EAX), x86.ImmOp(0x2B8CBCCC)),
+		x86.NewInst(x86.MOVD, x86.RegOp(x86.X15), x86.RegOp(x86.EAX)),
+	)
+
+	// Eleven page-strided loads (page offset identical in each page).
+	for k := 0; k < 11; k++ {
+		insts = append(insts, x86.NewInst(x86.MOVUPS,
+			x86.RegOp(x86.VecReg(k%8, 16)),
+			x86.MemOp(x86.Mem{Base: x86.RBX, Disp: int32(k * 0x1000), Size: 16})))
+		insts = append(insts, x86.NewInst(x86.MULPS,
+			x86.RegOp(x86.VecReg(k%8, 16)), x86.RegOp(x86.X15)))
+		insts = append(insts, x86.NewInst(x86.ADDPS,
+			x86.RegOp(x86.X8), x86.RegOp(x86.VecReg(k%8, 16))))
+	}
+
+	// Vector arithmetic padding to push the encoded size past 330 bytes.
+	for k := 0; k < 30; k++ {
+		insts = append(insts, x86.NewInst(x86.VFMADD231PS,
+			x86.RegOp(x86.VecReg(8+k%4, 32)),
+			x86.RegOp(x86.VecReg(12, 32)),
+			x86.RegOp(x86.VecReg(13, 32))))
+		insts = append(insts, x86.NewInst(x86.ADD, x86.RegOp(x86.RSI), x86.ImmOp(4)))
+	}
+	insts = append(insts, x86.NewInst(x86.MOVUPS,
+		x86.MemOp(x86.Mem{Base: x86.RDI, Disp: 0x40, Size: 16}), x86.RegOp(x86.X8)))
+
+	return &x86.Block{Insts: insts}
+}

@@ -1,0 +1,179 @@
+// Package lda implements Latent Dirichlet Allocation with collapsed Gibbs
+// sampling — the topic model the paper uses to cluster basic blocks by
+// their micro-ops' execution-port combinations (documents are blocks,
+// words are port combinations, topics are block categories).
+package lda
+
+import "math/rand"
+
+// Model holds a fitted LDA topic model.
+type Model struct {
+	K, V  int
+	Alpha float64
+	Beta  float64
+
+	// Assignments[d][i] is the topic of word i in document d.
+	Assignments [][]int
+
+	ndk [][]int // documents x topics
+	nkw [][]int // topics x vocabulary
+	nk  []int   // topic totals
+}
+
+// Fit runs collapsed Gibbs sampling on the documents (each a slice of
+// word ids in [0, vocab)) for the given number of sweeps.
+func Fit(docs [][]int, vocab, topics int, alpha, beta float64, sweeps int, seed int64) *Model {
+	return FitSeeded(docs, nil, vocab, topics, alpha, beta, sweeps, seed)
+}
+
+// FitSeeded is Fit with optional semi-supervised initialization: hints has
+// the shape of docs and assigns an initial topic per word (-1 for random).
+// Seeding only breaks the topic-label symmetry of the initial state; the
+// sampler is free to move every assignment afterwards.
+func FitSeeded(docs, hints [][]int, vocab, topics int, alpha, beta float64, sweeps int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Model{K: topics, V: vocab, Alpha: alpha, Beta: beta}
+	m.ndk = make([][]int, len(docs))
+	m.nkw = make([][]int, topics)
+	m.nk = make([]int, topics)
+	for k := range m.nkw {
+		m.nkw[k] = make([]int, vocab)
+	}
+	m.Assignments = make([][]int, len(docs))
+
+	for d, doc := range docs {
+		m.ndk[d] = make([]int, topics)
+		m.Assignments[d] = make([]int, len(doc))
+		for i, w := range doc {
+			k := -1
+			if hints != nil && hints[d] != nil {
+				k = hints[d][i]
+			}
+			if k < 0 || k >= topics || rng.Intn(50) == 0 {
+				k = rng.Intn(topics)
+			}
+			m.Assignments[d][i] = k
+			m.ndk[d][k]++
+			m.nkw[k][w]++
+			m.nk[k]++
+		}
+	}
+
+	probs := make([]float64, topics)
+	vb := float64(vocab) * beta
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for d, doc := range docs {
+			for i, w := range doc {
+				old := m.Assignments[d][i]
+				m.ndk[d][old]--
+				m.nkw[old][w]--
+				m.nk[old]--
+
+				total := 0.0
+				for k := 0; k < topics; k++ {
+					p := (float64(m.ndk[d][k]) + alpha) *
+						(float64(m.nkw[k][w]) + beta) /
+						(float64(m.nk[k]) + vb)
+					probs[k] = p
+					total += p
+				}
+				x := rng.Float64() * total
+				k := 0
+				for ; k < topics-1; k++ {
+					x -= probs[k]
+					if x < 0 {
+						break
+					}
+				}
+				m.Assignments[d][i] = k
+				m.ndk[d][k]++
+				m.nkw[k][w]++
+				m.nk[k]++
+			}
+		}
+	}
+	return m
+}
+
+// DocTopic returns the dominant topic of document d — the most common
+// topic among its words, which is how the paper assigns a block category.
+func (m *Model) DocTopic(d int) int {
+	best, bestN := 0, -1
+	for k, n := range m.ndk[d] {
+		if n > bestN {
+			best, bestN = k, n
+		}
+	}
+	return best
+}
+
+// TopicWordDist returns p(word|topic) for topic k.
+func (m *Model) TopicWordDist(k int) []float64 {
+	out := make([]float64, m.V)
+	denom := float64(m.nk[k]) + float64(m.V)*m.Beta
+	for w := 0; w < m.V; w++ {
+		out[w] = (float64(m.nkw[k][w]) + m.Beta) / denom
+	}
+	return out
+}
+
+// DocTopicDist returns p(topic|document d).
+func (m *Model) DocTopicDist(d int) []float64 {
+	out := make([]float64, m.K)
+	total := 0.0
+	for _, n := range m.ndk[d] {
+		total += float64(n)
+	}
+	denom := total + float64(m.K)*m.Alpha
+	for k := 0; k < m.K; k++ {
+		out[k] = (float64(m.ndk[d][k]) + m.Alpha) / denom
+	}
+	return out
+}
+
+// Infer folds a new document into the fitted model (topics frozen) and
+// returns its dominant topic; used to classify blocks that were not part
+// of the fit (e.g. the Google case-study corpora).
+func (m *Model) Infer(doc []int, sweeps int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	ndk := make([]int, m.K)
+	z := make([]int, len(doc))
+	for i := range doc {
+		k := rng.Intn(m.K)
+		z[i] = k
+		ndk[k]++
+	}
+	probs := make([]float64, m.K)
+	vb := float64(m.V) * m.Beta
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for i, w := range doc {
+			old := z[i]
+			ndk[old]--
+			total := 0.0
+			for k := 0; k < m.K; k++ {
+				p := (float64(ndk[k]) + m.Alpha) *
+					(float64(m.nkw[k][w]) + m.Beta) /
+					(float64(m.nk[k]) + vb)
+				probs[k] = p
+				total += p
+			}
+			x := rng.Float64() * total
+			k := 0
+			for ; k < m.K-1; k++ {
+				x -= probs[k]
+				if x < 0 {
+					break
+				}
+			}
+			z[i] = k
+			ndk[k]++
+		}
+	}
+	best, bestN := 0, -1
+	for k, n := range ndk {
+		if n > bestN {
+			best, bestN = k, n
+		}
+	}
+	return best
+}

@@ -1,0 +1,94 @@
+package lda
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// synthetic corpus: two clearly separated topics.
+func twoTopicDocs(n int, seed int64) ([][]int, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([][]int, n)
+	truth := make([]int, n)
+	for d := range docs {
+		topic := d % 2
+		truth[d] = topic
+		ln := 10 + rng.Intn(10)
+		for i := 0; i < ln; i++ {
+			// topic 0 words: 0..2; topic 1 words: 3..5 (10% noise)
+			w := rng.Intn(3)
+			if rng.Intn(10) == 0 {
+				w = rng.Intn(6)
+			} else if topic == 1 {
+				w += 3
+			}
+			docs[d] = append(docs[d], w)
+		}
+	}
+	return docs, truth
+}
+
+func TestFitSeparatesTopics(t *testing.T) {
+	docs, truth := twoTopicDocs(200, 1)
+	m := Fit(docs, 6, 2, 0.5, 0.1, 50, 1)
+
+	// All documents of one true class should share a dominant topic.
+	agree := 0
+	for d := range docs {
+		if m.DocTopic(d) == m.DocTopic(truth[d]) { // compare to a reference doc of that class
+			agree++
+		}
+	}
+	if float64(agree)/float64(len(docs)) < 0.9 {
+		t.Fatalf("topic separation too weak: %d/%d", agree, len(docs))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	docs, _ := twoTopicDocs(50, 2)
+	m1 := Fit(docs, 6, 3, 0.3, 0.1, 20, 9)
+	m2 := Fit(docs, 6, 3, 0.3, 0.1, 20, 9)
+	for d := range docs {
+		if m1.DocTopic(d) != m2.DocTopic(d) {
+			t.Fatal("same seed must give identical topics")
+		}
+	}
+}
+
+func TestDistributionsNormalized(t *testing.T) {
+	docs, _ := twoTopicDocs(30, 3)
+	m := Fit(docs, 6, 3, 0.3, 0.1, 10, 1)
+	for k := 0; k < 3; k++ {
+		var sum float64
+		for _, p := range m.TopicWordDist(k) {
+			if p < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("topic %d dist sums to %f", k, sum)
+		}
+	}
+	for d := 0; d < len(docs); d++ {
+		var sum float64
+		for _, p := range m.DocTopicDist(d) {
+			sum += p
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("doc %d dist sums to %f", d, sum)
+		}
+	}
+}
+
+func TestInferNewDocument(t *testing.T) {
+	docs, _ := twoTopicDocs(200, 4)
+	m := Fit(docs, 6, 2, 0.5, 0.1, 50, 1)
+	// A pure topic-0 document must infer the same topic as a fitted
+	// topic-0 document.
+	ref := m.DocTopic(0)
+	got := m.Infer([]int{0, 1, 2, 0, 1, 2, 0, 1}, 20, 5)
+	if got != ref {
+		t.Fatalf("inferred %d, reference %d", got, ref)
+	}
+}

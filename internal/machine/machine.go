@@ -1,0 +1,228 @@
+// Package machine composes the substrates — virtual memory, caches, the
+// functional executor and the cycle-level pipeline — into a Machine: the
+// simulated silicon that the BHive measurement framework profiles.
+package machine
+
+import (
+	"math/rand"
+
+	"bhive/internal/cache"
+	"bhive/internal/exec"
+	"bhive/internal/pipeline"
+	"bhive/internal/uarch"
+	"bhive/internal/vm"
+	"bhive/internal/x86"
+)
+
+// CodeBase is the virtual address where benchmark code is mapped.
+const CodeBase = 0x400000
+
+// Machine is one simulated core with its memory system.
+type Machine struct {
+	CPU *uarch.CPU
+	AS  *vm.AddressSpace
+	L1I *cache.Cache
+	L1D *cache.Cache
+
+	// Rand drives context-switch arrivals in noisy timing mode.
+	Rand *rand.Rand
+
+	codeFrames []*vm.PhysPage // frames backing the code mapping
+	codeLen    int
+}
+
+// New builds a machine for the given microarchitecture.
+func New(cpu *uarch.CPU, seed int64) *Machine {
+	m := &Machine{CPU: cpu, Rand: rand.New(rand.NewSource(seed))}
+	m.ResetMemory()
+	return m
+}
+
+// ResetMemory discards the address space and cold-resets both caches.
+func (m *Machine) ResetMemory() {
+	m.AS = vm.New()
+	m.L1I = cache.New(m.CPU.L1ISize, m.CPU.L1Assoc, m.CPU.LineSize)
+	m.L1D = cache.New(m.CPU.L1DSize, m.CPU.L1Assoc, m.CPU.LineSize)
+	m.codeFrames = nil
+	m.codeLen = 0
+}
+
+// Program is a prepared (encoded, described, address-assigned) instruction
+// sequence ready for execution and timing.
+type Program struct {
+	Insts []x86.Inst
+	// Addrs has len(Insts)+1 entries: each instruction's virtual address
+	// and the end address.
+	Addrs []uint64
+	Lens  []int
+	Descs []uarch.Desc
+}
+
+// CodeSize returns the program's encoded size in bytes — what determines
+// whether an unrolled block still fits in the instruction cache.
+func (p *Program) CodeSize() int {
+	return int(p.Addrs[len(p.Addrs)-1] - p.Addrs[0])
+}
+
+// Prepare encodes insts, maps the code pages (each to its own physical
+// frame), and resolves each instruction's micro-op description. It returns
+// uarch.UnsupportedError if the CPU cannot execute an instruction.
+func (m *Machine) Prepare(insts []x86.Inst) (*Program, error) {
+	p := &Program{Insts: insts}
+	p.Addrs = make([]uint64, 0, len(insts)+1)
+	p.Lens = make([]int, 0, len(insts))
+	p.Descs = make([]uarch.Desc, 0, len(insts))
+
+	addr := uint64(CodeBase)
+	var code []byte
+	for i := range insts {
+		raw, err := x86.Encode(insts[i])
+		if err != nil {
+			return nil, err
+		}
+		d, err := m.CPU.Describe(&insts[i])
+		if err != nil {
+			return nil, err
+		}
+		p.Addrs = append(p.Addrs, addr)
+		p.Lens = append(p.Lens, len(raw))
+		p.Descs = append(p.Descs, d)
+		addr += uint64(len(raw))
+		code = append(code, raw...)
+	}
+	p.Addrs = append(p.Addrs, addr)
+
+	m.mapCode(code)
+	return p, nil
+}
+
+// mapCode installs the code bytes at CodeBase on dedicated frames.
+func (m *Machine) mapCode(code []byte) {
+	m.codeFrames = nil
+	m.codeLen = len(code)
+	for off := 0; off < len(code) || off == 0; off += vm.PageSize {
+		frame := m.AS.NewPhysPage()
+		copy(frame.Data[:], code[off:])
+		m.AS.Map(CodeBase+uint64(off), frame)
+		m.codeFrames = append(m.codeFrames, frame)
+	}
+}
+
+// RemapCode restores the code mapping after UnmapAll.
+func (m *Machine) RemapCode() {
+	for i, frame := range m.codeFrames {
+		m.AS.Map(CodeBase+uint64(i*vm.PageSize), frame)
+	}
+}
+
+// Execute runs the program functionally on the given state, returning the
+// dynamic trace. Page faults, divide errors and alignment faults surface
+// as errors exactly as signals would.
+func (m *Machine) Execute(p *Program, st *exec.State) ([]exec.Step, error) {
+	r := &exec.Runner{State: st, AS: m.AS, Record: true}
+	r.Trace = make([]exec.Step, 0, len(p.Insts))
+	if err := r.Run(p.Insts, p.Addrs); err != nil {
+		return r.Trace, err
+	}
+	return r.Trace, nil
+}
+
+// Config controls a timing run.
+type Config struct {
+	// SwitchRate is the per-cycle context-switch probability; 0 = quiet.
+	SwitchRate float64
+	// SwitchCost is the cycle cost of one context switch.
+	SwitchCost uint64
+}
+
+// Time runs the cycle-level model over a completed trace and returns the
+// performance counters. Cache state persists across calls; use warm-up
+// runs deliberately, as the measurement protocol does.
+func (m *Machine) Time(p *Program, steps []exec.Step, cfg Config) pipeline.Counters {
+	items := m.buildItems(p, steps)
+	pcfg := pipeline.Config{SwitchRate: cfg.SwitchRate, SwitchCost: cfg.SwitchCost}
+	if cfg.SwitchRate > 0 {
+		pcfg.Rand = m.Rand
+	}
+	return pipeline.Simulate(m.CPU, items, m.L1I, m.L1D, pcfg)
+}
+
+// buildItems converts the functional trace into timed pipeline items.
+func (m *Machine) buildItems(p *Program, steps []exec.Step) []pipeline.Item {
+	items := make([]pipeline.Item, len(steps))
+	for i := range steps {
+		st := &steps[i]
+		idx := i % len(p.Insts) // traces are the program in order
+		it := &items[i]
+		it.Desc = p.Descs[idx]
+		it.Load = st.Load
+		it.Store = st.Store
+		it.Subnormal = st.Subnormal
+		it.CodeLen = p.Lens[idx]
+		if _, phys, ok := m.AS.Translate(p.Addrs[idx]); ok {
+			it.CodePhys = phys
+		}
+		it.AddrReads, it.DataReads, it.Writes = RegSets(st.Inst)
+	}
+	return items
+}
+
+// RegSets maps an instruction's register usage onto pipeline register ids:
+// 0–15 GPRs, 16–31 vector registers, 32 the flags.
+func RegSets(in *x86.Inst) (addr, data, writes []uint8) {
+	id := func(r x86.Reg) (uint8, bool) {
+		switch b := r.Base64(); b.Class() {
+		case x86.ClassGP64:
+			return uint8(b.Num()), true
+		case x86.ClassYMM:
+			return uint8(16 + b.Num()), true
+		}
+		return 0, false
+	}
+	for k, a := range in.Args {
+		switch a.Kind {
+		case x86.KindReg:
+			r, w := in.ArgIO(k)
+			// Sub-register writes merge, hence also read (RegReads models
+			// this); replicate that rule here.
+			merge := w && (a.Reg.Class() == x86.ClassGP8 || a.Reg.Class() == x86.ClassGP16)
+			if r || merge {
+				if n, ok := id(a.Reg); ok {
+					data = append(data, n)
+				}
+			}
+			if w {
+				if n, ok := id(a.Reg); ok {
+					writes = append(writes, n)
+				}
+			}
+		case x86.KindMem:
+			if n, ok := id(a.Mem.Base); ok {
+				addr = append(addr, n)
+			}
+			if n, ok := id(a.Mem.Index); ok {
+				addr = append(addr, n)
+			}
+		}
+	}
+	for _, r := range in.Op.ImplicitReads() {
+		if n, ok := id(r); ok {
+			data = append(data, n)
+		}
+	}
+	for _, r := range in.Op.ImplicitWrites() {
+		if n, ok := id(r); ok {
+			writes = append(writes, n)
+		}
+	}
+	if in.Op.ReadsFlags() {
+		data = append(data, RegFlags)
+	}
+	if in.Op.WritesFlags() {
+		writes = append(writes, RegFlags)
+	}
+	return addr, data, writes
+}
+
+// RegFlags re-exports the pipeline flags id for convenience.
+const RegFlags = pipeline.RegFlags

@@ -1,0 +1,156 @@
+package ithemal
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"bhive/internal/corpus"
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+func parse(t *testing.T, text string) *x86.Block {
+	t.Helper()
+	b, err := x86.ParseBlock(text, x86.SyntaxAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestTokenize(t *testing.T) {
+	b := parse(t, "add rax, qword ptr [rbx+rcx*8]\nvxorps %xmm2, %xmm2, %xmm2")
+	toks := Tokenize(b)
+	if len(toks) != 2 {
+		t.Fatal("one token stream per instruction")
+	}
+	// add: start, opcode, reg, memopen, base, index, memclose = 7
+	if len(toks[0]) != 7 {
+		t.Fatalf("add tokens: %v", toks[0])
+	}
+	for _, seq := range toks {
+		for _, tok := range seq {
+			if tok < 0 || tok >= VocabSize {
+				t.Fatalf("token %d out of vocabulary", tok)
+			}
+		}
+	}
+}
+
+func TestGradientsDescend(t *testing.T) {
+	// A tiny model must fit a tiny synthetic dataset: blocks of k
+	// dependent adds have throughput k.
+	var samples []Sample
+	for k := 1; k <= 6; k++ {
+		text := ""
+		for i := 0; i < k; i++ {
+			text += "add rax, rbx\n"
+		}
+		samples = append(samples, Sample{Block: parse(t, text), Throughput: float64(k)})
+	}
+	m := New(8, 16, 3)
+	var first, last float64
+	cfg := TrainConfig{Epochs: 60, LR: 5e-3, Seed: 1, Progress: func(e int, loss float64) {
+		if e == 0 {
+			first = loss
+		}
+		last = loss
+	}}
+	m.Train(samples, cfg)
+	if last >= first/4 {
+		t.Fatalf("loss must drop: %f -> %f", first, last)
+	}
+	// Ordering must be learned.
+	p1, _ := m.Predict(samples[0].Block)
+	p6, _ := m.Predict(samples[5].Block)
+	if p1 >= p6 {
+		t.Fatalf("longer chain must predict slower: %f vs %f", p1, p6)
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	m := New(8, 16, 5)
+	b := parse(t, "add rax, rbx\nmov rcx, qword ptr [rsp]")
+	before, err := m.Predict(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := m2.Predict(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before-after) > 1e-12 {
+		t.Fatalf("weights must roundtrip: %f vs %f", before, after)
+	}
+}
+
+func TestPredictEmptyBlockErrors(t *testing.T) {
+	m := New(8, 16, 1)
+	if _, err := m.Predict(&x86.Block{}); err == nil {
+		t.Fatal("empty block must error")
+	}
+}
+
+func TestTrainOnMeasuredCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training run")
+	}
+	// End-to-end: train on a small measured corpus and beat a naive
+	// constant predictor by a wide margin.
+	recs := corpus.GenerateAll(0.0008, 11)
+	prof := profiler.New(uarch.Haswell(), profiler.DefaultOptions())
+	var samples []Sample
+	var meanTP float64
+	for i := range recs {
+		r := prof.Profile(recs[i].Block)
+		if r.Status == profiler.StatusOK && r.Throughput > 0 {
+			samples = append(samples, Sample{Block: recs[i].Block, Throughput: r.Throughput})
+			meanTP += r.Throughput
+		}
+	}
+	meanTP /= float64(len(samples))
+	m := New(16, 32, 1)
+	m.Train(samples, TrainConfig{Epochs: 8, LR: 1e-3, Seed: 1})
+
+	var modelErr, constErr float64
+	for _, s := range samples {
+		p, err := m.Predict(s.Block)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modelErr += math.Abs(p-s.Throughput) / s.Throughput
+		constErr += math.Abs(meanTP-s.Throughput) / s.Throughput
+	}
+	modelErr /= float64(len(samples))
+	constErr /= float64(len(samples))
+	t.Logf("model err %.3f vs constant %.3f over %d samples", modelErr, constErr, len(samples))
+	if modelErr > constErr/2 {
+		t.Fatalf("LSTM (%.3f) must beat the constant baseline (%.3f)", modelErr, constErr)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	samples := []Sample{
+		{Block: parse(t, "add rax, rbx"), Throughput: 1},
+		{Block: parse(t, "imul rax, rbx"), Throughput: 3},
+	}
+	m1 := New(8, 16, 2)
+	m1.Train(samples, TrainConfig{Epochs: 5, LR: 1e-3, Seed: 3})
+	m2 := New(8, 16, 2)
+	m2.Train(samples, TrainConfig{Epochs: 5, LR: 1e-3, Seed: 3})
+	p1, _ := m1.Predict(samples[0].Block)
+	p2, _ := m2.Predict(samples[0].Block)
+	if p1 != p2 {
+		t.Fatal("training must be deterministic under a fixed seed")
+	}
+}

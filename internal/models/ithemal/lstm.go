@@ -1,0 +1,156 @@
+package ithemal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// param is one tensor with its gradient and Adam moments.
+type param struct {
+	w, g, m, v []float64
+}
+
+func newParam(n int, scale float64, rng *rand.Rand) *param {
+	p := &param{
+		w: make([]float64, n),
+		g: make([]float64, n),
+		m: make([]float64, n),
+		v: make([]float64, n),
+	}
+	for i := range p.w {
+		p.w[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return p
+}
+
+// adamStep applies one Adam update with the given step count.
+func (p *param) adamStep(lr float64, t int) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	bc1 := 1 - math.Pow(beta1, float64(t))
+	bc2 := 1 - math.Pow(beta2, float64(t))
+	for i := range p.w {
+		g := p.g[i]
+		p.m[i] = beta1*p.m[i] + (1-beta1)*g
+		p.v[i] = beta2*p.v[i] + (1-beta2)*g*g
+		p.w[i] -= lr * (p.m[i] / bc1) / (math.Sqrt(p.v[i]/bc2) + eps)
+		p.g[i] = 0
+	}
+}
+
+// lstm is a single-layer LSTM with input size in and hidden size hid.
+// Weights are stored as wx [4*hid x in], wh [4*hid x hid], b [4*hid] with
+// gate order (input, forget, cell, output).
+type lstm struct {
+	in, hid   int
+	wx, wh, b *param
+}
+
+func newLSTM(in, hid int, rng *rand.Rand) *lstm {
+	scale := 1 / math.Sqrt(float64(in+hid))
+	l := &lstm{in: in, hid: hid}
+	l.wx = newParam(4*hid*in, scale, rng)
+	l.wh = newParam(4*hid*hid, scale, rng)
+	l.b = newParam(4*hid, 0, rng)
+	// Forget-gate bias starts positive so early training remembers.
+	for i := hid; i < 2*hid; i++ {
+		l.b.w[i] = 1
+	}
+	return l
+}
+
+// lstmStep caches one timestep's activations for backprop.
+type lstmStep struct {
+	x, hPrev, cPrev []float64
+	i, f, g, o      []float64
+	c, tanhC, h     []float64
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// forward computes one step and returns the cache.
+func (l *lstm) forward(x, hPrev, cPrev []float64) *lstmStep {
+	H := l.hid
+	s := &lstmStep{
+		x: x, hPrev: hPrev, cPrev: cPrev,
+		i: make([]float64, H), f: make([]float64, H),
+		g: make([]float64, H), o: make([]float64, H),
+		c: make([]float64, H), tanhC: make([]float64, H), h: make([]float64, H),
+	}
+	for gate := 0; gate < 4; gate++ {
+		for j := 0; j < H; j++ {
+			row := gate*H + j
+			z := l.b.w[row]
+			wx := l.wx.w[row*l.in:]
+			for k, xv := range x {
+				z += wx[k] * xv
+			}
+			wh := l.wh.w[row*H:]
+			for k, hv := range hPrev {
+				z += wh[k] * hv
+			}
+			switch gate {
+			case 0:
+				s.i[j] = sigmoid(z)
+			case 1:
+				s.f[j] = sigmoid(z)
+			case 2:
+				s.g[j] = math.Tanh(z)
+			case 3:
+				s.o[j] = sigmoid(z)
+			}
+		}
+	}
+	for j := 0; j < H; j++ {
+		s.c[j] = s.f[j]*cPrev[j] + s.i[j]*s.g[j]
+		s.tanhC[j] = math.Tanh(s.c[j])
+		s.h[j] = s.o[j] * s.tanhC[j]
+	}
+	return s
+}
+
+// backward accumulates gradients for one step given dh/dc flowing from
+// above, returning dx, dhPrev, dcPrev.
+func (l *lstm) backward(s *lstmStep, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+	H := l.hid
+	dx = make([]float64, l.in)
+	dhPrev = make([]float64, H)
+	dcPrev = make([]float64, H)
+
+	dz := make([]float64, 4*H)
+	for j := 0; j < H; j++ {
+		do := dh[j] * s.tanhC[j]
+		dcj := dc[j] + dh[j]*s.o[j]*(1-s.tanhC[j]*s.tanhC[j])
+		di := dcj * s.g[j]
+		df := dcj * s.cPrev[j]
+		dg := dcj * s.i[j]
+		dcPrev[j] = dcj * s.f[j]
+
+		dz[0*H+j] = di * s.i[j] * (1 - s.i[j])
+		dz[1*H+j] = df * s.f[j] * (1 - s.f[j])
+		dz[2*H+j] = dg * (1 - s.g[j]*s.g[j])
+		dz[3*H+j] = do * s.o[j] * (1 - s.o[j])
+	}
+
+	for row := 0; row < 4*H; row++ {
+		d := dz[row]
+		if d == 0 {
+			continue
+		}
+		l.b.g[row] += d
+		wx := l.wx.w[row*l.in:]
+		gx := l.wx.g[row*l.in:]
+		for k, xv := range s.x {
+			gx[k] += d * xv
+			dx[k] += d * wx[k]
+		}
+		wh := l.wh.w[row*H:]
+		gh := l.wh.g[row*H:]
+		for k, hv := range s.hPrev {
+			gh[k] += d * hv
+			dhPrev[k] += d * wh[k]
+		}
+	}
+	return dx, dhPrev, dcPrev
+}
+
+func (l *lstm) params() []*param { return []*param{l.wx, l.wh, l.b} }

@@ -1,0 +1,66 @@
+// Package ithemal implements the learned throughput predictor of the
+// paper's evaluation: a hierarchical LSTM in the style of Ithemal. A
+// token-level LSTM folds each instruction's canonicalized token stream
+// into an instruction embedding; an instruction-level LSTM folds those
+// into a block embedding; a linear head regresses the block's
+// cycles-per-iteration. The network, backpropagation-through-time and the
+// Adam optimizer are implemented from scratch on float64 slices.
+package ithemal
+
+import "bhive/internal/x86"
+
+// Token space: opcode tokens, register-identity tokens (by full-width
+// alias), and structural markers.
+const (
+	tokPad = iota
+	tokInstStart
+	tokMemOpen
+	tokMemClose
+	tokImm
+	tokOpBase  // + op number
+	tokRegBase = tokOpBase + int(x86.NumOps)
+	numRegTok  = 33 // 16 GPR + 16 vector + flags (unused but reserved)
+	// VocabSize is the number of distinct tokens.
+	VocabSize = tokRegBase + numRegTok
+)
+
+func regToken(r x86.Reg) (int, bool) {
+	switch b := r.Base64(); b.Class() {
+	case x86.ClassGP64:
+		return tokRegBase + b.Num(), true
+	case x86.ClassYMM:
+		return tokRegBase + 16 + b.Num(), true
+	}
+	return 0, false
+}
+
+// Tokenize canonicalizes a basic block into per-instruction token
+// sequences (the hierarchy the two LSTMs consume).
+func Tokenize(b *x86.Block) [][]int {
+	out := make([][]int, 0, len(b.Insts))
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		toks := []int{tokInstStart, tokOpBase + int(in.Op)}
+		for _, a := range in.Args {
+			switch a.Kind {
+			case x86.KindReg:
+				if t, ok := regToken(a.Reg); ok {
+					toks = append(toks, t)
+				}
+			case x86.KindImm:
+				toks = append(toks, tokImm)
+			case x86.KindMem:
+				toks = append(toks, tokMemOpen)
+				if t, ok := regToken(a.Mem.Base); ok {
+					toks = append(toks, t)
+				}
+				if t, ok := regToken(a.Mem.Index); ok {
+					toks = append(toks, t)
+				}
+				toks = append(toks, tokMemClose)
+			}
+		}
+		out = append(out, toks)
+	}
+	return out
+}

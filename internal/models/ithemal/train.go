@@ -1,0 +1,75 @@
+package ithemal
+
+import (
+	"math"
+	"math/rand"
+
+	"bhive/internal/x86"
+)
+
+// Sample is one training example: a block and its measured throughput.
+type Sample struct {
+	Block      *x86.Block
+	Throughput float64
+}
+
+// TrainConfig controls training.
+type TrainConfig struct {
+	Epochs int
+	LR     float64
+	Seed   int64
+	// Progress, when non-nil, receives the mean training loss per epoch.
+	Progress func(epoch int, loss float64)
+}
+
+// DefaultTrainConfig mirrors the scale of the paper's training runs,
+// adapted to the simulated corpus.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 14, LR: 1e-3, Seed: 1}
+}
+
+// Train fits the model to the samples with per-example Adam steps on the
+// squared error of log-throughput. The heavy skew of the corpus toward
+// non-vectorized blocks is left as-is — this is exactly the training-set
+// imbalance the Ithemal authors blamed for the model's weakness on
+// vectorized (category-2) blocks.
+func (m *Model) Train(samples []Sample, cfg TrainConfig) {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 6
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 1e-3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	lr := cfg.LR
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if epoch > 0 && epoch%4 == 0 {
+			lr *= 0.5 // step decay
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var loss float64
+		n := 0
+		for _, i := range idx {
+			s := samples[i]
+			if s.Throughput <= 0 || len(s.Block.Insts) == 0 {
+				continue
+			}
+			target := math.Log(s.Throughput)
+			fc := m.forward(s.Block)
+			diff := fc.y - target
+			loss += diff * diff
+			n++
+			m.backward(fc, 2*diff)
+			m.clipGrads(5)
+			m.applyAdam(lr)
+		}
+		if cfg.Progress != nil && n > 0 {
+			cfg.Progress(epoch, loss/float64(n))
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package models implements the four basic-block throughput predictors the
+// paper validates against the measurement framework: an IACA-like port
+// simulator with vendor knowledge, an llvm-mca-like simulator driven by a
+// compiler scheduling model, an OSACA-like analytical port-pressure model
+// behind a fragile parser, and (in the ithemal subpackage) a learned LSTM
+// regressor.
+//
+// Each model carries deliberately injected, documented inaccuracies that
+// reproduce the error profiles the paper reports — confusing the 32-bit
+// divide with the 64-bit one, missing zero idioms, fusing a load with its
+// consumer so independent loads cannot be hoisted, treating
+// memory-destination immediates as NOPs, and so on.
+package models
+
+import (
+	"hash/fnv"
+
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+// Predictor predicts the steady-state inverse throughput (cycles per
+// iteration) of a basic block — IACA's definition, as used by the paper.
+type Predictor interface {
+	Name() string
+	Predict(b *x86.Block) (float64, error)
+}
+
+// ScheduleEntry is one row of a predicted execution trace (for the paper's
+// scheduling-comparison figure).
+type ScheduleEntry struct {
+	Iteration int
+	Inst      string
+	Uop       string
+	Dispatch  int64
+	Complete  int64
+}
+
+// ScheduleTracer is implemented by simulator-backed models that can report
+// the schedule they predict.
+type ScheduleTracer interface {
+	Schedule(b *x86.Block, iterations int) ([]ScheduleEntry, error)
+}
+
+// perturb deterministically scales a latency the way a hand-maintained,
+// partially wrong latency table would: a salted hash of the opcode decides
+// whether and how far this entry drifted from silicon.
+func perturb(lat uint8, op x86.Op, salt string, prob float64, strength float64) uint8 {
+	if lat == 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write([]byte(salt))
+	h.Write([]byte{byte(op), byte(op >> 8)})
+	v := h.Sum64()
+	if float64(v%1000)/1000 >= prob {
+		return lat
+	}
+	// Drift by ±strength in four steps.
+	factors := []float64{1 - strength, 1 - strength/2, 1 + strength/2, 1 + strength}
+	f := factors[(v>>10)%4]
+	out := int(float64(lat)*f + 0.5)
+	if out < 1 {
+		out = 1
+	}
+	if out > 250 {
+		out = 250
+	}
+	return uint8(out)
+}
+
+// All returns the three analytical predictors for a CPU in paper order
+// (the learned model lives in the ithemal subpackage and needs training).
+func All(cpu *uarch.CPU) []Predictor {
+	return []Predictor{NewIACA(cpu), NewLLVMMCA(cpu), NewOSACA(cpu)}
+}

@@ -1,0 +1,270 @@
+package models
+
+import (
+	"fmt"
+
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+// OSACA models the open-source analyzer: an analytical port-pressure model
+// (each micro-op spreads its reciprocal throughput evenly over its ports;
+// the block's throughput is the busiest port) refined with a loop-carried
+// dependency bound, fed by measured instruction tables, behind a fragile
+// instruction parser. The paper reports two parser-driven failure modes we
+// reproduce exactly:
+//
+//   - "any instruction that reads an immediate operand and writes to
+//     memory (e.g. add [rbx], 1)" is treated as a NOP, under-reporting
+//     many blocks;
+//   - several other forms are not recognized at all, in which case the
+//     tool cannot time the block (the '-' entries of the case study —
+//     8-bit memory accesses, as in the Gzip CRC block's xorb).
+type OSACA struct {
+	cpu *uarch.CPU
+
+	// lcdWeight discounts the loop-carried dependency bound: OSACA's
+	// latency table is optimistic.
+	lcdWeight float64
+	opts      tableOpts
+}
+
+// ErrUnsupportedForm is returned when OSACA's parser rejects a block.
+type ErrUnsupportedForm struct {
+	Inst string
+}
+
+func (e *ErrUnsupportedForm) Error() string {
+	return fmt.Sprintf("osaca: unrecognized instruction form %q", e.Inst)
+}
+
+// NewOSACA builds the OSACA-like model for a CPU.
+func NewOSACA(cpu *uarch.CPU) *OSACA {
+	return &OSACA{
+		cpu:       cpu,
+		lcdWeight: 0.60,
+		opts: tableOpts{
+			salt:            "osaca/" + cpu.Name,
+			perturbProb:     0.50,
+			perturbStrength: 0.65,
+			vecProb:         0.70,
+			vecStrength:     0.75,
+			zeroIdioms:      false,
+			moveElim:        false,
+		},
+	}
+}
+
+// Name implements Predictor.
+func (m *OSACA) Name() string { return "OSACA" }
+
+// parseCheck reproduces the parser bugs: it returns skip=true for
+// memory-destination-with-immediate forms (treated as NOPs) and an error
+// for forms the parser does not recognize.
+func parseCheck(in *x86.Inst) (skip bool, err error) {
+	// 8-bit memory operands and high-byte registers trip the parser.
+	for _, a := range in.Args {
+		if a.Kind == x86.KindMem && a.Mem.Size == 1 {
+			return false, &ErrUnsupportedForm{Inst: in.String()}
+		}
+		if a.Kind == x86.KindReg && a.Reg.IsHighByte() {
+			return false, &ErrUnsupportedForm{Inst: in.String()}
+		}
+	}
+	// Memory destination + immediate source => parsed as a NOP.
+	if len(in.Args) >= 2 && in.Args[0].Kind == x86.KindMem &&
+		in.Args[len(in.Args)-1].Kind == x86.KindImm && in.IsStore() {
+		return true, nil
+	}
+	return false, nil
+}
+
+// Predict implements Predictor.
+func (m *OSACA) Predict(b *x86.Block) (float64, error) {
+	if len(b.Insts) == 0 {
+		return 0, errEmptyBlock
+	}
+	pressure := make([]float64, m.cpu.NumPorts)
+	// Per-register dependency chains. The block is swept several times and
+	// the LCD bound is the steady-state chain *growth* per sweep: latency
+	// that does not feed the next iteration (a load whose destination is
+	// rewritten every time) must not count.
+	const nregs = 33
+	var chain [nregs]float64
+	frontEnd := 0.0
+
+	const sweeps = 4
+	var peak [sweeps + 1]float64
+	for sweep := 1; sweep <= sweeps; sweep++ {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			skip, err := parseCheck(in)
+			if err != nil {
+				return 0, err
+			}
+			if skip {
+				continue
+			}
+			d, err := m.cpu.DescribeRaw(in)
+			if err != nil {
+				return 0, err
+			}
+
+			instLat := 0.0
+			for _, u := range d.Uops {
+				if u.Class != uarch.ClassStoreAddr && u.Class != uarch.ClassStoreData {
+					lat := perturb(u.Lat, in.Op, m.opts.salt, m.effProb(u.Class), m.effStrength(u.Class))
+					instLat += float64(lat)
+				}
+				if sweep > 1 {
+					continue
+				}
+				// Port pressure: spread each µop over its ports. The
+				// reciprocal-throughput table is itself hand-measured and
+				// drifts like the latency table does.
+				cost := float64(perturb(16, in.Op, m.opts.salt+"/tp",
+					m.effProb(u.Class), m.effStrength(u.Class))) / 16
+				if u.Occupancy > 0 {
+					// Fixed reciprocal-throughput table entry for the
+					// divider: OSACA's table is not width-aware (the
+					// case-study underprediction: 12.25 vs 21.62 measured).
+					cost = 12
+					if u.Class == uarch.ClassFPDiv {
+						cost = float64(u.Occupancy)
+					}
+				}
+				if isVecClass(u.Class) {
+					// OSACA's community port tables bind each vector µop to
+					// a single port (vxorps costed as a full
+					// 1.00-throughput XOR in the case study); which port
+					// the table picked is a per-opcode accident.
+					allowed := make([]int, 0, 4)
+					for p := 0; p < m.cpu.NumPorts; p++ {
+						if u.Ports.Has(p) {
+							allowed = append(allowed, p)
+						}
+					}
+					if len(allowed) > 0 {
+						pressure[allowed[int(in.Op)%len(allowed)]] += cost
+					}
+				} else {
+					n := u.Ports.Count()
+					for p := 0; p < m.cpu.NumPorts; p++ {
+						if u.Ports.Has(p) {
+							pressure[p] += cost / float64(n)
+						}
+					}
+				}
+			}
+			if sweep == 1 {
+				frontEnd += float64(d.FusedUops)
+			}
+
+			// Propagate latency along register chains. Status flags
+			// (id 32) are excluded: renamed flags do not serialize
+			// ordinary ALU sequences.
+			addr, data, writes := regUse(in)
+			start := 0.0
+			for _, r := range data {
+				if r != 32 && chain[r] > start {
+					start = chain[r]
+				}
+			}
+			for _, r := range addr {
+				if chain[r] > start {
+					start = chain[r]
+				}
+			}
+			for _, r := range writes {
+				if r != 32 {
+					chain[r] = start + instLat
+				}
+			}
+		}
+		for _, c := range chain {
+			if c > peak[sweep] {
+				peak[sweep] = c
+			}
+		}
+	}
+	lcd := (peak[sweeps] - peak[sweeps/2]) / float64(sweeps-sweeps/2)
+
+	tp := frontEnd / float64(m.cpu.IssueWidth)
+	for _, p := range pressure {
+		if p > tp {
+			tp = p
+		}
+	}
+	if w := m.lcdWeight * lcd; w > tp {
+		tp = w
+	}
+	return tp, nil
+}
+
+func (m *OSACA) effProb(c uarch.UopClass) float64 {
+	if isVecClass(c) {
+		return m.opts.vecProb
+	}
+	return m.opts.perturbProb
+}
+
+func (m *OSACA) effStrength(c uarch.UopClass) float64 {
+	if isVecClass(c) {
+		return m.opts.vecStrength
+	}
+	return m.opts.perturbStrength
+}
+
+// regUse mirrors machine.RegSets with the 33-register id space, kept local
+// so OSACA's view stays self-contained.
+func regUse(in *x86.Inst) (addr, data, writes []uint8) {
+	id := func(r x86.Reg) (uint8, bool) {
+		switch b := r.Base64(); b.Class() {
+		case x86.ClassGP64:
+			return uint8(b.Num()), true
+		case x86.ClassYMM:
+			return uint8(16 + b.Num()), true
+		}
+		return 0, false
+	}
+	for k, a := range in.Args {
+		switch a.Kind {
+		case x86.KindReg:
+			r, w := in.ArgIO(k)
+			if r {
+				if n, ok := id(a.Reg); ok {
+					data = append(data, n)
+				}
+			}
+			if w {
+				if n, ok := id(a.Reg); ok {
+					writes = append(writes, n)
+				}
+			}
+		case x86.KindMem:
+			if n, ok := id(a.Mem.Base); ok {
+				addr = append(addr, n)
+			}
+			if n, ok := id(a.Mem.Index); ok {
+				addr = append(addr, n)
+			}
+		}
+	}
+	for _, r := range in.Op.ImplicitReads() {
+		if n, ok := id(r); ok {
+			data = append(data, n)
+		}
+	}
+	for _, r := range in.Op.ImplicitWrites() {
+		if n, ok := id(r); ok {
+			writes = append(writes, n)
+		}
+	}
+	if in.Op.ReadsFlags() {
+		data = append(data, 32)
+	}
+	if in.Op.WritesFlags() {
+		writes = append(writes, 32)
+	}
+	return addr, data, writes
+}

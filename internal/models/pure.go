@@ -1,0 +1,25 @@
+package models
+
+import (
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+// IACAPure is a calibration-only variant with no table perturbation; it
+// exposes the structural gap between the model simulator and the machine.
+type IACAPure struct{ IACA }
+
+// NewIACAPure builds the unperturbed variant (used by calibration tests).
+func NewIACAPure(cpu *uarch.CPU) *IACAPure {
+	m := NewIACA(cpu)
+	m.opts.perturbProb = 0
+	m.opts.vecProb = 0
+	m.opts.divBug = false
+	return &IACAPure{IACA: *m}
+}
+
+// Name implements Predictor.
+func (m *IACAPure) Name() string { return "IACA-pure" }
+
+var _ Predictor = (*IACAPure)(nil)
+var _ = x86.BAD

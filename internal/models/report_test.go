@@ -1,0 +1,63 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"bhive/internal/uarch"
+)
+
+func TestReportRendersAnalysis(t *testing.T) {
+	hsw := uarch.Haswell()
+	text, err := Report(hsw, parse(t, crcBlock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Block throughput:",
+		"p0", "p7",
+		"move eliminated",
+		"front-end bound:",
+		"bound:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	// The CRC block is latency-bound.
+	if !strings.Contains(text, "dependency chains") {
+		t.Errorf("CRC block should report a latency bound:\n%s", text)
+	}
+}
+
+func TestReportZeroIdiom(t *testing.T) {
+	hsw := uarch.Haswell()
+	text, err := Report(hsw, parse(t, "vxorps %xmm1, %xmm1, %xmm1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "zero idiom") {
+		t.Errorf("report must flag the idiom:\n%s", text)
+	}
+}
+
+func TestReportPortBound(t *testing.T) {
+	hsw := uarch.Haswell()
+	// Ten independent FMAs on two ports: clearly backend-port bound.
+	var sb strings.Builder
+	for i := 0; i < 10; i++ {
+		sb.WriteString("vfmadd231ps %ymm10, %ymm11, %ymm")
+		sb.WriteByte(byte('0' + i))
+		sb.WriteString("\n")
+	}
+	text, err := Report(hsw, parse(t, sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "backend port") {
+		t.Errorf("FMA stream should be port bound:\n%s", text)
+	}
+	if _, err := Report(hsw, parse(t, "nop")); err != nil {
+		t.Fatalf("nop block: %v", err)
+	}
+}

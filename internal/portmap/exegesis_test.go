@@ -1,0 +1,166 @@
+package portmap
+
+import (
+	"math"
+	"testing"
+
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+func tmpl(t *testing.T, text string) x86.Inst {
+	t.Helper()
+	in, err := x86.ParseInst(text, x86.SyntaxIntel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestMeasureLatencyKnownValues(t *testing.T) {
+	hsw := uarch.Haswell()
+	cases := []struct {
+		text string
+		want float64
+	}{
+		{"add rax, rbx", 1},
+		{"imul rax, rbx", 3},
+		{"addss xmm0, xmm1", 3}, // Haswell FP add
+		{"mulps xmm0, xmm1", 5}, // Haswell FP mul
+		{"shl rax, 3", 1},
+		{"pshufd xmm0, xmm1, 0x1b", 1},
+	}
+	for _, c := range cases {
+		got, err := MeasureLatency(hsw, tmpl(t, c.text))
+		if err != nil {
+			t.Fatalf("%s: %v", c.text, err)
+		}
+		if math.Abs(got-c.want) > 0.35 {
+			t.Errorf("%s: measured latency %.2f, want ~%.0f", c.text, got, c.want)
+		}
+	}
+}
+
+func TestMeasureLatencySkylakeDiffers(t *testing.T) {
+	// FP add: 3 cycles on Haswell, 4 on Skylake — the measured tables must
+	// reflect the microarchitecture.
+	in := tmpl(t, "addss xmm0, xmm1")
+	hsw, err := MeasureLatency(uarch.Haswell(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skl, err := MeasureLatency(uarch.Skylake(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hsw < skl) {
+		t.Fatalf("hsw %.2f, skl %.2f", hsw, skl)
+	}
+}
+
+func TestMeasureThroughputKnownValues(t *testing.T) {
+	hsw := uarch.Haswell()
+	cases := []struct {
+		text    string
+		atMost  float64
+		atLeast float64
+	}{
+		{"add rax, rbx", 0.5, 0.2},     // 4 ALU ports, 4-wide front end
+		{"imul rax, rbx", 1.3, 0.8},    // single multiplier port
+		{"mulps xmm0, xmm1", 0.8, 0.4}, // two FP multiply ports
+		{"addss xmm0, xmm1", 1.3, 0.8}, // one FP adder on Haswell
+	}
+	for _, c := range cases {
+		got, err := MeasureThroughput(hsw, tmpl(t, c.text))
+		if err != nil {
+			t.Fatalf("%s: %v", c.text, err)
+		}
+		if got > c.atMost || got < c.atLeast {
+			t.Errorf("%s: rthroughput %.2f outside [%.2f, %.2f]", c.text, got, c.atLeast, c.atMost)
+		}
+	}
+}
+
+func TestLatencyExceedsThroughput(t *testing.T) {
+	// For any pipelined instruction, chain latency >= reciprocal
+	// throughput.
+	hsw := uarch.Haswell()
+	for _, in := range DefaultTemplates() {
+		lat, err := MeasureLatency(hsw, in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.String(), err)
+		}
+		tp, err := MeasureThroughput(hsw, in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.String(), err)
+		}
+		if lat+0.2 < tp {
+			t.Errorf("%s: latency %.2f < rthroughput %.2f", in.String(), lat, tp)
+		}
+	}
+}
+
+func TestLatencyChainShapes(t *testing.T) {
+	// RMW destination: chain through the destination register.
+	chain, err := LatencyChain(tmpl(t, "shl rax, 3"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chain {
+		if chain[i].Args[0].Reg != x86.RAX {
+			t.Fatal("RMW chain must reuse the destination")
+		}
+	}
+	// Write-only destination: alternate and wire the source.
+	chain, err = LatencyChain(tmpl(t, "sqrtss xmm0, xmm1"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain[0].Args[0].Reg == chain[1].Args[0].Reg {
+		t.Fatal("write-only chain must alternate destinations")
+	}
+	if chain[1].Args[1].Reg != chain[0].Args[0].Reg {
+		t.Fatal("each link must consume the previous destination")
+	}
+	// Zero-idiom shapes must not appear: xor chain keeps distinct regs.
+	chain, err = LatencyChain(tmpl(t, "xor rax, rax"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chain {
+		if chain[i].Args[0].Reg == chain[i].Args[1].Reg {
+			t.Fatal("chain must avoid zero idioms")
+		}
+	}
+}
+
+func TestBuildTable(t *testing.T) {
+	entries, err := BuildTable(uarch.Haswell(), DefaultTemplates()[:6])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	for _, e := range entries {
+		if e.Latency <= 0 || e.RThroughput <= 0 || e.Ports == 0 {
+			t.Errorf("%s: incomplete entry %+v", e.Inst, e)
+		}
+	}
+}
+
+func TestAllTemplatesCoverTheISA(t *testing.T) {
+	templates := AllTemplates()
+	if len(templates) < 120 {
+		t.Fatalf("expected broad ISA coverage, got %d templates", len(templates))
+	}
+	// Every template must be measurable end to end on Haswell (throughput
+	// only; latency chains need a register source, which pure-write ops
+	// like set/cmov-from-flags may lack).
+	hsw := uarch.Haswell()
+	for _, tm := range templates[:40] {
+		if _, err := MeasureThroughput(hsw, tm); err != nil {
+			t.Errorf("%s: %v", tm.String(), err)
+		}
+	}
+}

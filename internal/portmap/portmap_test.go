@@ -1,0 +1,84 @@
+package portmap
+
+import (
+	"testing"
+
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+// TestInferMatchesTables validates the measurement-based inference against
+// the parameter tables: for a spread of register-only instructions, the
+// rediscovered port combination must equal the table's.
+func TestInferMatchesTables(t *testing.T) {
+	hsw := uarch.Haswell()
+	cases := []string{
+		"add rax, rbx",            // p0156
+		"imul rax, rbx",           // p1
+		"shl rax, 3",              // p06
+		"pshufd xmm0, xmm1, 0x1b", // p5
+		"mulps xmm0, xmm1",        // p01
+		"paddd xmm0, xmm1",        // p15
+		"pslld xmm0, 4",           // p0
+	}
+	for _, text := range cases {
+		in, err := x86.ParseInst(text, x86.SyntaxIntel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := hsw.DescribeRaw(&in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Infer(hsw, in)
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if res.Ports != want.Uops[0].Ports {
+			t.Errorf("%s: inferred %v, table says %v (per-port %v)",
+				text, res.Ports, want.Uops[0].Ports, res.PerPort[:8])
+		}
+		if res.UopsPer < 0.9 || res.UopsPer > 1.1 {
+			t.Errorf("%s: µops/inst = %.2f", text, res.UopsPer)
+		}
+	}
+}
+
+func TestInferDifferentArch(t *testing.T) {
+	// The same instruction maps differently on Ivy Bridge (3 ALU ports)
+	// vs Haswell (4).
+	in, _ := x86.ParseInst("add rax, rbx", x86.SyntaxIntel)
+	ivb, err := Infer(uarch.IvyBridge(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hsw, err := Infer(uarch.Haswell(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ivb.Ports.Count() != 3 || hsw.Ports.Count() != 4 {
+		t.Fatalf("ivb=%v hsw=%v", ivb.Ports, hsw.Ports)
+	}
+}
+
+func TestMicrobenchmarkIndependence(t *testing.T) {
+	in, _ := x86.ParseInst("imul rax, rbx", x86.SyntaxIntel)
+	bench, err := Microbenchmark(in, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsts := map[x86.Reg]bool{}
+	for i := range bench {
+		dsts[bench[i].Args[0].Reg] = true
+	}
+	if len(dsts) < 4 {
+		t.Fatalf("destinations not rotated: %v", dsts)
+	}
+}
+
+func TestInferRejectsMemoryTemplates(t *testing.T) {
+	in, _ := x86.ParseInst("add qword ptr [rax], 1", x86.SyntaxIntel)
+	if _, err := Microbenchmark(in, 4); err == nil {
+		t.Fatal("memory-destination templates are out of scope (as in llvm-exegesis)")
+	}
+}

@@ -1,0 +1,460 @@
+// Package profiler implements the BHive measurement framework: it profiles
+// the steady-state throughput (cycles per iteration) of arbitrary x86-64
+// basic blocks against the simulated machine.
+//
+// The methodology follows the paper:
+//
+//  1. A monitor intercepts the page faults of a measurement run, maps every
+//     virtual page the block touches onto one chosen physical page, and
+//     restarts the block from a re-initialized state, so the final trace of
+//     addresses is identical to the mapping run's.
+//  2. Registers and the physical page are initialized with a moderately
+//     sized constant (0x12345600) so loaded values are usable pointers.
+//  3. MXCSR is set to FTZ/DAZ to suppress gradual-underflow slowdowns.
+//  4. Throughput is derived from two unroll factors:
+//     (cycles(b,u) − cycles(b,u')) / (u − u'), which reaches steady state
+//     without overflowing the instruction cache on large blocks.
+//  5. A measurement is rejected unless the performance counters show zero
+//     L1 data misses, zero L1 instruction misses, zero context switches and
+//     zero cache-line-splitting accesses, and at least 8 of 16 samples are
+//     clean and identical.
+//
+// Every technique can be disabled individually, which is how the paper's
+// ablation tables are regenerated.
+package profiler
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"bhive/internal/exec"
+	"bhive/internal/machine"
+	"bhive/internal/pipeline"
+	"bhive/internal/uarch"
+	"bhive/internal/vm"
+	"bhive/internal/x86"
+)
+
+// InitPattern is the "moderately sized constant" used to initialize
+// registers and memory.
+const InitPattern = 0x12345600
+
+// Options selects which measurement techniques are active.
+type Options struct {
+	// InitRegisters seeds all registers (and the physical page) with
+	// InitPattern. Off in the Agner-script baseline.
+	InitRegisters bool
+	// MapPages runs the monitor that maps faulting pages. Off in the
+	// baseline, where any memory access crashes the measurement.
+	MapPages bool
+	// SinglePhysPage maps every faulting virtual page to one physical
+	// page; otherwise each virtual page gets its own frame (which defeats
+	// the guaranteed-L1-hit property).
+	SinglePhysPage bool
+	// DerivedThroughput uses the two-unroll-factor formula; otherwise a
+	// single naive unroll of NaiveUnroll copies is timed and divided.
+	DerivedThroughput bool
+	// DisableSubnormals sets MXCSR FTZ/DAZ during measurement.
+	DisableSubnormals bool
+	// FilterMisaligned rejects measurements with line-splitting accesses.
+	FilterMisaligned bool
+
+	NaiveUnroll     int // unroll factor for the naive method (paper: 100)
+	MaxFaults       int // monitor gives up after this many mapped pages
+	Samples         int // timings taken per unrolled program (paper: 16)
+	MinCleanSamples int // identical clean timings required (paper: 8)
+
+	// SwitchRate/SwitchCost model timer-interrupt noise per cycle.
+	SwitchRate float64
+	SwitchCost uint64
+
+	// RealSampleNoise runs every one of the Samples timing runs through
+	// the cycle-level model with interrupt injection enabled (slow but
+	// fully faithful to the protocol). When false, the deterministic
+	// timing run is taken once and per-sample interrupt arrivals are
+	// drawn analytically — statistically equivalent, since an interrupted
+	// sample is discarded either way.
+	RealSampleNoise bool
+}
+
+// DefaultOptions is the full BHive methodology.
+func DefaultOptions() Options {
+	return Options{
+		InitRegisters:     true,
+		MapPages:          true,
+		SinglePhysPage:    true,
+		DerivedThroughput: true,
+		DisableSubnormals: true,
+		FilterMisaligned:  true,
+		NaiveUnroll:       100,
+		MaxFaults:         64,
+		Samples:           16,
+		MinCleanSamples:   8,
+		SwitchRate:        2e-7,
+		SwitchCost:        50_000,
+	}
+}
+
+// BaselineOptions is the Agner-script baseline (Table I row "None"): time
+// an unrolled copy of the block in an unmodified execution context.
+func BaselineOptions() Options {
+	o := DefaultOptions()
+	o.InitRegisters = false
+	o.MapPages = false
+	o.SinglePhysPage = false
+	o.DerivedThroughput = false
+	o.DisableSubnormals = false
+	return o
+}
+
+// MappingOptions adds page mapping but keeps naive unrolling
+// (Table I row "Mapping all accessed pages").
+func MappingOptions() Options {
+	o := DefaultOptions()
+	o.DerivedThroughput = false
+	return o
+}
+
+// Status classifies a profiling attempt.
+type Status int
+
+const (
+	// StatusOK means the block was successfully profiled: it executed,
+	// incurred no cache misses or context switches, and was reproducible.
+	StatusOK Status = iota
+	// StatusCrashed: the block faulted and could not be repaired by
+	// mapping (or mapping was disabled), or raised #DE/#GP.
+	StatusCrashed
+	// StatusUnsupported: the microarchitecture cannot execute the block.
+	StatusUnsupported
+	// StatusCacheMiss: the timed run had L1 data or instruction misses.
+	StatusCacheMiss
+	// StatusMisaligned: a load or store crossed a cache-line boundary.
+	StatusMisaligned
+	// StatusUnstable: fewer than MinCleanSamples timings were clean.
+	StatusUnstable
+)
+
+var statusNames = [...]string{
+	"ok", "crashed", "unsupported", "cache-miss", "misaligned", "unstable",
+}
+
+func (s Status) String() string {
+	if int(s) < len(statusNames) {
+		return statusNames[s]
+	}
+	return "status?"
+}
+
+// Result is the outcome of profiling one basic block.
+type Result struct {
+	Status     Status
+	Throughput float64 // cycles per iteration at steady state
+	Err        error   // the fault for StatusCrashed/StatusUnsupported
+
+	// Counters from the accepted timing run of the larger unroll factor.
+	Counters pipeline.Counters
+	// UnrollHi/UnrollLo are the unroll factors used.
+	UnrollHi, UnrollLo int
+	// PagesMapped is how many virtual pages the monitor installed.
+	PagesMapped int
+	// CleanSamples of Samples timings were interference-free.
+	CleanSamples int
+}
+
+// Profiler measures basic blocks on one microarchitecture.
+type Profiler struct {
+	CPU  *uarch.CPU
+	Opts Options
+}
+
+// New builds a profiler with the given options.
+func New(cpu *uarch.CPU, opts Options) *Profiler {
+	return &Profiler{CPU: cpu, Opts: opts}
+}
+
+// blockSeed derives a deterministic per-block RNG seed.
+func blockSeed(insts []x86.Inst) int64 {
+	h := fnv.New64a()
+	for i := range insts {
+		raw, err := x86.Encode(insts[i])
+		if err == nil {
+			h.Write(raw)
+		}
+	}
+	return int64(h.Sum64())
+}
+
+// unrollFactors picks unroll factors large enough to reach steady state
+// while keeping the unrolled code compact (the point of the derived
+// method).
+func (p *Profiler) unrollFactors(n int) (lo, hi int) {
+	if !p.Opts.DerivedThroughput {
+		u := p.Opts.NaiveUnroll
+		if u <= 0 {
+			u = 100
+		}
+		return 0, u
+	}
+	lo = (100 + n - 1) / n
+	if lo < 4 {
+		lo = 4
+	}
+	if lo > 50 {
+		lo = 50
+	}
+	return lo, 2 * lo
+}
+
+// Profile measures one basic block.
+func (p *Profiler) Profile(b *x86.Block) Result {
+	if len(b.Insts) == 0 {
+		return Result{Status: StatusCrashed}
+	}
+	seed := blockSeed(b.Insts)
+	rng := rand.New(rand.NewSource(seed))
+
+	lo, hi := p.unrollFactors(len(b.Insts))
+	res := Result{UnrollLo: lo, UnrollHi: hi}
+
+	cHi, r := p.measureUnrolled(b, hi, rng)
+	if r.Status != StatusOK {
+		r.UnrollLo, r.UnrollHi = lo, hi
+		return r
+	}
+	res.Counters = r.Counters
+	res.PagesMapped = r.PagesMapped
+	res.CleanSamples = r.CleanSamples
+
+	if !p.Opts.DerivedThroughput {
+		res.Throughput = float64(cHi) / float64(hi)
+		return res
+	}
+
+	cLo, r2 := p.measureUnrolled(b, lo, rng)
+	if r2.Status != StatusOK {
+		r2.UnrollLo, r2.UnrollHi = lo, hi
+		return r2
+	}
+	if cHi <= cLo {
+		res.Status = StatusUnstable
+		return res
+	}
+	res.Throughput = float64(cHi-cLo) / float64(hi-lo)
+	return res
+}
+
+// measureUnrolled runs the full monitor/measure protocol for one unrolled
+// program and returns the accepted cycle count.
+func (p *Profiler) measureUnrolled(b *x86.Block, unroll int, rng *rand.Rand) (uint64, Result) {
+	var res Result
+	o := &p.Opts
+
+	m := machine.New(p.CPU, int64(rng.Uint64()))
+	insts := make([]x86.Inst, 0, len(b.Insts)*unroll)
+	for i := 0; i < unroll; i++ {
+		insts = append(insts, b.Insts...)
+	}
+	prog, err := m.Prepare(insts)
+	if err != nil {
+		if _, ok := err.(*uarch.UnsupportedError); ok {
+			return 0, Result{Status: StatusUnsupported, Err: err}
+		}
+		return 0, Result{Status: StatusCrashed, Err: err}
+	}
+
+	newState := func() *exec.State {
+		st := &exec.State{}
+		if o.InitRegisters {
+			st.InitRegisters(InitPattern)
+		}
+		if o.DisableSubnormals {
+			st.FTZ, st.DAZ = true, true
+		}
+		return st
+	}
+
+	// The chosen physical page, initialized like the registers.
+	var thePage *vm.PhysPage
+	pageFor := func(addr uint64) *vm.PhysPage {
+		if o.SinglePhysPage {
+			if thePage == nil {
+				thePage = m.AS.NewPhysPage()
+				if o.InitRegisters {
+					thePage.Fill(InitPattern)
+				}
+			}
+			return thePage
+		}
+		f := m.AS.NewPhysPage()
+		if o.InitRegisters {
+			f.Fill(InitPattern)
+		}
+		return f
+	}
+
+	// Monitor loop (the paper's Figure "monitor" pseudocode): run, catch
+	// the fault, map the page, restart from a re-initialized state.
+	var steps []exec.Step
+	for {
+		steps, err = m.Execute(prog, newState())
+		if err == nil {
+			break
+		}
+		f, ok := err.(*vm.Fault)
+		if !ok || !o.MapPages {
+			return 0, Result{Status: StatusCrashed, Err: err}
+		}
+		if !vm.ValidUserAddress(f.Addr) {
+			return 0, Result{Status: StatusCrashed, Err: err}
+		}
+		if res.PagesMapped >= o.MaxFaults {
+			return 0, Result{Status: StatusCrashed, Err: err}
+		}
+		m.AS.Map(f.Addr, pageFor(f.Addr))
+		res.PagesMapped++
+	}
+
+	// Warm-up execution: after this point, all memory accesses made by the
+	// basic block are legal and (with the single-page mapping) hit L1.
+	m.Time(prog, steps, machine.Config{})
+
+	// Timed run.
+	steps, err = m.Execute(prog, newState())
+	if err != nil {
+		return 0, Result{Status: StatusCrashed, Err: err}
+	}
+	ctr := m.Time(prog, steps, machine.Config{})
+	res.Counters = ctr
+
+	// Sample acceptance. The paper times each unrolled block 16 times and
+	// requires at least 8 clean, identical timings.
+	samples := o.Samples
+	if samples <= 0 {
+		samples = 16
+	}
+	clean := 0
+	if o.RealSampleNoise {
+		// Fully faithful: every sample is a separate timing run with
+		// interrupt injection; clean samples are those with no context
+		// switch, and they must agree on the cycle count.
+		counts := make(map[uint64]int)
+		for s := 0; s < samples; s++ {
+			st, err := m.Execute(prog, newState())
+			if err != nil {
+				return 0, Result{Status: StatusCrashed, Err: err}
+			}
+			c := m.Time(prog, st, machine.Config{
+				SwitchRate: o.SwitchRate, SwitchCost: o.SwitchCost,
+			})
+			if c.ContextSwitches == 0 {
+				counts[c.Cycles]++
+			}
+		}
+		for _, n := range counts {
+			if n > clean {
+				clean = n // the largest identical clean group
+			}
+		}
+	} else {
+		// The deterministic pipeline yields identical clean timings; timer
+		// interrupts dirty individual samples at a rate proportional to
+		// the measurement length.
+		dirtyProb := 0.0
+		if o.SwitchRate > 0 {
+			dirtyProb = 1 - math.Exp(-o.SwitchRate*float64(ctr.Cycles))
+		}
+		for s := 0; s < samples; s++ {
+			if rng.Float64() >= dirtyProb {
+				clean++
+			}
+		}
+	}
+	res.CleanSamples = clean
+	minClean := o.MinCleanSamples
+	if minClean <= 0 {
+		minClean = 8
+	}
+	if clean < minClean {
+		res.Status = StatusUnstable
+		return 0, res
+	}
+
+	// Modeling-assumption enforcement.
+	if ctr.L1DReadMisses+ctr.L1DWriteMisses > 0 || ctr.L1IMisses > 0 {
+		res.Status = StatusCacheMiss
+		return ctr.Cycles, res
+	}
+	if o.FilterMisaligned && ctr.MisalignedLoads+ctr.MisalignedStores > 0 {
+		res.Status = StatusMisaligned
+		return ctr.Cycles, res
+	}
+
+	res.Status = StatusOK
+	return ctr.Cycles, res
+}
+
+// MeasureRaw times one unrolled program without any acceptance filtering
+// and returns the raw counters — used by the per-block ablation study
+// (Table II), where even broken configurations report a number.
+func (p *Profiler) MeasureRaw(b *x86.Block, unroll int) (pipeline.Counters, error) {
+	rng := rand.New(rand.NewSource(blockSeed(b.Insts)))
+	o := &p.Opts
+
+	m := machine.New(p.CPU, int64(rng.Uint64()))
+	insts := make([]x86.Inst, 0, len(b.Insts)*unroll)
+	for i := 0; i < unroll; i++ {
+		insts = append(insts, b.Insts...)
+	}
+	prog, err := m.Prepare(insts)
+	if err != nil {
+		return pipeline.Counters{}, err
+	}
+	newState := func() *exec.State {
+		st := &exec.State{}
+		if o.InitRegisters {
+			st.InitRegisters(InitPattern)
+		}
+		if o.DisableSubnormals {
+			st.FTZ, st.DAZ = true, true
+		}
+		return st
+	}
+	var thePage *vm.PhysPage
+	mapped := 0
+	var steps []exec.Step
+	for {
+		steps, err = m.Execute(prog, newState())
+		if err == nil {
+			break
+		}
+		f, ok := err.(*vm.Fault)
+		if !ok || !o.MapPages || !vm.ValidUserAddress(f.Addr) || mapped > o.MaxFaults {
+			return pipeline.Counters{}, err
+		}
+		var frame *vm.PhysPage
+		if o.SinglePhysPage {
+			if thePage == nil {
+				thePage = m.AS.NewPhysPage()
+				if o.InitRegisters {
+					thePage.Fill(InitPattern)
+				}
+			}
+			frame = thePage
+		} else {
+			frame = m.AS.NewPhysPage()
+			if o.InitRegisters {
+				frame.Fill(InitPattern)
+			}
+		}
+		m.AS.Map(f.Addr, frame)
+		mapped++
+	}
+	m.Time(prog, steps, machine.Config{})
+	steps, err = m.Execute(prog, newState())
+	if err != nil {
+		return pipeline.Counters{}, err
+	}
+	return m.Time(prog, steps, machine.Config{}), nil
+}

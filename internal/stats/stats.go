@@ -1,0 +1,226 @@
+// Package stats provides the evaluation metrics of the paper: relative
+// error, unweighted and frequency-weighted averages, and Kendall's tau
+// (the fraction of pairwise throughput orderings a model preserves).
+package stats
+
+import "sort"
+
+// RelError is the paper's error metric: |predicted − measured| / measured.
+func RelError(predicted, measured float64) float64 {
+	if measured == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return 1
+	}
+	d := predicted - measured
+	if d < 0 {
+		d = -d
+	}
+	if measured < 0 {
+		measured = -measured
+	}
+	return d / measured
+}
+
+// Mean returns the unweighted average of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// WeightedMean returns the weighted average of xs (0 if weights sum to 0).
+func WeightedMean(xs []float64, ws []uint64) float64 {
+	var s, w float64
+	for i, x := range xs {
+		s += x * float64(ws[i])
+		w += float64(ws[i])
+	}
+	if w == 0 {
+		return 0
+	}
+	return s / w
+}
+
+// KendallTau computes Kendall's tau-a between two value sequences: the
+// difference between concordant and discordant pair fractions. The paper
+// reports it as "the fraction of pairwise throughput ordering preserved",
+// so values near 1 are good. Knight's O(n log n) algorithm: sort by the
+// first sequence and count inversions of the second with a merge sort,
+// discounting tied pairs.
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0
+	}
+	type pair struct{ a, b float64 }
+	ps := make([]pair, n)
+	for i := range ps {
+		ps[i] = pair{a[i], b[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].a != ps[j].a {
+			return ps[i].a < ps[j].a
+		}
+		return ps[i].b < ps[j].b
+	})
+
+	tiePairs := func(count int64) int64 { return count * (count - 1) / 2 }
+
+	// Tie counts in a, and joint ties, from the sorted order.
+	var n1, n3 int64
+	for i := 0; i < n; {
+		j := i
+		for j < n && ps[j].a == ps[i].a {
+			j++
+		}
+		n1 += tiePairs(int64(j - i))
+		for k := i; k < j; {
+			m := k
+			for m < j && ps[m].b == ps[k].b {
+				m++
+			}
+			n3 += tiePairs(int64(m - k))
+			k = m
+		}
+		i = j
+	}
+
+	// Tie counts in b.
+	bs := make([]float64, n)
+	for i := range ps {
+		bs[i] = ps[i].b
+	}
+	sorted := append([]float64(nil), bs...)
+	sort.Float64s(sorted)
+	var n2 int64
+	for i := 0; i < n; {
+		j := i
+		for j < n && sorted[j] == sorted[i] {
+			j++
+		}
+		n2 += tiePairs(int64(j - i))
+		i = j
+	}
+
+	// Count strict inversions of bs with a merge sort.
+	inv := countInversions(bs, make([]float64, n))
+
+	n0 := tiePairs(int64(n))
+	discordant := inv
+	concordant := n0 - n1 - n2 + n3 - inv
+	return float64(concordant-discordant) / float64(n0)
+}
+
+// countInversions counts pairs i<j with xs[i] > xs[j] (strictly), in
+// O(n log n) via merge sort. xs is sorted in place; buf is scratch.
+func countInversions(xs, buf []float64) int64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := countInversions(xs[:mid], buf) + countInversions(xs[mid:], buf)
+	// Merge, counting how many elements of the left half exceed each
+	// element of the right half.
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if xs[i] <= xs[j] {
+			buf[k] = xs[i]
+			i++
+		} else {
+			inv += int64(mid - i)
+			buf[k] = xs[j]
+			j++
+		}
+		k++
+	}
+	for i < mid {
+		buf[k] = xs[i]
+		i++
+		k++
+	}
+	for j < n {
+		buf[k] = xs[j]
+		j++
+		k++
+	}
+	copy(xs, buf[:n])
+	return inv
+}
+
+// kendallTauNaive is the O(n²) reference implementation, kept for
+// property-testing the fast path.
+func kendallTauNaive(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0
+	}
+	var concordant, discordant int64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da := a[i] - a[j]
+			db := b[i] - b[j]
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := int64(n) * int64(n-1) / 2
+	return float64(concordant-discordant) / float64(pairs)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := p / 100 * float64(len(sorted)-1)
+	lo := int(idx)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Summary aggregates per-block errors for one (model, slice) cell.
+type Summary struct {
+	N             int
+	MeanError     float64
+	WeightedError float64
+	Median        float64
+	P90           float64
+	Tau           float64
+}
+
+// Summarize builds a Summary from parallel prediction/measurement/weight
+// slices.
+func Summarize(pred, meas []float64, weights []uint64) Summary {
+	errs := make([]float64, len(pred))
+	for i := range pred {
+		errs[i] = RelError(pred[i], meas[i])
+	}
+	s := Summary{
+		N:         len(pred),
+		MeanError: Mean(errs),
+		Median:    Percentile(errs, 50),
+		P90:       Percentile(errs, 90),
+		Tau:       KendallTau(pred, meas),
+	}
+	if weights != nil {
+		s.WeightedError = WeightedMean(errs, weights)
+	}
+	return s
+}

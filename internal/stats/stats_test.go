@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelError(t *testing.T) {
+	if got := RelError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("got %f", got)
+	}
+	if got := RelError(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("got %f", got)
+	}
+	if RelError(0, 0) != 0 || RelError(5, 0) != 1 {
+		t.Fatal("zero-measured conventions")
+	}
+}
+
+func TestRelErrorProperties(t *testing.T) {
+	// Non-negativity and exactness at equality, for arbitrary inputs.
+	f := func(p, m float64) bool {
+		if math.IsNaN(p) || math.IsNaN(m) || math.IsInf(p, 0) || math.IsInf(m, 0) {
+			return true
+		}
+		e := RelError(p, m)
+		if e < 0 {
+			return false
+		}
+		return RelError(m, m) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	got := WeightedMean([]float64{1, 3}, []uint64{3, 1})
+	if math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("weighted mean %f", got)
+	}
+	if WeightedMean([]float64{1}, []uint64{0}) != 0 {
+		t.Fatal("zero weights")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if got := KendallTau(a, a); got != 1 {
+		t.Fatalf("identical rankings: %f", got)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if got := KendallTau(a, rev); got != -1 {
+		t.Fatalf("reversed rankings: %f", got)
+	}
+	if KendallTau(a, a[:3]) != 0 {
+		t.Fatal("length mismatch returns 0")
+	}
+}
+
+func TestKendallTauNoise(t *testing.T) {
+	// A noisy monotone relationship keeps tau high; random data stays
+	// near zero.
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	x := make([]float64, n)
+	noisy := make([]float64, n)
+	random := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i)
+		noisy[i] = float64(i) + rng.NormFloat64()*5
+		random[i] = rng.Float64()
+	}
+	if tau := KendallTau(x, noisy); tau < 0.8 {
+		t.Fatalf("noisy monotone tau = %f", tau)
+	}
+	if tau := KendallTau(x, random); math.Abs(tau) > 0.15 {
+		t.Fatalf("random tau = %f", tau)
+	}
+}
+
+func TestKendallTauLargeExact(t *testing.T) {
+	n := 200000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i)
+	}
+	if got := KendallTau(a, b); got != 1 {
+		t.Fatalf("exact tau on identical rankings = %f", got)
+	}
+	// One swapped adjacent pair removes exactly one concordant pair.
+	b[0], b[1] = b[1], b[0]
+	want := 1 - 2/float64(int64(n)*int64(n-1)/2)
+	if got := KendallTau(a, b); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("tau after one swap = %.15f, want %.15f", got, want)
+	}
+}
+
+// TestKendallTauMatchesNaive property-tests Knight's O(n log n) algorithm
+// against the quadratic reference, including ties.
+func TestKendallTauMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(60)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			// Small integer ranges generate plenty of ties.
+			a[i] = float64(rng.Intn(8))
+			b[i] = float64(rng.Intn(8))
+		}
+		fast, slow := KendallTau(a, b), kendallTauNaive(a, b)
+		if math.Abs(fast-slow) > 1e-12 {
+			t.Fatalf("trial %d: fast %.12f != naive %.12f (a=%v b=%v)",
+				trial, fast, slow, a, b)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 4 {
+		t.Fatal("extremes")
+	}
+	if got := Percentile(xs, 50); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("median %f", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	pred := []float64{1, 2, 4}
+	meas := []float64{1, 2, 2}
+	s := Summarize(pred, meas, []uint64{1, 1, 2})
+	if s.N != 3 {
+		t.Fatal("n")
+	}
+	if math.Abs(s.MeanError-1.0/3) > 1e-12 {
+		t.Fatalf("mean error %f", s.MeanError)
+	}
+	if math.Abs(s.WeightedError-0.5) > 1e-12 {
+		t.Fatalf("weighted error %f", s.WeightedError)
+	}
+	if s.Tau < 0.5 {
+		t.Fatalf("tau %f", s.Tau)
+	}
+}

@@ -1,0 +1,38 @@
+package uarch
+
+import "sort"
+
+// PortCombinations returns the distinct execution-port combinations that
+// micro-ops can use on this CPU, sorted by their notation. This is the
+// vocabulary of the basic-block topic model: on Haswell there are exactly
+// 13 combinations, matching the count reported in the paper (which takes
+// its mapping from Abel and Reineke).
+func (c *CPU) PortCombinations() []PortSet {
+	all := []PortSet{
+		c.intALUPorts, c.shiftPorts, c.shiftCLPorts, c.leaPorts, c.mulPorts,
+		c.divPorts, c.vecALUPorts, c.vecLogPorts, c.vecMulPorts,
+		c.vecShiftPort, c.vecCmpPorts, c.fpAddPorts, c.fpMulPorts,
+		c.shufflePorts, c.transferPort, c.branchPorts,
+		c.LoadPorts, c.StoreAddrPorts, c.StoreDataPorts,
+	}
+	seen := make(map[PortSet]bool, len(all))
+	var out []PortSet
+	for _, p := range all {
+		if p != 0 && !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ComboIndex returns a map from port combination to its index in
+// PortCombinations, for building topic-model documents.
+func (c *CPU) ComboIndex() map[PortSet]int {
+	m := make(map[PortSet]int)
+	for i, p := range c.PortCombinations() {
+		m[p] = i
+	}
+	return m
+}

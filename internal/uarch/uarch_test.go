@@ -1,0 +1,366 @@
+package uarch
+
+import (
+	"testing"
+
+	"bhive/internal/x86"
+)
+
+func parse(t *testing.T, text string) *x86.Inst {
+	t.Helper()
+	in, err := x86.ParseInst(text, x86.SyntaxAuto)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return &in
+}
+
+func TestHaswellPortCombinationCount(t *testing.T) {
+	combos := Haswell().PortCombinations()
+	if len(combos) != 13 {
+		names := make([]string, len(combos))
+		for i, c := range combos {
+			names[i] = c.String()
+		}
+		t.Fatalf("Haswell must expose exactly 13 port combinations (paper); got %d: %v",
+			len(combos), names)
+	}
+}
+
+func TestPortSetString(t *testing.T) {
+	if got := Ports(0, 1, 5, 6).String(); got != "p0156" {
+		t.Fatalf("got %s", got)
+	}
+	if got := Ports(2, 3, 7).String(); got != "p237" {
+		t.Fatalf("got %s", got)
+	}
+	if Ports(0, 1).Count() != 2 {
+		t.Fatal("count")
+	}
+	if !Ports(4).Has(4) || Ports(4).Has(3) {
+		t.Fatal("has")
+	}
+}
+
+func TestZeroIdioms(t *testing.T) {
+	hsw := Haswell()
+	for _, text := range []string{
+		"xor eax, eax",
+		"sub rbx, rbx",
+		"pxor xmm1, xmm1",
+		"xorps xmm0, xmm0",
+		"vxorps %xmm2, %xmm2, %xmm2",
+		"vpxor %ymm1, %ymm1, %ymm1",
+	} {
+		d, err := hsw.Describe(parse(t, text))
+		if err != nil {
+			t.Fatalf("%s: %v", text, err)
+		}
+		if !d.ZeroIdiom || len(d.Uops) != 0 || d.FusedUops != 1 {
+			t.Errorf("%s: expected zero idiom, got %+v", text, d)
+		}
+	}
+	// Not idioms: different registers.
+	d, _ := hsw.Describe(parse(t, "xor eax, ebx"))
+	if d.ZeroIdiom {
+		t.Error("xor eax, ebx is not a zero idiom")
+	}
+	d, _ = hsw.Describe(parse(t, "vxorps %xmm1, %xmm2, %xmm3"))
+	if d.ZeroIdiom {
+		t.Error("vxorps with distinct sources is not a zero idiom")
+	}
+	// pcmpeq is a ones idiom, not a zero idiom: it must still execute.
+	d, _ = hsw.Describe(parse(t, "pcmpeqb xmm1, xmm1"))
+	if d.ZeroIdiom {
+		t.Error("pcmpeqb is not a zero idiom")
+	}
+}
+
+func TestMoveElimination(t *testing.T) {
+	hsw := Haswell()
+	d, err := hsw.Describe(parse(t, "mov rax, rbx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.EliminatedMove || len(d.Uops) != 0 {
+		t.Fatalf("mov reg,reg should be eliminated: %+v", d)
+	}
+	// 8-bit moves merge and cannot be eliminated.
+	d, _ = hsw.Describe(parse(t, "mov al, bl"))
+	if d.EliminatedMove {
+		t.Fatal("8-bit mov must not be eliminated")
+	}
+	// Memory moves are not eliminated.
+	d, _ = hsw.Describe(parse(t, "mov rax, qword ptr [rbx]"))
+	if d.EliminatedMove {
+		t.Fatal("load must not be eliminated")
+	}
+}
+
+func TestDescribeMemoryDecoration(t *testing.T) {
+	hsw := Haswell()
+	cases := []struct {
+		text     string
+		uops     int
+		fused    int
+		hasLoad  bool
+		hasStore bool
+	}{
+		{"mov rax, qword ptr [rbx]", 1, 1, true, false},
+		{"mov qword ptr [rbx], rax", 2, 1, false, true},
+		{"add rax, qword ptr [rbx]", 2, 1, true, false},
+		{"add qword ptr [rbx], rax", 4, 2, true, true},
+		{"add rax, rbx", 1, 1, false, false},
+		{"lea rax, [rbx+8]", 1, 1, false, false},
+	}
+	for _, c := range cases {
+		d, err := hsw.Describe(parse(t, c.text))
+		if err != nil {
+			t.Fatalf("%s: %v", c.text, err)
+		}
+		if len(d.Uops) != c.uops || d.FusedUops != c.fused {
+			t.Errorf("%s: got %d uops (%d fused), want %d (%d)",
+				c.text, len(d.Uops), d.FusedUops, c.uops, c.fused)
+		}
+		gotLoad, gotStore := false, false
+		for _, u := range d.Uops {
+			gotLoad = gotLoad || u.Class == ClassLoad
+			gotStore = gotStore || u.Class == ClassStoreData
+		}
+		if gotLoad != c.hasLoad || gotStore != c.hasStore {
+			t.Errorf("%s: load=%v store=%v want %v %v",
+				c.text, gotLoad, gotStore, c.hasLoad, c.hasStore)
+		}
+	}
+}
+
+func TestDivLatencies(t *testing.T) {
+	hsw := Haswell()
+	d32, _ := hsw.Describe(parse(t, "div ecx"))
+	d64, _ := hsw.Describe(parse(t, "div rcx"))
+	if d32.Uops[0].Lat >= d64.Uops[0].Lat {
+		t.Fatalf("32-bit divide (%d) must be much faster than 64-bit (%d)",
+			d32.Uops[0].Lat, d64.Uops[0].Lat)
+	}
+	if d32.Uops[0].Occupancy == 0 {
+		t.Fatal("divider must be non-pipelined")
+	}
+}
+
+func TestIvyBridgeRejectsAVX2(t *testing.T) {
+	ivb := IvyBridge()
+	for _, text := range []string{
+		"vfmadd231ps %ymm1, %ymm2, %ymm3",
+		"vpaddd %ymm0, %ymm1, %ymm2",
+		"vpbroadcastd %xmm0, %xmm1",
+	} {
+		if _, err := ivb.Describe(parse(t, text)); err == nil {
+			t.Errorf("%s: Ivy Bridge should reject this", text)
+		}
+	}
+	// 256-bit float AVX is fine on Ivy Bridge; 128-bit VEX integer too.
+	for _, text := range []string{
+		"vaddps %ymm1, %ymm2, %ymm3",
+		"vpaddd %xmm0, %xmm1, %xmm2",
+	} {
+		if _, err := ivb.Describe(parse(t, text)); err != nil {
+			t.Errorf("%s: Ivy Bridge should accept this: %v", text, err)
+		}
+	}
+	hsw := Haswell()
+	if _, err := hsw.Describe(parse(t, "vfmadd231ps %ymm1, %ymm2, %ymm3")); err != nil {
+		t.Errorf("Haswell supports FMA: %v", err)
+	}
+}
+
+func TestSkylakeDiffersFromHaswell(t *testing.T) {
+	hsw, skl := Haswell(), Skylake()
+	if hsw.fpAddLat == skl.fpAddLat && hsw.fpAddPorts == skl.fpAddPorts {
+		t.Fatal("Skylake FP add should differ from Haswell")
+	}
+	if skl.ROBSize <= hsw.ROBSize {
+		t.Fatal("Skylake has a larger ROB")
+	}
+	addSKL, _ := skl.Describe(parse(t, "addps xmm0, xmm1"))
+	addHSW, _ := hsw.Describe(parse(t, "addps xmm0, xmm1"))
+	if addSKL.Uops[0].Lat == addHSW.Uops[0].Lat {
+		t.Fatal("FP add latency differs between SKL (4) and HSW (3)")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"haswell", "hsw", "ivybridge", "ivb", "skylake", "skl"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("cannonlake"); err == nil {
+		t.Error("unknown microarchitecture must error")
+	}
+	if len(All()) != 3 {
+		t.Error("three validated microarchitectures")
+	}
+}
+
+func TestFPFlagPropagates(t *testing.T) {
+	hsw := Haswell()
+	d, _ := hsw.Describe(parse(t, "mulsd xmm0, xmm1"))
+	if !d.FP {
+		t.Fatal("mulsd is an FP op")
+	}
+	d, _ = hsw.Describe(parse(t, "paddd xmm0, xmm1"))
+	if d.FP {
+		t.Fatal("paddd is integer")
+	}
+}
+
+func TestDescribeEveryOpcode(t *testing.T) {
+	// Every form in the encoding table must be describable on Haswell
+	// (no panics, sane µop counts).
+	hsw := Haswell()
+	for i := range x86.Forms {
+		f := &x86.Forms[i]
+		if f.Op.IsBranch() {
+			continue
+		}
+		in := instForForm(f)
+		if in == nil {
+			continue
+		}
+		d, err := hsw.Describe(in)
+		if err != nil {
+			t.Errorf("%v: %v", in, err)
+			continue
+		}
+		if !d.ZeroIdiom && !d.EliminatedMove && d.FusedUops == 0 {
+			t.Errorf("%v: zero fused µops", in)
+		}
+		if len(d.Uops) > 6 {
+			t.Errorf("%v: implausible µop count %d", in, len(d.Uops))
+		}
+		for _, u := range d.Uops {
+			if u.Ports == 0 {
+				t.Errorf("%v: µop with empty port set", in)
+			}
+		}
+	}
+}
+
+// instForForm builds a canonical instruction for an encoding form.
+func instForForm(f *x86.Form) *x86.Inst {
+	in := &x86.Inst{Op: f.Op}
+	for _, p := range f.Args {
+		o, ok := canonicalOperand(p)
+		if !ok {
+			return nil
+		}
+		in.Args = append(in.Args, o)
+	}
+	return in
+}
+
+func canonicalOperand(p x86.ArgPat) (x86.Operand, bool) {
+	mem := func(size uint8) x86.Operand {
+		return x86.MemOp(x86.Mem{Base: x86.RBX, Disp: 8, Size: size})
+	}
+	switch p {
+	case x86.PatR8:
+		return x86.RegOp(x86.CL), true
+	case x86.PatR16:
+		return x86.RegOp(x86.CX), true
+	case x86.PatR32:
+		return x86.RegOp(x86.ECX), true
+	case x86.PatR64:
+		return x86.RegOp(x86.RCX), true
+	case x86.PatRM8:
+		return mem(1), true
+	case x86.PatRM16:
+		return mem(2), true
+	case x86.PatRM32:
+		return mem(4), true
+	case x86.PatRM64:
+		return mem(8), true
+	case x86.PatM:
+		return mem(0), true
+	case x86.PatM32, x86.PatXM32:
+		return mem(4), true
+	case x86.PatM64, x86.PatXM64:
+		return mem(8), true
+	case x86.PatM128, x86.PatXM128:
+		return mem(16), true
+	case x86.PatM256, x86.PatYM256:
+		return mem(32), true
+	case x86.PatImm8, x86.PatImm16, x86.PatImm32, x86.PatImm64:
+		return x86.ImmOp(7), true
+	case x86.PatXMM:
+		return x86.RegOp(x86.X1), true
+	case x86.PatYMM:
+		return x86.RegOp(x86.Y1), true
+	case x86.PatCL:
+		return x86.RegOp(x86.CL), true
+	}
+	return x86.Operand{}, false
+}
+
+// TestLatencyGoldens pins key latencies against the published values the
+// tables are calibrated to (Agner Fog / uops.info, approximately).
+func TestLatencyGoldens(t *testing.T) {
+	type golden struct {
+		text string
+		lat  map[string]uint8 // per-µarch expected compute latency
+	}
+	cases := []golden{
+		{"add rax, rbx", map[string]uint8{"ivybridge": 1, "haswell": 1, "skylake": 1}},
+		{"imul rax, rbx", map[string]uint8{"ivybridge": 3, "haswell": 3, "skylake": 3}},
+		{"addss xmm0, xmm1", map[string]uint8{"ivybridge": 3, "haswell": 3, "skylake": 4}},
+		{"mulps xmm0, xmm1", map[string]uint8{"ivybridge": 5, "haswell": 5, "skylake": 4}},
+		{"vfmadd231ps %ymm0, %ymm1, %ymm2", map[string]uint8{"haswell": 5, "skylake": 4}},
+		{"div ecx", map[string]uint8{"ivybridge": 22, "haswell": 21, "skylake": 23}},
+	}
+	for _, c := range cases {
+		for _, cpu := range All() {
+			want, ok := c.lat[cpu.Name]
+			if !ok {
+				continue
+			}
+			d, err := cpu.Describe(parse(t, c.text))
+			if err != nil {
+				t.Fatalf("%s on %s: %v", c.text, cpu.Name, err)
+			}
+			got := uint8(0)
+			for _, u := range d.Uops {
+				if u.Class != ClassLoad && u.Class != ClassStoreAddr && u.Class != ClassStoreData {
+					got = u.Lat
+				}
+			}
+			if got != want {
+				t.Errorf("%s on %s: latency %d, want %d", c.text, cpu.Name, got, want)
+			}
+		}
+	}
+}
+
+// TestLoadToUseLatency pins the L1 load-to-use latency at 4 cycles on all
+// three cores.
+func TestLoadToUseLatency(t *testing.T) {
+	for _, cpu := range All() {
+		d, err := cpu.Describe(parse(t, "mov rax, qword ptr [rbx]"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Uops[0].Class != ClassLoad || d.Uops[0].Lat != 4 {
+			t.Errorf("%s: load µop %+v", cpu.Name, d.Uops[0])
+		}
+	}
+}
+
+// TestStorePortsDiffer: Haswell/Skylake add the dedicated port-7 store AGU
+// that Ivy Bridge lacks.
+func TestStorePortsDiffer(t *testing.T) {
+	if IvyBridge().StoreAddrPorts.Has(7) {
+		t.Error("Ivy Bridge has no port 7")
+	}
+	if !Haswell().StoreAddrPorts.Has(7) || !Skylake().StoreAddrPorts.Has(7) {
+		t.Error("Haswell/Skylake store AGU on port 7")
+	}
+}

@@ -1,0 +1,115 @@
+package x86
+
+import (
+	"encoding/hex"
+	"strings"
+)
+
+// Block is a basic block: a straight-line instruction sequence with no
+// internal control flow, as extracted from an application binary. This is
+// the unit the BHive suite profiles and models predict.
+type Block struct {
+	Insts []Inst
+}
+
+// BlockFromHex decodes a basic block from its machine-code hex string — the
+// storage format of the benchmark suite.
+func BlockFromHex(s string) (*Block, error) {
+	raw, err := hex.DecodeString(strings.TrimSpace(s))
+	if err != nil {
+		return nil, err
+	}
+	insts, err := DecodeBlock(raw)
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Insts: insts}, nil
+}
+
+// ParseBlock assembles a multi-line listing (Intel or AT&T) into a block.
+func ParseBlock(text string, syntax Syntax) (*Block, error) {
+	insts, err := Parse(text, syntax)
+	if err != nil {
+		return nil, err
+	}
+	return &Block{Insts: insts}, nil
+}
+
+// Bytes encodes the block to machine code.
+func (b *Block) Bytes() ([]byte, error) { return EncodeBlock(b.Insts) }
+
+// Hex encodes the block to its hex storage form.
+func (b *Block) Hex() (string, error) {
+	raw, err := b.Bytes()
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(raw), nil
+}
+
+// String renders the block as one Intel-syntax instruction per line.
+func (b *Block) String() string {
+	var sb strings.Builder
+	for i := range b.Insts {
+		sb.WriteString(b.Insts[i].String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// NumLoads counts memory-reading instructions.
+func (b *Block) NumLoads() int {
+	n := 0
+	for i := range b.Insts {
+		if b.Insts[i].IsLoad() {
+			n++
+		}
+	}
+	return n
+}
+
+// NumStores counts memory-writing instructions.
+func (b *Block) NumStores() int {
+	n := 0
+	for i := range b.Insts {
+		if b.Insts[i].IsStore() {
+			n++
+		}
+	}
+	return n
+}
+
+// HasVector reports whether the block contains any XMM/YMM instruction.
+func (b *Block) HasVector() bool {
+	for i := range b.Insts {
+		for _, a := range b.Insts[i].Args {
+			if a.Kind == KindReg && a.Reg.IsVec() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasAVX2 reports whether the block needs post-Ivy-Bridge vector extensions:
+// 256-bit integer operations, VEX broadcasts/inserts from the AVX2 group, or
+// FMA. Such blocks are excluded from Ivy Bridge validation, as in the paper.
+func (b *Block) HasAVX2() bool {
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		switch {
+		case in.Op >= VFMADD132PS && in.Op <= VFNMADD231PD:
+			return true
+		case in.Op >= VPBROADCASTB && in.Op <= VINSERTI128:
+			return true
+		case in.Op >= VPXOR && in.Op <= VPMOVMSKB:
+			// 128-bit VEX integer ops are AVX1; 256-bit ones are AVX2.
+			for _, a := range in.Args {
+				if a.Kind == KindReg && a.Reg.Class() == ClassYMM {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,295 @@
+package x86
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Encode assembles the instruction into x86-64 machine code.
+func Encode(in Inst) ([]byte, error) {
+	f, err := in.Form()
+	if err != nil {
+		return nil, err
+	}
+	return encodeForm(&in, f)
+}
+
+// EncodeBlock assembles a sequence of instructions.
+func EncodeBlock(insts []Inst) ([]byte, error) {
+	var out []byte
+	for i := range insts {
+		b, err := Encode(insts[i])
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+func encodeForm(in *Inst, f *Form) ([]byte, error) {
+	var (
+		regOp                                    Operand // roleReg
+		rmOp                                     Operand // roleRM
+		vvvvOp                                   Operand // roleVvvv
+		immOp                                    Operand // roleImm
+		plusROp                                  Operand // rolePlusR
+		hasReg, hasRM, hasVvvv, hasImm, hasPlusR bool
+	)
+	for i, role := range f.Roles {
+		switch role {
+		case roleReg:
+			regOp, hasReg = in.Args[i], true
+		case roleRM:
+			rmOp, hasRM = in.Args[i], true
+		case roleVvvv:
+			vvvvOp, hasVvvv = in.Args[i], true
+		case roleImm:
+			immOp, hasImm = in.Args[i], true
+		case rolePlusR:
+			plusROp, hasPlusR = in.Args[i], true
+		}
+	}
+
+	e := &f.Enc
+	var out []byte
+
+	// High-byte registers (AH..BH) are unencodable alongside REX, and
+	// SPL/BPL/SIL/DIL (or any extended register) require REX.
+	needRex := e.rexW
+	rexR, rexX, rexB := false, false, false
+	checkReg := func(o Operand, setB, setR bool) error {
+		if o.Kind != KindReg {
+			return nil
+		}
+		r := o.Reg
+		if r.Class() == ClassGP8 && r >= SPL && r <= DIL {
+			needRex = true
+		}
+		if r.Num() >= 8 {
+			if setR {
+				rexR = true
+			}
+			if setB {
+				rexB = true
+			}
+			needRex = true
+		}
+		return nil
+	}
+	if hasReg {
+		if err := checkReg(regOp, false, true); err != nil {
+			return nil, err
+		}
+	}
+	if hasPlusR {
+		if err := checkReg(plusROp, true, false); err != nil {
+			return nil, err
+		}
+	}
+	if hasRM {
+		if rmOp.Kind == KindReg {
+			if err := checkReg(rmOp, true, false); err != nil {
+				return nil, err
+			}
+		} else if rmOp.Kind == KindMem {
+			if b := rmOp.Mem.Base; b != RegNone && b != RIP && b.Num() >= 8 {
+				rexB = true
+				needRex = true
+			}
+			if ix := rmOp.Mem.Index; ix != RegNone && ix.Num() >= 8 {
+				rexX = true
+				needRex = true
+			}
+		}
+	}
+	for _, a := range in.Args {
+		if a.Kind == KindReg && a.Reg.IsHighByte() && needRex {
+			return nil, fmt.Errorf("x86: cannot encode %s with REX prefix", a.Reg)
+		}
+	}
+
+	if e.vex {
+		out = appendVEX(out, e, rexR, rexX, rexB, vvvvNum(hasVvvv, vvvvOp))
+	} else {
+		if e.prefix != 0 {
+			out = append(out, e.prefix)
+		}
+		if needRex {
+			rex := byte(0x40)
+			if e.rexW {
+				rex |= 8
+			}
+			if rexR {
+				rex |= 4
+			}
+			if rexX {
+				rex |= 2
+			}
+			if rexB {
+				rex |= 1
+			}
+			out = append(out, rex)
+		}
+	}
+
+	// Opcode bytes (VEX encodings carry the map in the VEX prefix, so only
+	// the final opcode byte is emitted).
+	opc := e.opcode
+	if e.vex {
+		opc = opc[len(opc)-1:]
+	}
+	out = append(out, opc...)
+	if hasPlusR {
+		out[len(out)-1] += byte(plusROp.Reg.Num() & 7)
+	}
+
+	if e.hasModRM {
+		regField := byte(0)
+		if e.digit >= 0 {
+			regField = byte(e.digit)
+		} else if hasReg {
+			regField = byte(regOp.Reg.Num() & 7)
+		}
+		var err error
+		out, err = appendModRM(out, regField, rmOp, hasRM)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if e.immBytes > 0 {
+		if !hasImm {
+			return nil, fmt.Errorf("x86: form for %s wants immediate", in.Op)
+		}
+		out = appendImm(out, immOp.Imm, int(e.immBytes))
+	}
+	return out, nil
+}
+
+func vvvvNum(has bool, o Operand) byte {
+	if !has {
+		return 0
+	}
+	return byte(o.Reg.Num())
+}
+
+// appendVEX emits a 2- or 3-byte VEX prefix.
+func appendVEX(out []byte, e *encSpec, r, x, b bool, vvvv byte) []byte {
+	w := byte(0)
+	if e.vexW == 1 {
+		w = 1
+	}
+	l := byte(0)
+	if e.vexL {
+		l = 1
+	}
+	inv := func(v bool) byte {
+		if v {
+			return 0
+		}
+		return 1
+	}
+	if !x && !b && e.vexMap == 1 && w == 0 {
+		// 2-byte form: C5 [R vvvv L pp]
+		out = append(out, 0xC5,
+			inv(r)<<7|(^vvvv&0xF)<<3|l<<2|e.vexPP)
+		return out
+	}
+	// 3-byte form: C4 [R X B mmmmm] [W vvvv L pp]
+	out = append(out, 0xC4,
+		inv(r)<<7|inv(x)<<6|inv(b)<<5|e.vexMap,
+		w<<7|(^vvvv&0xF)<<3|l<<2|e.vexPP)
+	return out
+}
+
+// appendModRM emits the ModRM byte and, for memory operands, the SIB byte
+// and displacement.
+func appendModRM(out []byte, regField byte, rm Operand, hasRM bool) ([]byte, error) {
+	if !hasRM {
+		// Forms like "0F 71 /6 ib" put the single register operand in rm.
+		return nil, fmt.Errorf("x86: modrm form missing rm operand")
+	}
+	if rm.Kind == KindReg {
+		out = append(out, 0xC0|regField<<3|byte(rm.Reg.Num()&7))
+		return out, nil
+	}
+	if rm.Kind != KindMem {
+		return nil, fmt.Errorf("x86: bad rm operand kind %d", rm.Kind)
+	}
+	m := rm.Mem
+	if m.Index == RSP {
+		return nil, fmt.Errorf("x86: rsp cannot be an index register")
+	}
+
+	// RIP-relative: mod=00 rm=101 disp32.
+	if m.Base == RIP {
+		if m.Index != RegNone {
+			return nil, fmt.Errorf("x86: rip-relative with index")
+		}
+		out = append(out, regField<<3|0x05)
+		return appendImm(out, int64(m.Disp), 4), nil
+	}
+
+	// Absolute or index-only: mod=00 rm=100, SIB base=101, disp32.
+	if m.Base == RegNone {
+		out = append(out, regField<<3|0x04)
+		scaleBits := scaleLog(m.Scale)
+		idx := byte(4) // none
+		if m.Index != RegNone {
+			idx = byte(m.Index.Num() & 7)
+		}
+		out = append(out, scaleBits<<6|idx<<3|0x05)
+		return appendImm(out, int64(m.Disp), 4), nil
+	}
+
+	baseNum := byte(m.Base.Num() & 7)
+	needSIB := m.Index != RegNone || baseNum == 4 // rsp/r12 base requires SIB
+	// rbp/r13 base cannot use mod=00 (that slot means disp32).
+	mod := byte(0)
+	dispBytes := 0
+	switch {
+	case m.Disp == 0 && baseNum != 5:
+		mod, dispBytes = 0, 0
+	case m.Disp >= -128 && m.Disp <= 127:
+		mod, dispBytes = 1, 1
+	default:
+		mod, dispBytes = 2, 4
+	}
+
+	if needSIB {
+		out = append(out, mod<<6|regField<<3|0x04)
+		scaleBits := scaleLog(m.Scale)
+		idx := byte(4)
+		if m.Index != RegNone {
+			idx = byte(m.Index.Num() & 7)
+		}
+		out = append(out, scaleBits<<6|idx<<3|baseNum)
+	} else {
+		out = append(out, mod<<6|regField<<3|baseNum)
+	}
+	if dispBytes > 0 {
+		out = appendImm(out, int64(m.Disp), dispBytes)
+	}
+	return out, nil
+}
+
+func scaleLog(s uint8) byte {
+	switch s {
+	case 0, 1:
+		return 0
+	case 2:
+		return 1
+	case 4:
+		return 2
+	case 8:
+		return 3
+	}
+	return 0
+}
+
+func appendImm(out []byte, v int64, n int) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return append(out, buf[:n]...)
+}

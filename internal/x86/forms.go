@@ -1,0 +1,779 @@
+package x86
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ArgPat is an operand pattern in an encoding form.
+type ArgPat uint8
+
+const (
+	PatNone ArgPat = iota
+	PatR8
+	PatR16
+	PatR32
+	PatR64
+	PatRM8
+	PatRM16
+	PatRM32
+	PatRM64
+	PatM // any memory operand, no fixed size (LEA)
+	PatM32
+	PatM64
+	PatM128
+	PatM256
+	PatImm8
+	PatImm16
+	PatImm32
+	PatImm64
+	PatXMM
+	PatYMM
+	PatXM32 // xmm or m32
+	PatXM64
+	PatXM128
+	PatYM256
+	PatCL    // the CL register
+	PatRel32 // branch displacement
+)
+
+var patByName = map[string]ArgPat{
+	"r8": PatR8, "r16": PatR16, "r32": PatR32, "r64": PatR64,
+	"rm8": PatRM8, "rm16": PatRM16, "rm32": PatRM32, "rm64": PatRM64,
+	"m": PatM, "m32": PatM32, "m64": PatM64, "m128": PatM128, "m256": PatM256,
+	"i8": PatImm8, "i16": PatImm16, "i32": PatImm32, "i64": PatImm64,
+	"xmm": PatXMM, "ymm": PatYMM,
+	"xm32": PatXM32, "xm64": PatXM64, "xm128": PatXM128, "ym256": PatYM256,
+	"cl": PatCL, "rel32": PatRel32,
+}
+
+// MemSize returns the memory access width in bytes implied by the pattern,
+// or 0 when the pattern carries no size (PatM) or cannot be memory.
+func (p ArgPat) MemSize() int {
+	switch p {
+	case PatRM8:
+		return 1
+	case PatRM16:
+		return 2
+	case PatRM32, PatM32, PatXM32:
+		return 4
+	case PatRM64, PatM64, PatXM64:
+		return 8
+	case PatM128, PatXM128:
+		return 16
+	case PatM256, PatYM256:
+		return 32
+	}
+	return 0
+}
+
+// AllowsMem reports whether the pattern can bind a memory operand.
+func (p ArgPat) AllowsMem() bool {
+	switch p {
+	case PatRM8, PatRM16, PatRM32, PatRM64, PatM, PatM32, PatM64, PatM128,
+		PatM256, PatXM32, PatXM64, PatXM128, PatYM256:
+		return true
+	}
+	return false
+}
+
+// AllowsReg reports whether the pattern can bind a register operand.
+func (p ArgPat) AllowsReg() bool {
+	switch p {
+	case PatR8, PatR16, PatR32, PatR64, PatRM8, PatRM16, PatRM32, PatRM64,
+		PatXMM, PatYMM, PatXM32, PatXM64, PatXM128, PatYM256, PatCL:
+		return true
+	}
+	return false
+}
+
+// regClassOf returns the register class the pattern accepts, ClassNone if
+// the pattern does not accept registers.
+func (p ArgPat) regClass() RegClass {
+	switch p {
+	case PatR8, PatRM8, PatCL:
+		return ClassGP8
+	case PatR16, PatRM16:
+		return ClassGP16
+	case PatR32, PatRM32:
+		return ClassGP32
+	case PatR64, PatRM64:
+		return ClassGP64
+	case PatXMM, PatXM32, PatXM64, PatXM128:
+		return ClassXMM
+	case PatYMM, PatYM256:
+		return ClassYMM
+	}
+	return ClassNone
+}
+
+// Match reports whether operand o can be encoded with this pattern.
+func (p ArgPat) Match(o Operand) bool {
+	switch o.Kind {
+	case KindReg:
+		if p == PatCL {
+			return o.Reg == CL
+		}
+		return p.AllowsReg() && o.Reg.Class() == p.regClass()
+	case KindMem:
+		if !p.AllowsMem() {
+			return false
+		}
+		return p == PatM || o.Mem.Size == 0 || int(o.Mem.Size) == p.MemSize()
+	case KindImm:
+		switch p {
+		case PatImm8:
+			return o.Imm >= -128 && o.Imm <= 127
+		case PatImm16:
+			return o.Imm >= -32768 && o.Imm <= 32767
+		case PatImm32, PatRel32:
+			return o.Imm >= -(1<<31) && o.Imm < 1<<31
+		case PatImm64:
+			return true
+		}
+	}
+	return false
+}
+
+// argRole says how an operand is encoded.
+type argRole uint8
+
+const (
+	roleNone    argRole = iota
+	roleReg             // ModRM.reg field
+	roleRM              // ModRM.rm field (+ SIB/disp)
+	roleVvvv            // VEX.vvvv field
+	roleImm             // immediate bytes
+	rolePlusR           // low 3 bits of the opcode byte (+REX.B)
+	roleImplied         // not encoded (e.g. CL shift count)
+)
+
+var roleByName = map[string]argRole{
+	"r": roleReg, "m": roleRM, "v": roleVvvv, "i": roleImm, "o": rolePlusR, "-": roleImplied,
+}
+
+// encSpec is a parsed encoding specification.
+type encSpec struct {
+	prefix   byte // mandatory legacy prefix: 0, 0x66, 0xF2 or 0xF3
+	rexW     bool
+	opcode   []byte // full opcode bytes including 0F escapes (legacy only)
+	hasModRM bool
+	digit    int8 // ModRM.reg constant for /0../7 forms; -1 for /r
+	immBytes uint8
+	plusR    bool
+	vex      bool
+	vexL     bool  // 256-bit
+	vexPP    uint8 // 0: none, 1: 66, 2: F3, 3: F2
+	vexMap   uint8 // 1: 0F, 2: 0F38, 3: 0F3A
+	vexW     uint8 // 0, 1; 2 = WIG
+}
+
+// parseEnc parses an Intel-manual-style encoding spec, e.g.
+// "REX.W 0F AF /r", "81 /0 id", "VEX.NDS.128.66.0F38.W0 40 /r ib".
+func parseEnc(spec string) encSpec {
+	e := encSpec{digit: -1, vexW: 2}
+	for _, tok := range strings.Fields(spec) {
+		switch {
+		case tok == "REX.W":
+			e.rexW = true
+		case strings.HasPrefix(tok, "VEX."):
+			e.vex = true
+			for _, part := range strings.Split(tok[4:], ".") {
+				switch part {
+				case "", "NDS", "NDD", "DDS": // operand-role hints, handled by roles string
+				case "128", "LIG", "LZ":
+					e.vexL = false
+				case "256":
+					e.vexL = true
+				case "66":
+					e.vexPP = 1
+				case "F3":
+					e.vexPP = 2
+				case "F2":
+					e.vexPP = 3
+				case "0F":
+					e.vexMap = 1
+				case "0F38":
+					e.vexMap = 2
+				case "0F3A":
+					e.vexMap = 3
+				case "W0":
+					e.vexW = 0
+				case "W1":
+					e.vexW = 1
+				case "WIG":
+					e.vexW = 2
+				default:
+					panic("x86: bad VEX part " + part + " in " + spec)
+				}
+			}
+		case tok == "/r":
+			e.hasModRM = true
+			e.digit = -1
+		case len(tok) == 2 && tok[0] == '/' && tok[1] >= '0' && tok[1] <= '7':
+			e.hasModRM = true
+			e.digit = int8(tok[1] - '0')
+		case tok == "ib":
+			e.immBytes = 1
+		case tok == "iw":
+			e.immBytes = 2
+		case tok == "id" || tok == "cd":
+			e.immBytes = 4
+		case tok == "io":
+			e.immBytes = 8
+		case tok == "+r":
+			e.plusR = true
+		case len(tok) == 2:
+			b, err := strconv.ParseUint(tok, 16, 8)
+			if err != nil {
+				panic("x86: bad spec token " + tok + " in " + spec)
+			}
+			// 66/F2/F3 before any opcode byte are mandatory prefixes for
+			// legacy encodings.
+			if !e.vex && len(e.opcode) == 0 && (b == 0x66 || b == 0xF2 || b == 0xF3) {
+				e.prefix = byte(b)
+			} else {
+				e.opcode = append(e.opcode, byte(b))
+			}
+		default:
+			panic("x86: bad spec token " + tok + " in " + spec)
+		}
+	}
+	if len(e.opcode) == 0 {
+		panic("x86: spec has no opcode: " + spec)
+	}
+	if e.vex && e.vexMap == 0 {
+		e.vexMap = 1
+	}
+	return e
+}
+
+// Form is one encodable shape of an instruction.
+type Form struct {
+	Op    Op
+	Args  []ArgPat
+	Roles []argRole
+	Enc   encSpec
+}
+
+// MemSize returns the access width in bytes of the form's memory operand
+// slot (whether or not a given instance actually uses memory), or 0.
+func (f *Form) MemSize() int {
+	for i, p := range f.Args {
+		if f.Roles[i] == roleRM && p.AllowsMem() {
+			return p.MemSize()
+		}
+	}
+	return 0
+}
+
+// Match reports whether the operand list can be encoded by this form.
+func (f *Form) Match(args []Operand) bool {
+	if len(args) != len(f.Args) {
+		return false
+	}
+	for i, p := range f.Args {
+		if !p.Match(args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Forms is the complete encoding table, indexed by insertion order.
+// FormsOf returns the forms for one op.
+var Forms []Form
+
+var formsByOp [NumOps][]int
+
+// FormsOf returns the encoding forms available for op.
+func FormsOf(op Op) []int {
+	if int(op) < len(formsByOp) {
+		return formsByOp[op]
+	}
+	return nil
+}
+
+func addForm(op Op, args, roles, spec string) {
+	var f Form
+	f.Op = op
+	if args != "" {
+		for _, a := range strings.Split(args, ",") {
+			a = strings.TrimSpace(a)
+			p, ok := patByName[a]
+			if !ok {
+				panic("x86: bad arg pattern " + a)
+			}
+			f.Args = append(f.Args, p)
+		}
+	}
+	if roles != "" {
+		for _, r := range strings.Split(roles, ",") {
+			r = strings.TrimSpace(r)
+			role, ok := roleByName[r]
+			if !ok {
+				panic("x86: bad role " + r)
+			}
+			f.Roles = append(f.Roles, role)
+		}
+	}
+	if len(f.Roles) != len(f.Args) {
+		panic(fmt.Sprintf("x86: %s: %d args but %d roles", op, len(f.Args), len(f.Roles)))
+	}
+	f.Enc = parseEnc(spec)
+	formsByOp[op] = append(formsByOp[op], len(Forms))
+	Forms = append(Forms, f)
+}
+
+// aluForms registers the 8086 ALU-group forms for one op given its base
+// opcode (the rm8,r8 one) and its /digit in the 80/81/83 immediate group.
+func aluForms(op Op, base byte, digit int) {
+	b := func(delta byte) string { return fmt.Sprintf("%02X", base+delta) }
+	d := fmt.Sprintf("/%d", digit)
+	addForm(op, "rm8, r8", "m,r", b(0)+" /r")
+	addForm(op, "rm16, r16", "m,r", "66 "+b(1)+" /r")
+	addForm(op, "rm32, r32", "m,r", b(1)+" /r")
+	addForm(op, "rm64, r64", "m,r", "REX.W "+b(1)+" /r")
+	addForm(op, "r8, rm8", "r,m", b(2)+" /r")
+	addForm(op, "r16, rm16", "r,m", "66 "+b(3)+" /r")
+	addForm(op, "r32, rm32", "r,m", b(3)+" /r")
+	addForm(op, "r64, rm64", "r,m", "REX.W "+b(3)+" /r")
+	addForm(op, "rm8, i8", "m,i", "80 "+d+" ib")
+	addForm(op, "rm16, i8", "m,i", "66 83 "+d+" ib")
+	addForm(op, "rm32, i8", "m,i", "83 "+d+" ib")
+	addForm(op, "rm64, i8", "m,i", "REX.W 83 "+d+" ib")
+	addForm(op, "rm16, i16", "m,i", "66 81 "+d+" iw")
+	addForm(op, "rm32, i32", "m,i", "81 "+d+" id")
+	addForm(op, "rm64, i32", "m,i", "REX.W 81 "+d+" id")
+}
+
+// shiftForms registers shift/rotate forms given the group /digit.
+func shiftForms(op Op, digit int) {
+	d := fmt.Sprintf("/%d", digit)
+	addForm(op, "rm8, i8", "m,i", "C0 "+d+" ib")
+	addForm(op, "rm16, i8", "m,i", "66 C1 "+d+" ib")
+	addForm(op, "rm32, i8", "m,i", "C1 "+d+" ib")
+	addForm(op, "rm64, i8", "m,i", "REX.W C1 "+d+" ib")
+	addForm(op, "rm8, cl", "m,-", "D2 "+d)
+	addForm(op, "rm16, cl", "m,-", "66 D3 "+d)
+	addForm(op, "rm32, cl", "m,-", "D3 "+d)
+	addForm(op, "rm64, cl", "m,-", "REX.W D3 "+d)
+}
+
+// sseArith registers the four-variant SSE arithmetic family
+// (ps / pd / ss / sd share an opcode byte under different prefixes),
+// passing BAD for absent family members.
+func sseArith(ps, pd, ss, sd Op, opc string) {
+	if ps != BAD {
+		addForm(ps, "xmm, xm128", "r,m", "0F "+opc+" /r")
+	}
+	if pd != BAD {
+		addForm(pd, "xmm, xm128", "r,m", "66 0F "+opc+" /r")
+	}
+	if ss != BAD {
+		addForm(ss, "xmm, xm32", "r,m", "F3 0F "+opc+" /r")
+	}
+	if sd != BAD {
+		addForm(sd, "xmm, xm64", "r,m", "F2 0F "+opc+" /r")
+	}
+}
+
+// sseIntALU registers a 66 0F <opc> /r packed-integer form.
+func sseIntALU(op Op, opc string) {
+	addForm(op, "xmm, xm128", "r,m", "66 0F "+opc+" /r")
+}
+
+// vexArith registers 128- and 256-bit three-operand VEX forms.
+func vexArith(op Op, pp string, mapName string, opc string, w string) {
+	p := "VEX.NDS.128." + pp + mapName + "." + w + " " + opc + " /r"
+	q := "VEX.NDS.256." + pp + mapName + "." + w + " " + opc + " /r"
+	addForm(op, "xmm, xmm, xm128", "r,v,m", p)
+	addForm(op, "ymm, ymm, ym256", "r,v,m", q)
+}
+
+// vexScalar registers a scalar three-operand VEX form.
+func vexScalar(op Op, pp string, opc string, memPat string) {
+	addForm(op, "xmm, xmm, "+memPat, "r,v,m", "VEX.NDS.LIG."+pp+"0F.WIG "+opc+" /r")
+}
+
+// fma registers 128/256 packed FMA forms (W0 = ps, W1 = pd).
+func fmaPacked(op Op, opc string, w string) {
+	addForm(op, "xmm, xmm, xm128", "r,v,m", "VEX.DDS.128.66.0F38."+w+" "+opc+" /r")
+	addForm(op, "ymm, ymm, ym256", "r,v,m", "VEX.DDS.256.66.0F38."+w+" "+opc+" /r")
+}
+
+func fmaScalar(op Op, opc string, w string, memPat string) {
+	addForm(op, "xmm, xmm, "+memPat, "r,v,m", "VEX.DDS.LIG.66.0F38."+w+" "+opc+" /r")
+}
+
+func buildForms() {
+	// --- Data movement ---
+	addForm(MOV, "rm8, r8", "m,r", "88 /r")
+	addForm(MOV, "rm16, r16", "m,r", "66 89 /r")
+	addForm(MOV, "rm32, r32", "m,r", "89 /r")
+	addForm(MOV, "rm64, r64", "m,r", "REX.W 89 /r")
+	addForm(MOV, "r8, rm8", "r,m", "8A /r")
+	addForm(MOV, "r16, rm16", "r,m", "66 8B /r")
+	addForm(MOV, "r32, rm32", "r,m", "8B /r")
+	addForm(MOV, "r64, rm64", "r,m", "REX.W 8B /r")
+	addForm(MOV, "r32, i32", "o,i", "B8 +r id")
+	addForm(MOV, "rm8, i8", "m,i", "C6 /0 ib")
+	addForm(MOV, "rm16, i16", "m,i", "66 C7 /0 iw")
+	addForm(MOV, "rm32, i32", "m,i", "C7 /0 id")
+	addForm(MOV, "rm64, i32", "m,i", "REX.W C7 /0 id")
+	addForm(MOV, "r64, i64", "o,i", "REX.W B8 +r io")
+
+	addForm(MOVZX, "r32, rm8", "r,m", "0F B6 /r")
+	addForm(MOVZX, "r64, rm8", "r,m", "REX.W 0F B6 /r")
+	addForm(MOVZX, "r32, rm16", "r,m", "0F B7 /r")
+	addForm(MOVZX, "r64, rm16", "r,m", "REX.W 0F B7 /r")
+	addForm(MOVSX, "r32, rm8", "r,m", "0F BE /r")
+	addForm(MOVSX, "r64, rm8", "r,m", "REX.W 0F BE /r")
+	addForm(MOVSX, "r32, rm16", "r,m", "0F BF /r")
+	addForm(MOVSX, "r64, rm16", "r,m", "REX.W 0F BF /r")
+	addForm(MOVSXD, "r64, rm32", "r,m", "REX.W 63 /r")
+
+	addForm(LEA, "r32, m", "r,m", "8D /r")
+	addForm(LEA, "r64, m", "r,m", "REX.W 8D /r")
+
+	addForm(PUSH, "r64", "o", "50 +r")
+	addForm(PUSH, "i32", "i", "68 id")
+	addForm(PUSH, "rm64", "m", "FF /6")
+	addForm(POP, "r64", "o", "58 +r")
+	addForm(POP, "rm64", "m", "8F /0")
+
+	addForm(XCHG, "rm32, r32", "m,r", "87 /r")
+	addForm(XCHG, "rm64, r64", "m,r", "REX.W 87 /r")
+
+	// --- Integer ALU ---
+	aluForms(ADD, 0x00, 0)
+	aluForms(OR, 0x08, 1)
+	aluForms(ADC, 0x10, 2)
+	aluForms(SBB, 0x18, 3)
+	aluForms(AND, 0x20, 4)
+	aluForms(SUB, 0x28, 5)
+	aluForms(XOR, 0x30, 6)
+	aluForms(CMP, 0x38, 7)
+
+	addForm(TEST, "rm8, r8", "m,r", "84 /r")
+	addForm(TEST, "rm16, r16", "m,r", "66 85 /r")
+	addForm(TEST, "rm32, r32", "m,r", "85 /r")
+	addForm(TEST, "rm64, r64", "m,r", "REX.W 85 /r")
+	addForm(TEST, "rm8, i8", "m,i", "F6 /0 ib")
+	addForm(TEST, "rm32, i32", "m,i", "F7 /0 id")
+	addForm(TEST, "rm64, i32", "m,i", "REX.W F7 /0 id")
+
+	addForm(INC, "rm8", "m", "FE /0")
+	addForm(INC, "rm32", "m", "FF /0")
+	addForm(INC, "rm64", "m", "REX.W FF /0")
+	addForm(DEC, "rm8", "m", "FE /1")
+	addForm(DEC, "rm32", "m", "FF /1")
+	addForm(DEC, "rm64", "m", "REX.W FF /1")
+	addForm(NOT, "rm8", "m", "F6 /2")
+	addForm(NOT, "rm32", "m", "F7 /2")
+	addForm(NOT, "rm64", "m", "REX.W F7 /2")
+	addForm(NEG, "rm8", "m", "F6 /3")
+	addForm(NEG, "rm32", "m", "F7 /3")
+	addForm(NEG, "rm64", "m", "REX.W F7 /3")
+	addForm(BSWAP, "r32", "o", "0F C8 +r")
+	addForm(BSWAP, "r64", "o", "REX.W 0F C8 +r")
+
+	addForm(IMUL, "r32, rm32", "r,m", "0F AF /r")
+	addForm(IMUL, "r64, rm64", "r,m", "REX.W 0F AF /r")
+	addForm(IMUL, "r32, rm32, i8", "r,m,i", "6B /r ib")
+	addForm(IMUL, "r64, rm64, i8", "r,m,i", "REX.W 6B /r ib")
+	addForm(IMUL, "r32, rm32, i32", "r,m,i", "69 /r id")
+	addForm(IMUL, "r64, rm64, i32", "r,m,i", "REX.W 69 /r id")
+	addForm(MUL, "rm32", "m", "F7 /4")
+	addForm(MUL, "rm64", "m", "REX.W F7 /4")
+	addForm(DIV, "rm8", "m", "F6 /6")
+	addForm(DIV, "rm32", "m", "F7 /6")
+	addForm(DIV, "rm64", "m", "REX.W F7 /6")
+	addForm(IDIV, "rm32", "m", "F7 /7")
+	addForm(IDIV, "rm64", "m", "REX.W F7 /7")
+	addForm(CDQ, "", "", "99")
+	addForm(CQO, "", "", "REX.W 99")
+
+	shiftForms(ROL, 0)
+	shiftForms(ROR, 1)
+	shiftForms(SHL, 4)
+	shiftForms(SHR, 5)
+	shiftForms(SAR, 7)
+
+	addForm(POPCNT, "r32, rm32", "r,m", "F3 0F B8 /r")
+	addForm(POPCNT, "r64, rm64", "r,m", "F3 REX.W 0F B8 /r")
+	addForm(LZCNT, "r32, rm32", "r,m", "F3 0F BD /r")
+	addForm(LZCNT, "r64, rm64", "r,m", "F3 REX.W 0F BD /r")
+	addForm(TZCNT, "r32, rm32", "r,m", "F3 0F BC /r")
+	addForm(TZCNT, "r64, rm64", "r,m", "F3 REX.W 0F BC /r")
+	addForm(BSF, "r32, rm32", "r,m", "0F BC /r")
+	addForm(BSF, "r64, rm64", "r,m", "REX.W 0F BC /r")
+	addForm(BSR, "r32, rm32", "r,m", "0F BD /r")
+	addForm(BSR, "r64, rm64", "r,m", "REX.W 0F BD /r")
+	addForm(BT, "rm32, r32", "m,r", "0F A3 /r")
+	addForm(BT, "rm64, r64", "m,r", "REX.W 0F A3 /r")
+	addForm(BT, "rm32, i8", "m,i", "0F BA /4 ib")
+	addForm(BT, "rm64, i8", "m,i", "REX.W 0F BA /4 ib")
+
+	// CMOVcc / SETcc / Jcc use the condition-code nibble.
+	ccNibble := map[Op]byte{
+		CMOVB: 0x2, CMOVAE: 0x3, CMOVE: 0x4, CMOVNE: 0x5, CMOVBE: 0x6,
+		CMOVA: 0x7, CMOVS: 0x8, CMOVNS: 0x9, CMOVL: 0xC, CMOVGE: 0xD,
+		CMOVLE: 0xE, CMOVG: 0xF,
+	}
+	for op, nib := range ccNibble {
+		spec := fmt.Sprintf("0F %02X /r", 0x40+nib)
+		addForm(op, "r32, rm32", "r,m", spec)
+		addForm(op, "r64, rm64", "r,m", "REX.W "+spec)
+	}
+	setNibble := map[Op]byte{
+		SETB: 0x2, SETAE: 0x3, SETE: 0x4, SETNE: 0x5, SETBE: 0x6,
+		SETA: 0x7, SETS: 0x8, SETNS: 0x9, SETL: 0xC, SETGE: 0xD,
+		SETLE: 0xE, SETG: 0xF,
+	}
+	for op, nib := range setNibble {
+		addForm(op, "rm8", "m", fmt.Sprintf("0F %02X /0", 0x90+nib))
+	}
+	jccNibble := map[Op]byte{
+		JB: 0x2, JAE: 0x3, JE: 0x4, JNE: 0x5, JBE: 0x6,
+		JA: 0x7, JS: 0x8, JNS: 0x9, JL: 0xC, JGE: 0xD,
+		JLE: 0xE, JG: 0xF,
+	}
+	for op, nib := range jccNibble {
+		addForm(op, "rel32", "i", fmt.Sprintf("0F %02X cd", 0x80+nib))
+	}
+	addForm(JMP, "rel32", "i", "E9 cd")
+	addForm(CALL, "rel32", "i", "E8 cd")
+	addForm(RET, "", "", "C3")
+
+	addForm(NOP, "", "", "90")
+	addForm(NOP, "rm32", "m", "0F 1F /0")
+
+	// --- SSE scalar and packed float ---
+	addForm(MOVSS, "xmm, xm32", "r,m", "F3 0F 10 /r")
+	addForm(MOVSS, "xm32, xmm", "m,r", "F3 0F 11 /r")
+	addForm(MOVSD, "xmm, xm64", "r,m", "F2 0F 10 /r")
+	addForm(MOVSD, "xm64, xmm", "m,r", "F2 0F 11 /r")
+	sseArith(ADDPS, ADDPD, ADDSS, ADDSD, "58")
+	sseArith(MULPS, MULPD, MULSS, MULSD, "59")
+	sseArith(SUBPS, SUBPD, SUBSS, SUBSD, "5C")
+	sseArith(MINPS, BAD, MINSS, MINSD, "5D")
+	sseArith(DIVPS, DIVPD, DIVSS, DIVSD, "5E")
+	sseArith(MAXPS, BAD, MAXSS, MAXSD, "5F")
+	sseArith(SQRTPS, SQRTPD, SQRTSS, SQRTSD, "51")
+	addForm(UCOMISS, "xmm, xm32", "r,m", "0F 2E /r")
+	addForm(UCOMISD, "xmm, xm64", "r,m", "66 0F 2E /r")
+	addForm(CVTSI2SS, "xmm, rm32", "r,m", "F3 0F 2A /r")
+	addForm(CVTSI2SS, "xmm, rm64", "r,m", "F3 REX.W 0F 2A /r")
+	addForm(CVTSI2SD, "xmm, rm32", "r,m", "F2 0F 2A /r")
+	addForm(CVTSI2SD, "xmm, rm64", "r,m", "F2 REX.W 0F 2A /r")
+	addForm(CVTTSS2SI, "r32, xm32", "r,m", "F3 0F 2C /r")
+	addForm(CVTTSS2SI, "r64, xm32", "r,m", "F3 REX.W 0F 2C /r")
+	addForm(CVTTSD2SI, "r32, xm64", "r,m", "F2 0F 2C /r")
+	addForm(CVTTSD2SI, "r64, xm64", "r,m", "F2 REX.W 0F 2C /r")
+	addForm(CVTSS2SD, "xmm, xm32", "r,m", "F3 0F 5A /r")
+	addForm(CVTSD2SS, "xmm, xm64", "r,m", "F2 0F 5A /r")
+	addForm(CVTDQ2PS, "xmm, xm128", "r,m", "0F 5B /r")
+	addForm(CVTPS2DQ, "xmm, xm128", "r,m", "66 0F 5B /r")
+
+	addForm(MOVD, "xmm, rm32", "r,m", "66 0F 6E /r")
+	addForm(MOVD, "rm32, xmm", "m,r", "66 0F 7E /r")
+	addForm(MOVQ, "xmm, rm64", "r,m", "66 REX.W 0F 6E /r")
+	addForm(MOVQ, "rm64, xmm", "m,r", "66 REX.W 0F 7E /r")
+	addForm(MOVQ, "xmm, xm64", "r,m", "F3 0F 7E /r")
+	addForm(MOVQ, "xm64, xmm", "m,r", "66 0F D6 /r")
+
+	addForm(MOVAPS, "xmm, xm128", "r,m", "0F 28 /r")
+	addForm(MOVAPS, "xm128, xmm", "m,r", "0F 29 /r")
+	addForm(MOVUPS, "xmm, xm128", "r,m", "0F 10 /r")
+	addForm(MOVUPS, "xm128, xmm", "m,r", "0F 11 /r")
+	addForm(MOVAPD, "xmm, xm128", "r,m", "66 0F 28 /r")
+	addForm(MOVAPD, "xm128, xmm", "m,r", "66 0F 29 /r")
+	addForm(MOVUPD, "xmm, xm128", "r,m", "66 0F 10 /r")
+	addForm(MOVUPD, "xm128, xmm", "m,r", "66 0F 11 /r")
+	addForm(MOVDQA, "xmm, xm128", "r,m", "66 0F 6F /r")
+	addForm(MOVDQA, "xm128, xmm", "m,r", "66 0F 7F /r")
+	addForm(MOVDQU, "xmm, xm128", "r,m", "F3 0F 6F /r")
+	addForm(MOVDQU, "xm128, xmm", "m,r", "F3 0F 7F /r")
+
+	addForm(XORPS, "xmm, xm128", "r,m", "0F 57 /r")
+	addForm(XORPD, "xmm, xm128", "r,m", "66 0F 57 /r")
+	addForm(ANDPS, "xmm, xm128", "r,m", "0F 54 /r")
+	addForm(ANDPD, "xmm, xm128", "r,m", "66 0F 54 /r")
+	addForm(ORPS, "xmm, xm128", "r,m", "0F 56 /r")
+	addForm(ORPD, "xmm, xm128", "r,m", "66 0F 56 /r")
+	addForm(SHUFPS, "xmm, xm128, i8", "r,m,i", "0F C6 /r ib")
+	addForm(UNPCKLPS, "xmm, xm128", "r,m", "0F 14 /r")
+	addForm(MOVMSKPS, "r32, xmm", "r,m", "0F 50 /r")
+
+	// --- SSE packed integer ---
+	sseIntALU(PXOR, "EF")
+	sseIntALU(PAND, "DB")
+	sseIntALU(PANDN, "DF")
+	sseIntALU(POR, "EB")
+	sseIntALU(PADDB, "FC")
+	sseIntALU(PADDW, "FD")
+	sseIntALU(PADDD, "FE")
+	sseIntALU(PADDQ, "D4")
+	sseIntALU(PSUBB, "F8")
+	sseIntALU(PSUBW, "F9")
+	sseIntALU(PSUBD, "FA")
+	sseIntALU(PSUBQ, "FB")
+	sseIntALU(PMULLW, "D5")
+	sseIntALU(PMULUDQ, "F4")
+	addForm(PMULLD, "xmm, xm128", "r,m", "66 0F 38 40 /r")
+	sseIntALU(PCMPEQB, "74")
+	sseIntALU(PCMPEQD, "76")
+	sseIntALU(PCMPGTB, "64")
+	sseIntALU(PCMPGTD, "66")
+	sseIntALU(PSLLW, "F1")
+	sseIntALU(PSLLD, "F2")
+	sseIntALU(PSLLQ, "F3")
+	sseIntALU(PSRLW, "D1")
+	sseIntALU(PSRLD, "D2")
+	sseIntALU(PSRLQ, "D3")
+	sseIntALU(PSRAW, "E1")
+	sseIntALU(PSRAD, "E2")
+	addForm(PSLLW, "xmm, i8", "m,i", "66 0F 71 /6 ib")
+	addForm(PSLLD, "xmm, i8", "m,i", "66 0F 72 /6 ib")
+	addForm(PSLLQ, "xmm, i8", "m,i", "66 0F 73 /6 ib")
+	addForm(PSRLW, "xmm, i8", "m,i", "66 0F 71 /2 ib")
+	addForm(PSRLD, "xmm, i8", "m,i", "66 0F 72 /2 ib")
+	addForm(PSRLQ, "xmm, i8", "m,i", "66 0F 73 /2 ib")
+	addForm(PSRAW, "xmm, i8", "m,i", "66 0F 71 /4 ib")
+	addForm(PSRAD, "xmm, i8", "m,i", "66 0F 72 /4 ib")
+	sseIntALU(PUNPCKLBW, "60")
+	sseIntALU(PUNPCKLWD, "61")
+	sseIntALU(PUNPCKLDQ, "62")
+	sseIntALU(PUNPCKHDQ, "6A")
+	addForm(PSHUFD, "xmm, xm128, i8", "r,m,i", "66 0F 70 /r ib")
+	addForm(PMOVMSKB, "r32, xmm", "r,m", "66 0F D7 /r")
+
+	// --- AVX / AVX2 ---
+	addForm(VMOVSS, "xmm, m32", "r,m", "VEX.LIG.F3.0F.WIG 10 /r")
+	addForm(VMOVSS, "m32, xmm", "m,r", "VEX.LIG.F3.0F.WIG 11 /r")
+	addForm(VMOVSS, "xmm, xmm, xmm", "r,v,m", "VEX.NDS.LIG.F3.0F.WIG 10 /r")
+	addForm(VMOVSD, "xmm, m64", "r,m", "VEX.LIG.F2.0F.WIG 10 /r")
+	addForm(VMOVSD, "m64, xmm", "m,r", "VEX.LIG.F2.0F.WIG 11 /r")
+	addForm(VMOVSD, "xmm, xmm, xmm", "r,v,m", "VEX.NDS.LIG.F2.0F.WIG 10 /r")
+
+	vexMove := func(op Op, pp string, load, store string) {
+		addForm(op, "xmm, xm128", "r,m", "VEX.128."+pp+"0F.WIG "+load+" /r")
+		addForm(op, "xm128, xmm", "m,r", "VEX.128."+pp+"0F.WIG "+store+" /r")
+		addForm(op, "ymm, ym256", "r,m", "VEX.256."+pp+"0F.WIG "+load+" /r")
+		addForm(op, "ym256, ymm", "m,r", "VEX.256."+pp+"0F.WIG "+store+" /r")
+	}
+	vexMove(VMOVAPS, "", "28", "29")
+	vexMove(VMOVUPS, "", "10", "11")
+	vexMove(VMOVAPD, "66.", "28", "29")
+	vexMove(VMOVUPD, "66.", "10", "11")
+	vexMove(VMOVDQA, "66.", "6F", "7F")
+	vexMove(VMOVDQU, "F3.", "6F", "7F")
+
+	vexScalar(VADDSS, "F3.", "58", "xm32")
+	vexScalar(VADDSD, "F2.", "58", "xm64")
+	vexScalar(VSUBSS, "F3.", "5C", "xm32")
+	vexScalar(VSUBSD, "F2.", "5C", "xm64")
+	vexScalar(VMULSS, "F3.", "59", "xm32")
+	vexScalar(VMULSD, "F2.", "59", "xm64")
+	vexScalar(VDIVSS, "F3.", "5E", "xm32")
+	vexScalar(VDIVSD, "F2.", "5E", "xm64")
+
+	vexArith(VADDPS, "", ".0F", "58", "WIG")
+	vexArith(VADDPD, "66", ".0F", "58", "WIG")
+	vexArith(VSUBPS, "", ".0F", "5C", "WIG")
+	vexArith(VSUBPD, "66", ".0F", "5C", "WIG")
+	vexArith(VMULPS, "", ".0F", "59", "WIG")
+	vexArith(VMULPD, "66", ".0F", "59", "WIG")
+	vexArith(VDIVPS, "", ".0F", "5E", "WIG")
+	vexArith(VDIVPD, "66", ".0F", "5E", "WIG")
+	vexArith(VMINPS, "", ".0F", "5D", "WIG")
+	vexArith(VMAXPS, "", ".0F", "5F", "WIG")
+	vexArith(VXORPS, "", ".0F", "57", "WIG")
+	vexArith(VXORPD, "66", ".0F", "57", "WIG")
+	vexArith(VANDPS, "", ".0F", "54", "WIG")
+	vexArith(VANDPD, "66", ".0F", "54", "WIG")
+	vexArith(VORPS, "", ".0F", "56", "WIG")
+	vexArith(VORPD, "66", ".0F", "56", "WIG")
+	addForm(VSQRTPS, "xmm, xm128", "r,m", "VEX.128.0F.WIG 51 /r")
+	addForm(VSQRTPS, "ymm, ym256", "r,m", "VEX.256.0F.WIG 51 /r")
+	addForm(VSQRTPD, "xmm, xm128", "r,m", "VEX.128.66.0F.WIG 51 /r")
+	addForm(VSQRTPD, "ymm, ym256", "r,m", "VEX.256.66.0F.WIG 51 /r")
+	addForm(VUCOMISS, "xmm, xm32", "r,m", "VEX.LIG.0F.WIG 2E /r")
+	addForm(VUCOMISD, "xmm, xm64", "r,m", "VEX.LIG.66.0F.WIG 2E /r")
+	addForm(VSHUFPS, "xmm, xmm, xm128, i8", "r,v,m,i", "VEX.NDS.128.0F.WIG C6 /r ib")
+	addForm(VSHUFPS, "ymm, ymm, ym256, i8", "r,v,m,i", "VEX.NDS.256.0F.WIG C6 /r ib")
+	addForm(VCVTDQ2PS, "xmm, xm128", "r,m", "VEX.128.0F.WIG 5B /r")
+	addForm(VCVTDQ2PS, "ymm, ym256", "r,m", "VEX.256.0F.WIG 5B /r")
+	addForm(VCVTPS2DQ, "xmm, xm128", "r,m", "VEX.128.66.0F.WIG 5B /r")
+	addForm(VCVTPS2DQ, "ymm, ym256", "r,m", "VEX.256.66.0F.WIG 5B /r")
+
+	addForm(VBROADCASTSS, "xmm, m32", "r,m", "VEX.128.66.0F38.W0 18 /r")
+	addForm(VBROADCASTSS, "ymm, m32", "r,m", "VEX.256.66.0F38.W0 18 /r")
+	addForm(VBROADCASTSS, "xmm, xmm", "r,m", "VEX.128.66.0F38.W0 18 /r")
+	addForm(VBROADCASTSS, "ymm, xmm", "r,m", "VEX.256.66.0F38.W0 18 /r")
+	addForm(VBROADCASTSD, "ymm, m64", "r,m", "VEX.256.66.0F38.W0 19 /r")
+	addForm(VBROADCASTSD, "ymm, xmm", "r,m", "VEX.256.66.0F38.W0 19 /r")
+	addForm(VEXTRACTF128, "xm128, ymm, i8", "m,r,i", "VEX.256.66.0F3A.W0 19 /r ib")
+	addForm(VINSERTF128, "ymm, ymm, xm128, i8", "r,v,m,i", "VEX.NDS.256.66.0F3A.W0 18 /r ib")
+	addForm(VZEROUPPER, "", "", "VEX.128.0F.WIG 77")
+
+	vexInt := func(op Op, opc string) { vexArith(op, "66", ".0F", opc, "WIG") }
+	vexInt(VPXOR, "EF")
+	vexInt(VPAND, "DB")
+	vexInt(VPANDN, "DF")
+	vexInt(VPOR, "EB")
+	vexInt(VPADDB, "FC")
+	vexInt(VPADDW, "FD")
+	vexInt(VPADDD, "FE")
+	vexInt(VPADDQ, "D4")
+	vexInt(VPSUBB, "F8")
+	vexInt(VPSUBW, "F9")
+	vexInt(VPSUBD, "FA")
+	vexInt(VPSUBQ, "FB")
+	vexInt(VPMULLW, "D5")
+	vexArith(VPMULLD, "66", ".0F38", "40", "WIG")
+	vexInt(VPCMPEQB, "74")
+	vexInt(VPCMPEQD, "76")
+	vexInt(VPCMPGTD, "66")
+	vexInt(VPSLLD, "F2")
+	vexInt(VPSLLQ, "F3")
+	vexInt(VPSRLD, "D2")
+	vexInt(VPSRLQ, "D3")
+	addForm(VPSLLD, "xmm, xmm, i8", "v,m,i", "VEX.NDD.128.66.0F.WIG 72 /6 ib")
+	addForm(VPSLLD, "ymm, ymm, i8", "v,m,i", "VEX.NDD.256.66.0F.WIG 72 /6 ib")
+	addForm(VPSRLD, "xmm, xmm, i8", "v,m,i", "VEX.NDD.128.66.0F.WIG 72 /2 ib")
+	addForm(VPSRLD, "ymm, ymm, i8", "v,m,i", "VEX.NDD.256.66.0F.WIG 72 /2 ib")
+	addForm(VPSHUFD, "xmm, xm128, i8", "r,m,i", "VEX.128.66.0F.WIG 70 /r ib")
+	addForm(VPSHUFD, "ymm, ym256, i8", "r,m,i", "VEX.256.66.0F.WIG 70 /r ib")
+	addForm(VPMOVMSKB, "r32, xmm", "r,m", "VEX.128.66.0F.WIG D7 /r")
+	addForm(VPMOVMSKB, "r32, ymm", "r,m", "VEX.256.66.0F.WIG D7 /r")
+	addForm(VPBROADCASTB, "xmm, xmm", "r,m", "VEX.128.66.0F38.W0 78 /r")
+	addForm(VPBROADCASTD, "xmm, xm32", "r,m", "VEX.128.66.0F38.W0 58 /r")
+	addForm(VPBROADCASTD, "ymm, xm32", "r,m", "VEX.256.66.0F38.W0 58 /r")
+	addForm(VPBROADCASTQ, "xmm, xm64", "r,m", "VEX.128.66.0F38.W0 59 /r")
+	addForm(VPBROADCASTQ, "ymm, xm64", "r,m", "VEX.256.66.0F38.W0 59 /r")
+	addForm(VEXTRACTI128, "xm128, ymm, i8", "m,r,i", "VEX.256.66.0F3A.W0 39 /r ib")
+	addForm(VINSERTI128, "ymm, ymm, xm128, i8", "r,v,m,i", "VEX.NDS.256.66.0F3A.W0 38 /r ib")
+
+	fmaPacked(VFMADD132PS, "98", "W0")
+	fmaPacked(VFMADD213PS, "A8", "W0")
+	fmaPacked(VFMADD231PS, "B8", "W0")
+	fmaPacked(VFMADD132PD, "98", "W1")
+	fmaPacked(VFMADD213PD, "A8", "W1")
+	fmaPacked(VFMADD231PD, "B8", "W1")
+	fmaScalar(VFMADD132SS, "99", "W0", "xm32")
+	fmaScalar(VFMADD213SS, "A9", "W0", "xm32")
+	fmaScalar(VFMADD231SS, "B9", "W0", "xm32")
+	fmaScalar(VFMADD132SD, "99", "W1", "xm64")
+	fmaScalar(VFMADD213SD, "A9", "W1", "xm64")
+	fmaScalar(VFMADD231SD, "B9", "W1", "xm64")
+	fmaPacked(VFNMADD231PS, "BC", "W0")
+	fmaPacked(VFNMADD231PD, "BC", "W1")
+}
+
+func init() {
+	buildForms()
+	buildDecodeIndex()
+}

@@ -1,0 +1,73 @@
+package x86
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeNeverPanics throws random byte soup at the decoder: it must
+// return an error or an instruction, never panic, and never consume zero
+// bytes on success.
+func TestDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	buf := make([]byte, 16)
+	for i := 0; i < 200000; i++ {
+		n := 1 + rng.Intn(15)
+		for j := 0; j < n; j++ {
+			buf[j] = byte(rng.Intn(256))
+		}
+		in, used, err := Decode(buf[:n])
+		if err != nil {
+			continue
+		}
+		if used <= 0 || used > n {
+			t.Fatalf("decode consumed %d of %d bytes (% x)", used, n, buf[:n])
+		}
+		// A successfully decoded instruction must re-encode (possibly to a
+		// different but equivalent byte pattern).
+		if _, err := Encode(in); err != nil {
+			t.Fatalf("decoded %q from % x but cannot re-encode: %v", in.String(), buf[:used], err)
+		}
+	}
+}
+
+// TestDecodeTruncationsOfValidCode truncates valid encodings at every
+// length: the decoder must fail cleanly, not read out of bounds.
+func TestDecodeTruncationsOfValidCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		in := randomInst(rng)
+		raw, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(raw); cut++ {
+			_, _, _ = Decode(raw[:cut]) // must not panic
+		}
+	}
+}
+
+// TestMutatedValidCode flips bytes in valid encodings; decoding must stay
+// panic-free and any successful decode must still re-encode.
+func TestMutatedValidCode(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 20000; i++ {
+		in := randomInst(rng)
+		raw, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos := rng.Intn(len(raw))
+		raw[pos] ^= byte(1 << rng.Intn(8))
+		got, used, err := Decode(raw)
+		if err != nil {
+			continue
+		}
+		if used <= 0 {
+			t.Fatalf("zero-length decode of % x", raw)
+		}
+		if _, err := Encode(got); err != nil {
+			t.Fatalf("mutated decode %q does not re-encode: %v", got.String(), err)
+		}
+	}
+}

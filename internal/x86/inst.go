@@ -1,0 +1,177 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Inst is one decoded or assembled instruction. Args are in Intel order
+// (destination first).
+type Inst struct {
+	Op   Op
+	Args []Operand
+}
+
+// NewInst builds an instruction from an op and operands.
+func NewInst(op Op, args ...Operand) Inst { return Inst{Op: op, Args: args} }
+
+// Form resolves the encoding form for the instruction's operand shapes.
+func (in *Inst) Form() (*Form, error) {
+	for _, idx := range FormsOf(in.Op) {
+		f := &Forms[idx]
+		if f.Match(in.Args) {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("x86: no encoding for %s", in)
+}
+
+// MemArg returns the index of the memory operand, or -1 if none. x86
+// instructions have at most one memory operand.
+func (in *Inst) MemArg() int {
+	for i, a := range in.Args {
+		if a.Kind == KindMem {
+			return i
+		}
+	}
+	return -1
+}
+
+// ArgIO reports whether explicit operand k is read and/or written,
+// based on the opcode's semantic class.
+func (in *Inst) ArgIO(k int) (read, write bool) {
+	info := in.Op.info()
+	cls := info.class
+	// Two-operand VEX forms (pure moves/broadcasts) behave like clsMov.
+	if cls == clsVex3 && len(in.Args) < 3 {
+		cls = clsMov
+	}
+	switch cls {
+	case clsMov:
+		if k == 0 {
+			return false, true
+		}
+		return true, false
+	case clsRMW:
+		if in.Op == XCHG {
+			return true, true
+		}
+		if in.Op == IMUL && len(in.Args) == 3 {
+			// Three-operand imul writes (not reads) its destination.
+			if k == 0 {
+				return false, true
+			}
+			return true, false
+		}
+		if k == 0 {
+			return true, true
+		}
+		return true, false
+	case clsCmp, clsSrc, clsBranch:
+		return true, false
+	case clsUnary:
+		return true, true
+	case clsVex3:
+		if k == 0 {
+			return false, true
+		}
+		return true, false
+	case clsFMA:
+		if k == 0 {
+			return true, true
+		}
+		return true, false
+	}
+	return false, false
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (in *Inst) IsLoad() bool {
+	if m := in.MemArg(); m >= 0 {
+		if in.Op == LEA {
+			return false
+		}
+		r, _ := in.ArgIO(m)
+		return r
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes memory.
+func (in *Inst) IsStore() bool {
+	if m := in.MemArg(); m >= 0 {
+		if in.Op == LEA {
+			return false
+		}
+		_, w := in.ArgIO(m)
+		return w
+	}
+	return false
+}
+
+// RegReads returns the architectural registers read by the instruction:
+// explicit read operands, addressing registers of any memory operand, and
+// implicit reads. High-level consumers dedupe as needed.
+func (in *Inst) RegReads() []Reg {
+	var out []Reg
+	for k, a := range in.Args {
+		switch a.Kind {
+		case KindReg:
+			r, w := in.ArgIO(k)
+			// Writes to 8/16-bit sub-registers merge into the old value, so
+			// they also read; 32-bit writes zero-extend and do not.
+			if r || (w && (a.Reg.Class() == ClassGP8 || a.Reg.Class() == ClassGP16)) {
+				out = append(out, a.Reg)
+			}
+		case KindMem:
+			if a.Mem.Base != RegNone && a.Mem.Base != RIP {
+				out = append(out, a.Mem.Base)
+			}
+			if a.Mem.Index != RegNone {
+				out = append(out, a.Mem.Index)
+			}
+		}
+	}
+	out = append(out, in.Op.ImplicitReads()...)
+	if in.hasCLCount() {
+		out = append(out, RCX)
+	}
+	return out
+}
+
+// RegWrites returns the architectural registers written by the instruction.
+func (in *Inst) RegWrites() []Reg {
+	var out []Reg
+	for k, a := range in.Args {
+		if a.Kind != KindReg {
+			continue
+		}
+		if _, w := in.ArgIO(k); w {
+			out = append(out, a.Reg)
+		}
+	}
+	out = append(out, in.Op.ImplicitWrites()...)
+	return out
+}
+
+// hasCLCount reports whether the instruction is a shift/rotate whose count
+// operand is the CL register.
+func (in *Inst) hasCLCount() bool {
+	switch in.Op {
+	case SHL, SHR, SAR, ROL, ROR:
+		return len(in.Args) == 2 && in.Args[1].IsReg(CL)
+	}
+	return false
+}
+
+// String renders the instruction in Intel syntax.
+func (in Inst) String() string {
+	if len(in.Args) == 0 {
+		return in.Op.String()
+	}
+	parts := make([]string, len(in.Args))
+	for i, a := range in.Args {
+		parts[i] = a.String()
+	}
+	return in.Op.String() + " " + strings.Join(parts, ", ")
+}

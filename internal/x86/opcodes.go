@@ -1,0 +1,710 @@
+package x86
+
+// Op identifies an instruction mnemonic. Condition-code variants (CMOVcc,
+// SETcc, Jcc) are distinct Ops.
+type Op uint16
+
+// Opcode constants, grouped by functional class.
+const (
+	BAD Op = iota
+
+	// Data movement.
+	MOV
+	MOVZX
+	MOVSX
+	MOVSXD
+	LEA
+	PUSH
+	POP
+	XCHG
+
+	// Integer arithmetic / logic (two-operand read-modify-write).
+	ADD
+	ADC
+	SUB
+	SBB
+	AND
+	OR
+	XOR
+	CMP
+	TEST
+
+	// Unary read-modify-write.
+	INC
+	DEC
+	NEG
+	NOT
+	BSWAP
+
+	// Multiply / divide (implicit RAX/RDX forms and 2/3-operand imul).
+	IMUL
+	MUL
+	DIV
+	IDIV
+	CDQ
+	CQO
+
+	// Shifts and rotates.
+	SHL
+	SHR
+	SAR
+	ROL
+	ROR
+
+	// Bit manipulation.
+	POPCNT
+	LZCNT
+	TZCNT
+	BSF
+	BSR
+	BT
+
+	// Conditional moves.
+	CMOVE
+	CMOVNE
+	CMOVL
+	CMOVLE
+	CMOVG
+	CMOVGE
+	CMOVB
+	CMOVBE
+	CMOVA
+	CMOVAE
+	CMOVS
+	CMOVNS
+
+	// Conditional sets.
+	SETE
+	SETNE
+	SETL
+	SETLE
+	SETG
+	SETGE
+	SETB
+	SETBE
+	SETA
+	SETAE
+	SETS
+	SETNS
+
+	NOP
+
+	// Control flow (terminates basic blocks; never appears inside them).
+	JMP
+	JE
+	JNE
+	JL
+	JLE
+	JG
+	JGE
+	JB
+	JBE
+	JA
+	JAE
+	JS
+	JNS
+	CALL
+	RET
+
+	// SSE scalar float.
+	MOVSS
+	MOVSD
+	ADDSS
+	ADDSD
+	SUBSS
+	SUBSD
+	MULSS
+	MULSD
+	DIVSS
+	DIVSD
+	SQRTSS
+	SQRTSD
+	MINSS
+	MINSD
+	MAXSS
+	MAXSD
+	UCOMISS
+	UCOMISD
+	CVTSI2SS
+	CVTSI2SD
+	CVTTSS2SI
+	CVTTSD2SI
+	CVTSS2SD
+	CVTSD2SS
+
+	// SSE data movement.
+	MOVD
+	MOVQ
+	MOVAPS
+	MOVUPS
+	MOVAPD
+	MOVUPD
+	MOVDQA
+	MOVDQU
+
+	// SSE packed float.
+	ADDPS
+	ADDPD
+	SUBPS
+	SUBPD
+	MULPS
+	MULPD
+	DIVPS
+	DIVPD
+	SQRTPS
+	SQRTPD
+	MINPS
+	MAXPS
+	XORPS
+	XORPD
+	ANDPS
+	ANDPD
+	ORPS
+	ORPD
+	SHUFPS
+	UNPCKLPS
+	CVTDQ2PS
+	CVTPS2DQ
+	MOVMSKPS
+
+	// SSE packed integer.
+	PXOR
+	PAND
+	PANDN
+	POR
+	PADDB
+	PADDW
+	PADDD
+	PADDQ
+	PSUBB
+	PSUBW
+	PSUBD
+	PSUBQ
+	PMULLW
+	PMULLD
+	PMULUDQ
+	PCMPEQB
+	PCMPEQD
+	PCMPGTB
+	PCMPGTD
+	PSLLW
+	PSLLD
+	PSLLQ
+	PSRLW
+	PSRLD
+	PSRLQ
+	PSRAW
+	PSRAD
+	PUNPCKLBW
+	PUNPCKLWD
+	PUNPCKLDQ
+	PUNPCKHDQ
+	PSHUFD
+	PMOVMSKB
+
+	// AVX (VEX-encoded) moves and float math; 128- and 256-bit forms.
+	VMOVSS
+	VMOVSD
+	VMOVAPS
+	VMOVUPS
+	VMOVAPD
+	VMOVUPD
+	VMOVDQA
+	VMOVDQU
+	VADDSS
+	VADDSD
+	VSUBSS
+	VSUBSD
+	VMULSS
+	VMULSD
+	VDIVSS
+	VDIVSD
+	VADDPS
+	VADDPD
+	VSUBPS
+	VSUBPD
+	VMULPS
+	VMULPD
+	VDIVPS
+	VDIVPD
+	VSQRTPS
+	VSQRTPD
+	VMINPS
+	VMAXPS
+	VXORPS
+	VXORPD
+	VANDPS
+	VANDPD
+	VORPS
+	VORPD
+	VUCOMISS
+	VUCOMISD
+	VSHUFPS
+	VCVTDQ2PS
+	VCVTPS2DQ
+	VBROADCASTSS
+	VBROADCASTSD
+	VEXTRACTF128
+	VINSERTF128
+	VZEROUPPER
+
+	// AVX2 packed integer (256-bit) and AVX integer (128-bit) forms.
+	VPXOR
+	VPAND
+	VPANDN
+	VPOR
+	VPADDB
+	VPADDW
+	VPADDD
+	VPADDQ
+	VPSUBB
+	VPSUBW
+	VPSUBD
+	VPSUBQ
+	VPMULLW
+	VPMULLD
+	VPCMPEQB
+	VPCMPEQD
+	VPCMPGTD
+	VPSLLD
+	VPSLLQ
+	VPSRLD
+	VPSRLQ
+	VPSHUFD
+	VPMOVMSKB
+	VPBROADCASTB
+	VPBROADCASTD
+	VPBROADCASTQ
+	VEXTRACTI128
+	VINSERTI128
+
+	// FMA (Haswell+).
+	VFMADD132PS
+	VFMADD213PS
+	VFMADD231PS
+	VFMADD132PD
+	VFMADD213PD
+	VFMADD231PD
+	VFMADD132SS
+	VFMADD213SS
+	VFMADD231SS
+	VFMADD132SD
+	VFMADD213SD
+	VFMADD231SD
+	VFNMADD231PS
+	VFNMADD231PD
+
+	NumOps // sentinel
+)
+
+// opClass determines the default read/write behaviour of an instruction's
+// explicit operands.
+type opClass uint8
+
+const (
+	clsNone   opClass = iota
+	clsMov            // arg0 written, remaining args read (mov, lea, cvt, setcc targets...)
+	clsRMW            // arg0 read+written, remaining args read (add, shl, ...)
+	clsCmp            // all args read (cmp, test, ucomiss)
+	clsUnary          // arg0 read+written (inc, neg, bswap)
+	clsSrc            // all args read, results in implicit regs (push, mul, div)
+	clsVex3           // arg0 written, args 1..n read (AVX non-destructive 3-op)
+	clsFMA            // arg0 read+written, args 1..2 read
+	clsBranch         // control flow
+)
+
+// flagEffect describes interaction with RFLAGS.
+type flagEffect uint8
+
+const (
+	flagsNone flagEffect = 0
+	flagsW    flagEffect = 1 << iota // writes status flags
+	flagsR                           // reads status flags
+)
+
+// opInfo is per-mnemonic metadata shared by all encoding forms.
+type opInfo struct {
+	name  string
+	class opClass
+	flags flagEffect
+	// implicitR/implicitW list architectural registers read/written beyond
+	// the explicit operands (e.g. DIV reads and writes RAX and RDX).
+	implicitR []Reg
+	implicitW []Reg
+	// cond is the condition code for CMOVcc/SETcc/Jcc, else condNone.
+	cond cond
+}
+
+// cond enumerates x86 condition codes used by this subset. The exported
+// alias Cond and CondXX constants let other packages evaluate conditions.
+type cond uint8
+
+// Cond is the exported name for condition codes.
+type Cond = cond
+
+// Exported condition-code constants.
+const (
+	CondNone = condNone
+	CondE    = condE
+	CondNE   = condNE
+	CondL    = condL
+	CondLE   = condLE
+	CondG    = condG
+	CondGE   = condGE
+	CondB    = condB
+	CondBE   = condBE
+	CondA    = condA
+	CondAE   = condAE
+	CondS    = condS
+	CondNS   = condNS
+)
+
+// Cond returns the condition code of CMOVcc/SETcc/Jcc ops, CondNone
+// otherwise.
+func (op Op) Cond() Cond { return opInfos[op].cond }
+
+const (
+	condNone cond = iota
+	condE
+	condNE
+	condL
+	condLE
+	condG
+	condGE
+	condB
+	condBE
+	condA
+	condAE
+	condS
+	condNS
+)
+
+var opInfos = [NumOps]opInfo{
+	BAD: {name: "(bad)"},
+
+	MOV:    {name: "mov", class: clsMov},
+	MOVZX:  {name: "movzx", class: clsMov},
+	MOVSX:  {name: "movsx", class: clsMov},
+	MOVSXD: {name: "movsxd", class: clsMov},
+	LEA:    {name: "lea", class: clsMov},
+	PUSH:   {name: "push", class: clsSrc, implicitR: []Reg{RSP}, implicitW: []Reg{RSP}},
+	POP:    {name: "pop", class: clsMov, implicitR: []Reg{RSP}, implicitW: []Reg{RSP}},
+	XCHG:   {name: "xchg", class: clsRMW},
+
+	ADD:  {name: "add", class: clsRMW, flags: flagsW},
+	ADC:  {name: "adc", class: clsRMW, flags: flagsW | flagsR},
+	SUB:  {name: "sub", class: clsRMW, flags: flagsW},
+	SBB:  {name: "sbb", class: clsRMW, flags: flagsW | flagsR},
+	AND:  {name: "and", class: clsRMW, flags: flagsW},
+	OR:   {name: "or", class: clsRMW, flags: flagsW},
+	XOR:  {name: "xor", class: clsRMW, flags: flagsW},
+	CMP:  {name: "cmp", class: clsCmp, flags: flagsW},
+	TEST: {name: "test", class: clsCmp, flags: flagsW},
+
+	INC:   {name: "inc", class: clsUnary, flags: flagsW},
+	DEC:   {name: "dec", class: clsUnary, flags: flagsW},
+	NEG:   {name: "neg", class: clsUnary, flags: flagsW},
+	NOT:   {name: "not", class: clsUnary},
+	BSWAP: {name: "bswap", class: clsUnary},
+
+	IMUL: {name: "imul", class: clsRMW, flags: flagsW},
+	MUL:  {name: "mul", class: clsSrc, flags: flagsW, implicitR: []Reg{RAX}, implicitW: []Reg{RAX, RDX}},
+	DIV:  {name: "div", class: clsSrc, flags: flagsW, implicitR: []Reg{RAX, RDX}, implicitW: []Reg{RAX, RDX}},
+	IDIV: {name: "idiv", class: clsSrc, flags: flagsW, implicitR: []Reg{RAX, RDX}, implicitW: []Reg{RAX, RDX}},
+	CDQ:  {name: "cdq", class: clsNone, implicitR: []Reg{RAX}, implicitW: []Reg{RDX}},
+	CQO:  {name: "cqo", class: clsNone, implicitR: []Reg{RAX}, implicitW: []Reg{RDX}},
+
+	SHL: {name: "shl", class: clsRMW, flags: flagsW},
+	SHR: {name: "shr", class: clsRMW, flags: flagsW},
+	SAR: {name: "sar", class: clsRMW, flags: flagsW},
+	ROL: {name: "rol", class: clsRMW, flags: flagsW},
+	ROR: {name: "ror", class: clsRMW, flags: flagsW},
+
+	POPCNT: {name: "popcnt", class: clsMov, flags: flagsW},
+	LZCNT:  {name: "lzcnt", class: clsMov, flags: flagsW},
+	TZCNT:  {name: "tzcnt", class: clsMov, flags: flagsW},
+	BSF:    {name: "bsf", class: clsMov, flags: flagsW},
+	BSR:    {name: "bsr", class: clsMov, flags: flagsW},
+	BT:     {name: "bt", class: clsCmp, flags: flagsW},
+
+	CMOVE:  {name: "cmove", class: clsRMW, flags: flagsR, cond: condE},
+	CMOVNE: {name: "cmovne", class: clsRMW, flags: flagsR, cond: condNE},
+	CMOVL:  {name: "cmovl", class: clsRMW, flags: flagsR, cond: condL},
+	CMOVLE: {name: "cmovle", class: clsRMW, flags: flagsR, cond: condLE},
+	CMOVG:  {name: "cmovg", class: clsRMW, flags: flagsR, cond: condG},
+	CMOVGE: {name: "cmovge", class: clsRMW, flags: flagsR, cond: condGE},
+	CMOVB:  {name: "cmovb", class: clsRMW, flags: flagsR, cond: condB},
+	CMOVBE: {name: "cmovbe", class: clsRMW, flags: flagsR, cond: condBE},
+	CMOVA:  {name: "cmova", class: clsRMW, flags: flagsR, cond: condA},
+	CMOVAE: {name: "cmovae", class: clsRMW, flags: flagsR, cond: condAE},
+	CMOVS:  {name: "cmovs", class: clsRMW, flags: flagsR, cond: condS},
+	CMOVNS: {name: "cmovns", class: clsRMW, flags: flagsR, cond: condNS},
+
+	SETE:  {name: "sete", class: clsMov, flags: flagsR, cond: condE},
+	SETNE: {name: "setne", class: clsMov, flags: flagsR, cond: condNE},
+	SETL:  {name: "setl", class: clsMov, flags: flagsR, cond: condL},
+	SETLE: {name: "setle", class: clsMov, flags: flagsR, cond: condLE},
+	SETG:  {name: "setg", class: clsMov, flags: flagsR, cond: condG},
+	SETGE: {name: "setge", class: clsMov, flags: flagsR, cond: condGE},
+	SETB:  {name: "setb", class: clsMov, flags: flagsR, cond: condB},
+	SETBE: {name: "setbe", class: clsMov, flags: flagsR, cond: condBE},
+	SETA:  {name: "seta", class: clsMov, flags: flagsR, cond: condA},
+	SETAE: {name: "setae", class: clsMov, flags: flagsR, cond: condAE},
+	SETS:  {name: "sets", class: clsMov, flags: flagsR, cond: condS},
+	SETNS: {name: "setns", class: clsMov, flags: flagsR, cond: condNS},
+
+	NOP: {name: "nop", class: clsNone},
+
+	JMP:  {name: "jmp", class: clsBranch},
+	JE:   {name: "je", class: clsBranch, flags: flagsR, cond: condE},
+	JNE:  {name: "jne", class: clsBranch, flags: flagsR, cond: condNE},
+	JL:   {name: "jl", class: clsBranch, flags: flagsR, cond: condL},
+	JLE:  {name: "jle", class: clsBranch, flags: flagsR, cond: condLE},
+	JG:   {name: "jg", class: clsBranch, flags: flagsR, cond: condG},
+	JGE:  {name: "jge", class: clsBranch, flags: flagsR, cond: condGE},
+	JB:   {name: "jb", class: clsBranch, flags: flagsR, cond: condB},
+	JBE:  {name: "jbe", class: clsBranch, flags: flagsR, cond: condBE},
+	JA:   {name: "ja", class: clsBranch, flags: flagsR, cond: condA},
+	JAE:  {name: "jae", class: clsBranch, flags: flagsR, cond: condAE},
+	JS:   {name: "js", class: clsBranch, flags: flagsR, cond: condS},
+	JNS:  {name: "jns", class: clsBranch, flags: flagsR, cond: condNS},
+	CALL: {name: "call", class: clsBranch, implicitR: []Reg{RSP}, implicitW: []Reg{RSP}},
+	RET:  {name: "ret", class: clsBranch, implicitR: []Reg{RSP}, implicitW: []Reg{RSP}},
+
+	MOVSS:     {name: "movss", class: clsMov},
+	MOVSD:     {name: "movsd", class: clsMov},
+	ADDSS:     {name: "addss", class: clsRMW},
+	ADDSD:     {name: "addsd", class: clsRMW},
+	SUBSS:     {name: "subss", class: clsRMW},
+	SUBSD:     {name: "subsd", class: clsRMW},
+	MULSS:     {name: "mulss", class: clsRMW},
+	MULSD:     {name: "mulsd", class: clsRMW},
+	DIVSS:     {name: "divss", class: clsRMW},
+	DIVSD:     {name: "divsd", class: clsRMW},
+	SQRTSS:    {name: "sqrtss", class: clsMov},
+	SQRTSD:    {name: "sqrtsd", class: clsMov},
+	MINSS:     {name: "minss", class: clsRMW},
+	MINSD:     {name: "minsd", class: clsRMW},
+	MAXSS:     {name: "maxss", class: clsRMW},
+	MAXSD:     {name: "maxsd", class: clsRMW},
+	UCOMISS:   {name: "ucomiss", class: clsCmp, flags: flagsW},
+	UCOMISD:   {name: "ucomisd", class: clsCmp, flags: flagsW},
+	CVTSI2SS:  {name: "cvtsi2ss", class: clsMov},
+	CVTSI2SD:  {name: "cvtsi2sd", class: clsMov},
+	CVTTSS2SI: {name: "cvttss2si", class: clsMov},
+	CVTTSD2SI: {name: "cvttsd2si", class: clsMov},
+	CVTSS2SD:  {name: "cvtss2sd", class: clsMov},
+	CVTSD2SS:  {name: "cvtsd2ss", class: clsMov},
+
+	MOVD:   {name: "movd", class: clsMov},
+	MOVQ:   {name: "movq", class: clsMov},
+	MOVAPS: {name: "movaps", class: clsMov},
+	MOVUPS: {name: "movups", class: clsMov},
+	MOVAPD: {name: "movapd", class: clsMov},
+	MOVUPD: {name: "movupd", class: clsMov},
+	MOVDQA: {name: "movdqa", class: clsMov},
+	MOVDQU: {name: "movdqu", class: clsMov},
+
+	ADDPS:    {name: "addps", class: clsRMW},
+	ADDPD:    {name: "addpd", class: clsRMW},
+	SUBPS:    {name: "subps", class: clsRMW},
+	SUBPD:    {name: "subpd", class: clsRMW},
+	MULPS:    {name: "mulps", class: clsRMW},
+	MULPD:    {name: "mulpd", class: clsRMW},
+	DIVPS:    {name: "divps", class: clsRMW},
+	DIVPD:    {name: "divpd", class: clsRMW},
+	SQRTPS:   {name: "sqrtps", class: clsMov},
+	SQRTPD:   {name: "sqrtpd", class: clsMov},
+	MINPS:    {name: "minps", class: clsRMW},
+	MAXPS:    {name: "maxps", class: clsRMW},
+	XORPS:    {name: "xorps", class: clsRMW},
+	XORPD:    {name: "xorpd", class: clsRMW},
+	ANDPS:    {name: "andps", class: clsRMW},
+	ANDPD:    {name: "andpd", class: clsRMW},
+	ORPS:     {name: "orps", class: clsRMW},
+	ORPD:     {name: "orpd", class: clsRMW},
+	SHUFPS:   {name: "shufps", class: clsRMW},
+	UNPCKLPS: {name: "unpcklps", class: clsRMW},
+	CVTDQ2PS: {name: "cvtdq2ps", class: clsMov},
+	CVTPS2DQ: {name: "cvtps2dq", class: clsMov},
+	MOVMSKPS: {name: "movmskps", class: clsMov},
+
+	PXOR:      {name: "pxor", class: clsRMW},
+	PAND:      {name: "pand", class: clsRMW},
+	PANDN:     {name: "pandn", class: clsRMW},
+	POR:       {name: "por", class: clsRMW},
+	PADDB:     {name: "paddb", class: clsRMW},
+	PADDW:     {name: "paddw", class: clsRMW},
+	PADDD:     {name: "paddd", class: clsRMW},
+	PADDQ:     {name: "paddq", class: clsRMW},
+	PSUBB:     {name: "psubb", class: clsRMW},
+	PSUBW:     {name: "psubw", class: clsRMW},
+	PSUBD:     {name: "psubd", class: clsRMW},
+	PSUBQ:     {name: "psubq", class: clsRMW},
+	PMULLW:    {name: "pmullw", class: clsRMW},
+	PMULLD:    {name: "pmulld", class: clsRMW},
+	PMULUDQ:   {name: "pmuludq", class: clsRMW},
+	PCMPEQB:   {name: "pcmpeqb", class: clsRMW},
+	PCMPEQD:   {name: "pcmpeqd", class: clsRMW},
+	PCMPGTB:   {name: "pcmpgtb", class: clsRMW},
+	PCMPGTD:   {name: "pcmpgtd", class: clsRMW},
+	PSLLW:     {name: "psllw", class: clsRMW},
+	PSLLD:     {name: "pslld", class: clsRMW},
+	PSLLQ:     {name: "psllq", class: clsRMW},
+	PSRLW:     {name: "psrlw", class: clsRMW},
+	PSRLD:     {name: "psrld", class: clsRMW},
+	PSRLQ:     {name: "psrlq", class: clsRMW},
+	PSRAW:     {name: "psraw", class: clsRMW},
+	PSRAD:     {name: "psrad", class: clsRMW},
+	PUNPCKLBW: {name: "punpcklbw", class: clsRMW},
+	PUNPCKLWD: {name: "punpcklwd", class: clsRMW},
+	PUNPCKLDQ: {name: "punpckldq", class: clsRMW},
+	PUNPCKHDQ: {name: "punpckhdq", class: clsRMW},
+	PSHUFD:    {name: "pshufd", class: clsMov},
+	PMOVMSKB:  {name: "pmovmskb", class: clsMov},
+
+	VMOVSS:       {name: "vmovss", class: clsVex3},
+	VMOVSD:       {name: "vmovsd", class: clsVex3},
+	VMOVAPS:      {name: "vmovaps", class: clsMov},
+	VMOVUPS:      {name: "vmovups", class: clsMov},
+	VMOVAPD:      {name: "vmovapd", class: clsMov},
+	VMOVUPD:      {name: "vmovupd", class: clsMov},
+	VMOVDQA:      {name: "vmovdqa", class: clsMov},
+	VMOVDQU:      {name: "vmovdqu", class: clsMov},
+	VADDSS:       {name: "vaddss", class: clsVex3},
+	VADDSD:       {name: "vaddsd", class: clsVex3},
+	VSUBSS:       {name: "vsubss", class: clsVex3},
+	VSUBSD:       {name: "vsubsd", class: clsVex3},
+	VMULSS:       {name: "vmulss", class: clsVex3},
+	VMULSD:       {name: "vmulsd", class: clsVex3},
+	VDIVSS:       {name: "vdivss", class: clsVex3},
+	VDIVSD:       {name: "vdivsd", class: clsVex3},
+	VADDPS:       {name: "vaddps", class: clsVex3},
+	VADDPD:       {name: "vaddpd", class: clsVex3},
+	VSUBPS:       {name: "vsubps", class: clsVex3},
+	VSUBPD:       {name: "vsubpd", class: clsVex3},
+	VMULPS:       {name: "vmulps", class: clsVex3},
+	VMULPD:       {name: "vmulpd", class: clsVex3},
+	VDIVPS:       {name: "vdivps", class: clsVex3},
+	VDIVPD:       {name: "vdivpd", class: clsVex3},
+	VSQRTPS:      {name: "vsqrtps", class: clsMov},
+	VSQRTPD:      {name: "vsqrtpd", class: clsMov},
+	VMINPS:       {name: "vminps", class: clsVex3},
+	VMAXPS:       {name: "vmaxps", class: clsVex3},
+	VXORPS:       {name: "vxorps", class: clsVex3},
+	VXORPD:       {name: "vxorpd", class: clsVex3},
+	VANDPS:       {name: "vandps", class: clsVex3},
+	VANDPD:       {name: "vandpd", class: clsVex3},
+	VORPS:        {name: "vorps", class: clsVex3},
+	VORPD:        {name: "vorpd", class: clsVex3},
+	VUCOMISS:     {name: "vucomiss", class: clsCmp, flags: flagsW},
+	VUCOMISD:     {name: "vucomisd", class: clsCmp, flags: flagsW},
+	VSHUFPS:      {name: "vshufps", class: clsVex3},
+	VCVTDQ2PS:    {name: "vcvtdq2ps", class: clsMov},
+	VCVTPS2DQ:    {name: "vcvtps2dq", class: clsMov},
+	VBROADCASTSS: {name: "vbroadcastss", class: clsMov},
+	VBROADCASTSD: {name: "vbroadcastsd", class: clsMov},
+	VEXTRACTF128: {name: "vextractf128", class: clsMov},
+	VINSERTF128:  {name: "vinsertf128", class: clsVex3},
+	VZEROUPPER:   {name: "vzeroupper", class: clsNone},
+
+	VPXOR:        {name: "vpxor", class: clsVex3},
+	VPAND:        {name: "vpand", class: clsVex3},
+	VPANDN:       {name: "vpandn", class: clsVex3},
+	VPOR:         {name: "vpor", class: clsVex3},
+	VPADDB:       {name: "vpaddb", class: clsVex3},
+	VPADDW:       {name: "vpaddw", class: clsVex3},
+	VPADDD:       {name: "vpaddd", class: clsVex3},
+	VPADDQ:       {name: "vpaddq", class: clsVex3},
+	VPSUBB:       {name: "vpsubb", class: clsVex3},
+	VPSUBW:       {name: "vpsubw", class: clsVex3},
+	VPSUBD:       {name: "vpsubd", class: clsVex3},
+	VPSUBQ:       {name: "vpsubq", class: clsVex3},
+	VPMULLW:      {name: "vpmullw", class: clsVex3},
+	VPMULLD:      {name: "vpmulld", class: clsVex3},
+	VPCMPEQB:     {name: "vpcmpeqb", class: clsVex3},
+	VPCMPEQD:     {name: "vpcmpeqd", class: clsVex3},
+	VPCMPGTD:     {name: "vpcmpgtd", class: clsVex3},
+	VPSLLD:       {name: "vpslld", class: clsVex3},
+	VPSLLQ:       {name: "vpsllq", class: clsVex3},
+	VPSRLD:       {name: "vpsrld", class: clsVex3},
+	VPSRLQ:       {name: "vpsrlq", class: clsVex3},
+	VPSHUFD:      {name: "vpshufd", class: clsMov},
+	VPMOVMSKB:    {name: "vpmovmskb", class: clsMov},
+	VPBROADCASTB: {name: "vpbroadcastb", class: clsMov},
+	VPBROADCASTD: {name: "vpbroadcastd", class: clsMov},
+	VPBROADCASTQ: {name: "vpbroadcastq", class: clsMov},
+	VEXTRACTI128: {name: "vextracti128", class: clsMov},
+	VINSERTI128:  {name: "vinserti128", class: clsVex3},
+
+	VFMADD132PS:  {name: "vfmadd132ps", class: clsFMA},
+	VFMADD213PS:  {name: "vfmadd213ps", class: clsFMA},
+	VFMADD231PS:  {name: "vfmadd231ps", class: clsFMA},
+	VFMADD132PD:  {name: "vfmadd132pd", class: clsFMA},
+	VFMADD213PD:  {name: "vfmadd213pd", class: clsFMA},
+	VFMADD231PD:  {name: "vfmadd231pd", class: clsFMA},
+	VFMADD132SS:  {name: "vfmadd132ss", class: clsFMA},
+	VFMADD213SS:  {name: "vfmadd213ss", class: clsFMA},
+	VFMADD231SS:  {name: "vfmadd231ss", class: clsFMA},
+	VFMADD132SD:  {name: "vfmadd132sd", class: clsFMA},
+	VFMADD213SD:  {name: "vfmadd213sd", class: clsFMA},
+	VFMADD231SD:  {name: "vfmadd231sd", class: clsFMA},
+	VFNMADD231PS: {name: "vfnmadd231ps", class: clsFMA},
+	VFNMADD231PD: {name: "vfnmadd231pd", class: clsFMA},
+}
+
+// String returns the lowercase mnemonic.
+func (op Op) String() string {
+	if op < NumOps && opInfos[op].name != "" {
+		return opInfos[op].name
+	}
+	return "op?"
+}
+
+// Info accessors used by other packages.
+
+// Cond returns the condition code of a conditional op, or condNone.
+func (op Op) info() *opInfo { return &opInfos[op] }
+
+// WritesFlags reports whether the instruction writes the status flags.
+func (op Op) WritesFlags() bool { return op < NumOps && opInfos[op].flags&flagsW != 0 }
+
+// ReadsFlags reports whether the instruction reads the status flags.
+func (op Op) ReadsFlags() bool { return op < NumOps && opInfos[op].flags&flagsR != 0 }
+
+// ImplicitReads returns implicitly-read architectural registers.
+func (op Op) ImplicitReads() []Reg { return opInfos[op].implicitR }
+
+// ImplicitWrites returns implicitly-written architectural registers.
+func (op Op) ImplicitWrites() []Reg { return opInfos[op].implicitW }
+
+// IsBranch reports whether the op is a control-flow instruction (which
+// terminates a basic block and never appears inside one).
+func (op Op) IsBranch() bool { return op < NumOps && opInfos[op].class == clsBranch }
+
+// IsVex reports whether the op is VEX-encoded (AVX/AVX2/FMA).
+func (op Op) IsVex() bool { return op >= VMOVSS && op <= VFNMADD231PD }
+
+// opByName maps mnemonics to Ops.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(1); op < NumOps; op++ {
+		if opInfos[op].name != "" {
+			m[opInfos[op].name] = op
+		}
+	}
+	// Common aliases.
+	m["cmovz"] = CMOVE
+	m["cmovnz"] = CMOVNE
+	m["cmovnae"] = CMOVB
+	m["cmovnb"] = CMOVAE
+	m["setz"] = SETE
+	m["setnz"] = SETNE
+	m["jz"] = JE
+	m["jnz"] = JNE
+	m["sal"] = SHL
+	return m
+}()
+
+// OpByName looks up a mnemonic (lowercase); BAD if unknown.
+func OpByName(name string) Op { return opByName[name] }

@@ -1,0 +1,113 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OperandKind discriminates the Operand union.
+type OperandKind uint8
+
+const (
+	KindNone OperandKind = iota
+	KindReg
+	KindImm
+	KindMem
+)
+
+// Mem is a memory reference: [base + index*scale + disp].
+// Size is the access width in bytes; it is derived from the instruction form
+// during parsing/decoding and is 0 while unresolved (e.g. LEA).
+type Mem struct {
+	Base  Reg
+	Index Reg
+	Scale uint8 // 1, 2, 4 or 8; 0 means no index
+	Disp  int32
+	Size  uint8
+}
+
+// Operand is one instruction operand: a register, an immediate, or a memory
+// reference.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg
+	Imm  int64
+	Mem  Mem
+}
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// ImmOp returns an immediate operand.
+func ImmOp(v int64) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// MemOp returns a memory operand.
+func MemOp(m Mem) Operand { return Operand{Kind: KindMem, Mem: m} }
+
+// IsReg reports whether the operand is the given register.
+func (o Operand) IsReg(r Reg) bool { return o.Kind == KindReg && o.Reg == r }
+
+// String renders the operand in Intel syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindReg:
+		return o.Reg.String()
+	case KindImm:
+		if o.Imm < 0 {
+			return fmt.Sprintf("-0x%x", uint64(-o.Imm))
+		}
+		return fmt.Sprintf("0x%x", uint64(o.Imm))
+	case KindMem:
+		return o.Mem.String()
+	}
+	return "<none>"
+}
+
+// String renders the memory reference in Intel syntax, e.g.
+// "qword ptr [rax+rbx*8+0x10]".
+func (m Mem) String() string {
+	var b strings.Builder
+	switch m.Size {
+	case 1:
+		b.WriteString("byte ptr ")
+	case 2:
+		b.WriteString("word ptr ")
+	case 4:
+		b.WriteString("dword ptr ")
+	case 8:
+		b.WriteString("qword ptr ")
+	case 16:
+		b.WriteString("xmmword ptr ")
+	case 32:
+		b.WriteString("ymmword ptr ")
+	}
+	b.WriteByte('[')
+	wrote := false
+	if m.Base != RegNone {
+		b.WriteString(m.Base.String())
+		wrote = true
+	}
+	if m.Index != RegNone {
+		if wrote {
+			b.WriteByte('+')
+		}
+		b.WriteString(m.Index.String())
+		if m.Scale > 1 {
+			fmt.Fprintf(&b, "*%d", m.Scale)
+		}
+		wrote = true
+	}
+	if m.Disp != 0 || !wrote {
+		d := int64(m.Disp)
+		switch {
+		case !wrote:
+			fmt.Fprintf(&b, "0x%x", uint64(uint32(m.Disp)))
+		case d < 0:
+			fmt.Fprintf(&b, "-0x%x", uint64(-d))
+		default:
+			fmt.Fprintf(&b, "+0x%x", uint64(d))
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

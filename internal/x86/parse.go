@@ -1,0 +1,429 @@
+package x86
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Syntax selects an assembly dialect.
+type Syntax uint8
+
+const (
+	// SyntaxAuto detects AT&T by the presence of '%' register sigils.
+	SyntaxAuto Syntax = iota
+	SyntaxIntel
+	SyntaxATT
+)
+
+// Parse assembles a multi-line listing into instructions. Lines may carry
+// '#' or ';' comments; blank lines are skipped.
+func Parse(text string, syntax Syntax) ([]Inst, error) {
+	var out []Inst
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		in, err := ParseInst(line, syntax)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// ParseInst assembles a single instruction.
+func ParseInst(line string, syntax Syntax) (Inst, error) {
+	if syntax == SyntaxAuto {
+		if strings.Contains(line, "%") {
+			syntax = SyntaxATT
+		} else {
+			syntax = SyntaxIntel
+		}
+	}
+	mnemonic, rest := splitMnemonic(line)
+	mnemonic = strings.ToLower(mnemonic)
+
+	// Candidate interpretations of the mnemonic, in priority order. AT&T
+	// size suffixes can collide with real mnemonics (movq is both "64-bit
+	// mov" and the SSE data move), so a literal match that fails to
+	// resolve falls back to the stripped form.
+	type cand struct {
+		op   Op
+		hint int
+	}
+	var cands []cand
+	if op := OpByName(mnemonic); op != BAD {
+		cands = append(cands, cand{op, 0})
+	}
+	if syntax == SyntaxATT {
+		if op, hint := attStrip(mnemonic); op != BAD {
+			cands = append(cands, cand{op, hint})
+		}
+	}
+	if alias, ok := attAliases[mnemonic]; ok {
+		cands = append(cands, cand{alias.op, alias.srcSize})
+	}
+	if len(cands) == 0 {
+		return Inst{}, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+
+	var args []Operand
+	for _, f := range splitOperands(rest) {
+		var (
+			o   Operand
+			err error
+		)
+		if syntax == SyntaxATT {
+			o, err = parseATTOperand(f)
+		} else {
+			o, err = parseIntelOperand(f)
+		}
+		if err != nil {
+			return Inst{}, fmt.Errorf("%s: %w", mnemonic, err)
+		}
+		args = append(args, o)
+	}
+	if syntax == SyntaxATT {
+		// AT&T lists source first; flip to Intel order.
+		for i, j := 0, len(args)-1; i < j; i, j = i+1, j-1 {
+			args[i], args[j] = args[j], args[i]
+		}
+	}
+
+	var firstErr error
+	for _, c := range cands {
+		in := Inst{Op: c.op, Args: append([]Operand(nil), args...)}
+		if err := resolveMemSize(&in, c.hint); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return in, nil
+	}
+	return Inst{}, firstErr
+}
+
+// resolveMemSize stamps the access width on an unsized memory operand by
+// finding the form(s) that match the instruction shape.
+func resolveMemSize(in *Inst, hint int) error {
+	mi := in.MemArg()
+	if mi < 0 {
+		return nil
+	}
+	if hint > 0 && in.Args[mi].Mem.Size == 0 {
+		in.Args[mi].Mem.Size = uint8(hint)
+	}
+	if in.Args[mi].Mem.Size != 0 || in.Op == LEA {
+		if _, err := in.Form(); err != nil {
+			return err
+		}
+		return nil
+	}
+	sizes := map[int]bool{}
+	var first int
+	for _, idx := range FormsOf(in.Op) {
+		f := &Forms[idx]
+		if !f.Match(in.Args) {
+			continue
+		}
+		s := f.MemSize()
+		if len(sizes) == 0 {
+			first = s
+		}
+		sizes[s] = true
+	}
+	switch len(sizes) {
+	case 0:
+		return fmt.Errorf("no encoding for %s", in)
+	case 1:
+		in.Args[mi].Mem.Size = uint8(first)
+		return nil
+	}
+	return fmt.Errorf("ambiguous memory operand size for %s (use a size prefix)", in)
+}
+
+// attStrip removes an AT&T size suffix (b/w/l/q) and returns the operand
+// size it implies.
+func attStrip(mn string) (Op, int) {
+	if len(mn) < 2 {
+		return BAD, 0
+	}
+	size := 0
+	switch mn[len(mn)-1] {
+	case 'b':
+		size = 1
+	case 'w':
+		size = 2
+	case 'l':
+		size = 4
+	case 'q':
+		size = 8
+	default:
+		return BAD, 0
+	}
+	return OpByName(mn[:len(mn)-1]), size
+}
+
+// attAliases maps AT&T two-suffix mnemonics to ops; srcSize is the width of
+// a memory source operand.
+var attAliases = map[string]struct {
+	op      Op
+	srcSize int
+}{
+	"movzbl": {MOVZX, 1}, "movzbw": {MOVZX, 1}, "movzbq": {MOVZX, 1},
+	"movzwl": {MOVZX, 2}, "movzwq": {MOVZX, 2},
+	"movsbl": {MOVSX, 1}, "movsbw": {MOVSX, 1}, "movsbq": {MOVSX, 1},
+	"movswl": {MOVSX, 2}, "movswq": {MOVSX, 2},
+	"movslq": {MOVSXD, 4},
+	"cltd":   {CDQ, 0}, "cqto": {CQO, 0},
+}
+
+func splitMnemonic(line string) (string, string) {
+	for i, r := range line {
+		if r == ' ' || r == '\t' {
+			return line[:i], strings.TrimSpace(line[i:])
+		}
+	}
+	return line, ""
+}
+
+// splitOperands splits at top-level commas (commas inside (...) or [...]
+// belong to memory operands).
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func parseInt(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// --- AT&T operands ---
+
+func parseATTOperand(s string) (Operand, error) {
+	switch {
+	case strings.HasPrefix(s, "%"):
+		r := RegByName(strings.ToLower(s[1:]))
+		if r == RegNone {
+			return Operand{}, fmt.Errorf("unknown register %q", s)
+		}
+		return RegOp(r), nil
+	case strings.HasPrefix(s, "$"):
+		v, err := parseInt(s[1:])
+		if err != nil {
+			return Operand{}, err
+		}
+		return ImmOp(v), nil
+	}
+	// Memory: disp(base, index, scale) — every component optional.
+	open := strings.IndexByte(s, '(')
+	var m Mem
+	dispStr := s
+	if open >= 0 {
+		dispStr = strings.TrimSpace(s[:open])
+		closeIdx := strings.LastIndexByte(s, ')')
+		if closeIdx < open {
+			return Operand{}, fmt.Errorf("bad memory operand %q", s)
+		}
+		parts := strings.Split(s[open+1:closeIdx], ",")
+		reg := func(t string) (Reg, error) {
+			t = strings.TrimSpace(t)
+			if t == "" {
+				return RegNone, nil
+			}
+			if !strings.HasPrefix(t, "%") {
+				return RegNone, fmt.Errorf("bad register %q in %q", t, s)
+			}
+			r := RegByName(strings.ToLower(t[1:]))
+			if r == RegNone {
+				return RegNone, fmt.Errorf("unknown register %q", t)
+			}
+			return r, nil
+		}
+		var err error
+		if m.Base, err = reg(parts[0]); err != nil {
+			return Operand{}, err
+		}
+		if len(parts) > 1 {
+			if m.Index, err = reg(parts[1]); err != nil {
+				return Operand{}, err
+			}
+			m.Scale = 1
+		}
+		if len(parts) > 2 {
+			sc, err := parseInt(strings.TrimSpace(parts[2]))
+			if err != nil {
+				return Operand{}, err
+			}
+			m.Scale = uint8(sc)
+		}
+	}
+	if dispStr != "" {
+		d, err := parseInt(dispStr)
+		if err != nil {
+			return Operand{}, err
+		}
+		m.Disp = int32(d)
+	}
+	if open < 0 && dispStr == "" {
+		return Operand{}, fmt.Errorf("empty operand")
+	}
+	return MemOp(m), nil
+}
+
+// --- Intel operands ---
+
+var intelSizes = map[string]uint8{
+	"byte": 1, "word": 2, "dword": 4, "qword": 8, "xmmword": 16, "ymmword": 32,
+}
+
+func parseIntelOperand(s string) (Operand, error) {
+	lower := strings.ToLower(s)
+	if r := RegByName(lower); r != RegNone {
+		return RegOp(r), nil
+	}
+
+	var size uint8
+	for word, sz := range intelSizes {
+		for _, form := range []string{word + " ptr ", word + " "} {
+			if strings.HasPrefix(lower, form) {
+				size = sz
+				lower = strings.TrimSpace(lower[len(form):])
+				break
+			}
+		}
+		if size != 0 {
+			break
+		}
+	}
+
+	if strings.HasPrefix(lower, "[") {
+		if !strings.HasSuffix(lower, "]") {
+			return Operand{}, fmt.Errorf("bad memory operand %q", s)
+		}
+		m, err := parseIntelMem(lower[1 : len(lower)-1])
+		if err != nil {
+			return Operand{}, err
+		}
+		m.Size = size
+		return MemOp(m), nil
+	}
+	if size != 0 {
+		return Operand{}, fmt.Errorf("size prefix on non-memory operand %q", s)
+	}
+	v, err := parseInt(lower)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	return ImmOp(v), nil
+}
+
+// parseIntelMem parses the inside of [...]: terms joined by +/- where each
+// term is reg, reg*scale, scale*reg, or a displacement.
+func parseIntelMem(s string) (Mem, error) {
+	var m Mem
+	s = strings.ReplaceAll(s, " ", "")
+	// Tokenize on +/- keeping signs with displacements.
+	terms := []string{}
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if (s[i] == '+' || s[i] == '-') && i > start {
+			terms = append(terms, s[start:i])
+			if s[i] == '-' {
+				start = i
+			} else {
+				start = i + 1
+			}
+		}
+	}
+	terms = append(terms, s[start:])
+
+	for _, t := range terms {
+		if t == "" {
+			continue
+		}
+		if star := strings.IndexByte(t, '*'); star >= 0 {
+			a, b := t[:star], t[star+1:]
+			var regPart, scalePart string
+			if RegByName(a) != RegNone {
+				regPart, scalePart = a, b
+			} else {
+				regPart, scalePart = b, a
+			}
+			r := RegByName(regPart)
+			if r == RegNone {
+				return m, fmt.Errorf("bad index term %q", t)
+			}
+			sc, err := parseInt(scalePart)
+			if err != nil {
+				return m, err
+			}
+			if m.Index != RegNone {
+				return m, fmt.Errorf("two index registers in %q", s)
+			}
+			m.Index, m.Scale = r, uint8(sc)
+			continue
+		}
+		if r := RegByName(strings.TrimPrefix(t, "-")); r != RegNone && !strings.HasPrefix(t, "-") {
+			switch {
+			case m.Base == RegNone:
+				m.Base = r
+			case m.Index == RegNone:
+				m.Index, m.Scale = r, 1
+			default:
+				return m, fmt.Errorf("too many registers in %q", s)
+			}
+			continue
+		}
+		v, err := parseInt(t)
+		if err != nil {
+			return m, err
+		}
+		m.Disp += int32(v)
+	}
+	return m, nil
+}

@@ -1,0 +1,133 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ATTString renders the instruction in AT&T syntax (source operand first,
+// '%' register sigils, '$' immediates).
+func ATTString(in Inst) string {
+	if len(in.Args) == 0 {
+		return in.Op.String()
+	}
+	parts := make([]string, len(in.Args))
+	for i := range in.Args {
+		// AT&T reverses operand order.
+		parts[len(in.Args)-1-i] = attOperand(in.Args[i])
+	}
+	mn := attMnemonic(in)
+	if mn == in.Op.String() {
+		mn += attSuffix(in)
+	}
+	return mn + " " + strings.Join(parts, ", ")
+}
+
+// attMnemonic returns the GAS mnemonic: movzx/movsx become the two-suffix
+// forms (movzbl, movswq, ...) since the register operand alone cannot
+// disambiguate the source width.
+func attMnemonic(in Inst) string {
+	sizeChar := func(n int) byte {
+		switch n {
+		case 1:
+			return 'b'
+		case 2:
+			return 'w'
+		case 4:
+			return 'l'
+		}
+		return 'q'
+	}
+	switch in.Op {
+	case MOVZX, MOVSX:
+		if len(in.Args) != 2 {
+			break
+		}
+		src := 0
+		switch in.Args[1].Kind {
+		case KindReg:
+			src = in.Args[1].Reg.Size()
+		case KindMem:
+			src = int(in.Args[1].Mem.Size)
+		}
+		if src == 0 || in.Args[0].Kind != KindReg {
+			break
+		}
+		base := "movz"
+		if in.Op == MOVSX {
+			base = "movs"
+		}
+		return base + string(sizeChar(src)) + string(sizeChar(in.Args[0].Reg.Size()))
+	case MOVSXD:
+		return "movslq"
+	}
+	return in.Op.String()
+}
+
+// attSuffix appends a size suffix exactly when the operand shapes leave
+// the memory width ambiguous: it erases the size and checks whether more
+// than one encoding form still matches (the same rule the parser enforces
+// in reverse).
+func attSuffix(in Inst) string {
+	mi := in.MemArg()
+	if mi < 0 || in.Op == LEA {
+		return ""
+	}
+	probe := Inst{Op: in.Op, Args: append([]Operand(nil), in.Args...)}
+	probe.Args[mi].Mem.Size = 0
+	sizes := map[int]bool{}
+	for _, idx := range FormsOf(in.Op) {
+		f := &Forms[idx]
+		if f.Match(probe.Args) {
+			sizes[f.MemSize()] = true
+		}
+	}
+	if len(sizes) <= 1 {
+		return ""
+	}
+	switch in.Args[mi].Mem.Size {
+	case 1:
+		return "b"
+	case 2:
+		return "w"
+	case 4:
+		return "l"
+	case 8:
+		return "q"
+	}
+	return ""
+}
+
+func attOperand(o Operand) string {
+	switch o.Kind {
+	case KindReg:
+		return "%" + o.Reg.String()
+	case KindImm:
+		if o.Imm < 0 {
+			return fmt.Sprintf("$-0x%x", uint64(-o.Imm))
+		}
+		return fmt.Sprintf("$0x%x", uint64(o.Imm))
+	case KindMem:
+		m := o.Mem
+		var b strings.Builder
+		if m.Disp != 0 || (m.Base == RegNone && m.Index == RegNone) {
+			if m.Disp < 0 {
+				fmt.Fprintf(&b, "-0x%x", uint64(-int64(m.Disp)))
+			} else {
+				fmt.Fprintf(&b, "0x%x", uint64(m.Disp))
+			}
+		}
+		if m.Base != RegNone || m.Index != RegNone {
+			b.WriteByte('(')
+			if m.Base != RegNone {
+				b.WriteString("%" + m.Base.String())
+			}
+			if m.Index != RegNone {
+				fmt.Fprintf(&b, ", %%%s, %d", m.Index, m.Scale)
+			}
+			b.WriteByte(')')
+		}
+		return b.String()
+	}
+	return "?"
+}

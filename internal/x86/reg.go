@@ -1,0 +1,345 @@
+// Package x86 models the subset of the x86-64 instruction set used by the
+// BHive benchmark suite: general-purpose and SSE/AVX vector instructions as
+// they appear in basic blocks extracted from application binaries.
+//
+// The package provides the instruction representation shared by the rest of
+// the system, an assembler and disassembler for real x86-64 machine code
+// (REX/ModRM/SIB/VEX), and parsers/printers for both Intel and AT&T syntax.
+package x86
+
+import "fmt"
+
+// Reg identifies a machine register. The zero value RegNone means "no
+// register" (e.g. a memory operand without an index).
+type Reg uint8
+
+// RegClass partitions registers by width and bank.
+type RegClass uint8
+
+const (
+	ClassNone RegClass = iota
+	ClassGP8
+	ClassGP16
+	ClassGP32
+	ClassGP64
+	ClassXMM
+	ClassYMM
+	ClassIP
+)
+
+// Register constants. Within each class, registers appear in x86 encoding
+// order, so Reg.Num can be computed by subtraction.
+const (
+	RegNone Reg = iota
+
+	// 64-bit general purpose.
+	RAX
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+
+	// 32-bit general purpose.
+	EAX
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+	R8D
+	R9D
+	R10D
+	R11D
+	R12D
+	R13D
+	R14D
+	R15D
+
+	// 16-bit general purpose.
+	AX
+	CX
+	DX
+	BX
+	SP
+	BP
+	SI
+	DI
+	R8W
+	R9W
+	R10W
+	R11W
+	R12W
+	R13W
+	R14W
+	R15W
+
+	// 8-bit general purpose (low bytes; SPL..DIL require a REX prefix).
+	AL
+	CL
+	DL
+	BL
+	SPL
+	BPL
+	SIL
+	DIL
+	R8B
+	R9B
+	R10B
+	R11B
+	R12B
+	R13B
+	R14B
+	R15B
+
+	// 8-bit high-byte legacy registers (unencodable alongside REX).
+	AH
+	CH
+	DH
+	BH
+
+	// 128-bit SSE.
+	X0
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	X14
+	X15
+
+	// 256-bit AVX.
+	Y0
+	Y1
+	Y2
+	Y3
+	Y4
+	Y5
+	Y6
+	Y7
+	Y8
+	Y9
+	Y10
+	Y11
+	Y12
+	Y13
+	Y14
+	Y15
+
+	// Instruction pointer, valid only as a memory base (RIP-relative).
+	RIP
+
+	regMax
+)
+
+// NumRegs is the number of distinct register names (excluding RegNone).
+const NumRegs = int(regMax) - 1
+
+// Class reports the register's class.
+func (r Reg) Class() RegClass {
+	switch {
+	case r == RegNone:
+		return ClassNone
+	case r >= RAX && r <= R15:
+		return ClassGP64
+	case r >= EAX && r <= R15D:
+		return ClassGP32
+	case r >= AX && r <= R15W:
+		return ClassGP16
+	case r >= AL && r <= BH:
+		return ClassGP8
+	case r >= X0 && r <= X15:
+		return ClassXMM
+	case r >= Y0 && r <= Y15:
+		return ClassYMM
+	case r == RIP:
+		return ClassIP
+	}
+	return ClassNone
+}
+
+// Num returns the 0–15 hardware encoding number of the register.
+// AH..BH encode as 4..7 (sharing numbers with SPL..DIL, distinguished by the
+// absence of a REX prefix).
+func (r Reg) Num() int {
+	switch {
+	case r >= RAX && r <= R15:
+		return int(r - RAX)
+	case r >= EAX && r <= R15D:
+		return int(r - EAX)
+	case r >= AX && r <= R15W:
+		return int(r - AX)
+	case r >= AL && r <= R15B:
+		return int(r - AL)
+	case r >= AH && r <= BH:
+		return int(r-AH) + 4
+	case r >= X0 && r <= X15:
+		return int(r - X0)
+	case r >= Y0 && r <= Y15:
+		return int(r - Y0)
+	}
+	return 0
+}
+
+// Size returns the register width in bytes.
+func (r Reg) Size() int {
+	switch r.Class() {
+	case ClassGP8:
+		return 1
+	case ClassGP16:
+		return 2
+	case ClassGP32:
+		return 4
+	case ClassGP64, ClassIP:
+		return 8
+	case ClassXMM:
+		return 16
+	case ClassYMM:
+		return 32
+	}
+	return 0
+}
+
+// Base64 returns the canonical full-width register aliased by r: the
+// containing 64-bit GPR for general-purpose registers, and the YMM register
+// for XMM registers (an XMM register is the low half of the same-numbered
+// YMM register). Used for dependence tracking.
+func (r Reg) Base64() Reg {
+	switch r.Class() {
+	case ClassGP64:
+		return r
+	case ClassGP32:
+		return RAX + (r - EAX)
+	case ClassGP16:
+		return RAX + (r - AX)
+	case ClassGP8:
+		if r >= AH && r <= BH {
+			return RAX + (r - AH)
+		}
+		return RAX + (r - AL)
+	case ClassXMM:
+		return Y0 + (r - X0)
+	case ClassYMM:
+		return r
+	case ClassIP:
+		return RIP
+	}
+	return RegNone
+}
+
+// IsGP reports whether r is a general-purpose register of any width.
+func (r Reg) IsGP() bool {
+	c := r.Class()
+	return c == ClassGP8 || c == ClassGP16 || c == ClassGP32 || c == ClassGP64
+}
+
+// IsVec reports whether r is an XMM or YMM register.
+func (r Reg) IsVec() bool {
+	c := r.Class()
+	return c == ClassXMM || c == ClassYMM
+}
+
+// IsHighByte reports whether r is one of the legacy AH/CH/DH/BH registers.
+func (r Reg) IsHighByte() bool { return r >= AH && r <= BH }
+
+// GPReg returns the general-purpose register with hardware number num
+// (0–15) and the given width in bytes.
+func GPReg(num, size int) Reg {
+	if num < 0 || num > 15 {
+		return RegNone
+	}
+	switch size {
+	case 1:
+		return AL + Reg(num)
+	case 2:
+		return AX + Reg(num)
+	case 4:
+		return EAX + Reg(num)
+	case 8:
+		return RAX + Reg(num)
+	}
+	return RegNone
+}
+
+// VecReg returns the vector register with hardware number num: XMM when
+// size is 16, YMM when size is 32.
+func VecReg(num, size int) Reg {
+	if num < 0 || num > 15 {
+		return RegNone
+	}
+	switch size {
+	case 16:
+		return X0 + Reg(num)
+	case 32:
+		return Y0 + Reg(num)
+	}
+	return RegNone
+}
+
+var gp64Names = [16]string{"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15"}
+var gp32Names = [16]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+	"r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d"}
+var gp16Names = [16]string{"ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+	"r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w"}
+var gp8Names = [16]string{"al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+	"r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b"}
+var gp8HighNames = [4]string{"ah", "ch", "dh", "bh"}
+
+// String returns the Intel-syntax lowercase name of the register.
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "<none>"
+	case r >= RAX && r <= R15:
+		return gp64Names[r-RAX]
+	case r >= EAX && r <= R15D:
+		return gp32Names[r-EAX]
+	case r >= AX && r <= R15W:
+		return gp16Names[r-AX]
+	case r >= AL && r <= R15B:
+		return gp8Names[r-AL]
+	case r >= AH && r <= BH:
+		return gp8HighNames[r-AH]
+	case r >= X0 && r <= X15:
+		return fmt.Sprintf("xmm%d", r-X0)
+	case r >= Y0 && r <= Y15:
+		return fmt.Sprintf("ymm%d", r-Y0)
+	case r == RIP:
+		return "rip"
+	}
+	return fmt.Sprintf("Reg(%d)", uint8(r))
+}
+
+// regByName maps every register name (Intel spelling, lowercase) to its Reg.
+var regByName = func() map[string]Reg {
+	m := make(map[string]Reg, NumRegs)
+	for r := RegNone + 1; r < regMax; r++ {
+		m[r.String()] = r
+	}
+	return m
+}()
+
+// RegByName looks up a register by its Intel-syntax name (case-insensitive
+// lookups should lowercase first). It returns RegNone if the name is unknown.
+func RegByName(name string) Reg { return regByName[name] }
