@@ -276,6 +276,30 @@ func BenchmarkAblationFTZ(b *testing.B) {
 
 // --- Micro benchmarks of the substrates ---
 
+// BenchmarkProfileHotPath is the perf-trajectory benchmark for the
+// profiling pipeline: a register-only block and a memory block that needs
+// the page-mapping monitor, profiled with the full methodology. ns/op and
+// allocs/op divided by blocksPerOp give the per-block cost recorded in
+// BENCH_profiler.json.
+func BenchmarkProfileHotPath(b *testing.B) {
+	small, _ := x86.ParseBlock("add rax, rbx\nmov rcx, qword ptr [rsp+8]", x86.SyntaxIntel)
+	crc, _ := x86.ParseBlock(harness.CRCBlockText, x86.SyntaxATT)
+	opts := profiler.DefaultOptions()
+	opts.FilterMisaligned = false // the CRC table walk occasionally splits lines
+	p := profiler.New(uarch.Haswell(), opts)
+	blocks := []*x86.Block{small, crc}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, blk := range blocks {
+			if p.Profile(blk).Status != profiler.StatusOK {
+				b.Fatal("profile failed")
+			}
+		}
+	}
+	b.ReportMetric(float64(len(blocks)), "blocksPerOp")
+}
+
 func BenchmarkProfileSmallBlock(b *testing.B) {
 	block, _ := x86.ParseBlock("add rax, rbx\nmov rcx, qword ptr [rsp+8]", x86.SyntaxIntel)
 	p := profiler.New(uarch.Haswell(), profiler.DefaultOptions())

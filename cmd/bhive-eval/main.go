@@ -8,16 +8,20 @@
 //	bhive-eval -exp case-study
 //	bhive-eval -exp fig-cluster-err -uarch haswell
 //	bhive-eval -exp all -scale 0.005 -ithemal
+//	bhive-eval -exp table5 -profile-cache /tmp/bhive.cache
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"bhive/internal/corpus"
 	"bhive/internal/harness"
+	"bhive/internal/profcache"
 )
 
 func main() {
@@ -29,8 +33,22 @@ func main() {
 		trainIt = flag.Bool("ithemal", false, "train and include the learned model (slow)")
 		epochs  = flag.Int("ithemal-epochs", 12, "LSTM training epochs")
 		corpusF = flag.String("corpus", "", "load the corpus from a bhive-collect CSV instead of generating it")
+		cacheF  = flag.String("profile-cache", "", "persistent profile cache file (created if absent; reruns skip profiling)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := harness.DefaultConfig()
 	cfg.Scale = *scale
@@ -40,22 +58,48 @@ func main() {
 	if *corpusF != "" {
 		f, err := os.Open(*corpusF)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bhive-eval:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		cfg.Records, err = corpus.ReadCSV(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bhive-eval:", err)
-			os.Exit(1)
+			fatal(err)
 		}
+	}
+	if *cacheF != "" {
+		pc, err := profcache.Open(*cacheF)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ProfileCache = pc
+		defer func() {
+			if err := pc.Save(); err != nil {
+				fmt.Fprintln(os.Stderr, "bhive-eval:", err)
+			}
+		}()
 	}
 
 	s := harness.New(cfg)
 	out, err := s.Run(*exp, *arch)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bhive-eval:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Print(out)
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bhive-eval:", err)
+	os.Exit(1)
 }

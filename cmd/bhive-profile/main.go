@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"bhive"
 	"bhive/internal/models"
@@ -32,8 +34,34 @@ func main() {
 		noFilter  = flag.Bool("no-misaligned-filter", false, "accept measurements with line-splitting accesses")
 		runModels = flag.Bool("models", false, "also print the analytical models' predictions")
 		report    = flag.Bool("report", false, "print an IACA-style port-pressure report")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	block, err := readBlock(*hexStr, *blockText)
 	if err != nil {

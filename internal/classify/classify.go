@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"bhive/internal/lda"
+	"bhive/internal/memo"
 	"bhive/internal/uarch"
 	"bhive/internal/x86"
 )
@@ -75,7 +76,7 @@ func classFeature(c uarch.UopClass) feature {
 // is used only for topic labelling.
 func BlockDoc(cpu *uarch.CPU, comboIdx map[uarch.PortSet]int, b *x86.Block) (words []int, feats []feature) {
 	for i := range b.Insts {
-		d, err := cpu.Describe(&b.Insts[i])
+		d, err := memo.Describe(cpu, &b.Insts[i])
 		if err != nil {
 			continue
 		}
@@ -89,7 +90,7 @@ func BlockDoc(cpu *uarch.CPU, comboIdx map[uarch.PortSet]int, b *x86.Block) (wor
 		// combination (the static tables the paper uses know nothing of
 		// rename-time elimination).
 		if d.ZeroIdiom || d.EliminatedMove {
-			raw, err := cpu.DescribeRaw(&b.Insts[i])
+			raw, err := memo.DescribeRaw(cpu, &b.Insts[i])
 			if err == nil {
 				for _, u := range raw.Uops {
 					if w, ok := comboIdx[u.Ports]; ok {

@@ -42,6 +42,15 @@ type Runner struct {
 	// Record enables trace collection into Trace.
 	Record bool
 	Trace  []Step
+
+	// OnFault, when non-nil, is invoked for every page fault. Returning
+	// true means the handler repaired the fault (e.g. mapped the page) and
+	// the access is retried in place; returning false propagates the fault
+	// as an error. Because execution is deterministic and mapping only adds
+	// pages, continuing in place yields exactly the trace that the
+	// restart-per-fault monitor protocol converges to — this is what lets
+	// one functional pass discover and map every faulting page.
+	OnFault func(f *vm.Fault) bool
 }
 
 // NewRunner builds a runner over fresh architectural state.
@@ -85,7 +94,14 @@ func (r *Runner) ea(m x86.Mem) uint64 {
 }
 
 func (r *Runner) loadBytes(addr uint64, buf []byte, step *Step) error {
-	if err := r.AS.Read(addr, buf); err != nil {
+	for {
+		err := r.AS.Read(addr, buf)
+		if err == nil {
+			break
+		}
+		if f, ok := err.(*vm.Fault); ok && r.OnFault != nil && r.OnFault(f) {
+			continue // repaired: retry the access in place
+		}
 		return err
 	}
 	_, phys, _ := r.AS.Translate(addr)
@@ -94,7 +110,14 @@ func (r *Runner) loadBytes(addr uint64, buf []byte, step *Step) error {
 }
 
 func (r *Runner) storeBytes(addr uint64, buf []byte, step *Step) error {
-	if err := r.AS.Write(addr, buf); err != nil {
+	for {
+		err := r.AS.Write(addr, buf)
+		if err == nil {
+			break
+		}
+		if f, ok := err.(*vm.Fault); ok && r.OnFault != nil && r.OnFault(f) {
+			continue
+		}
 		return err
 	}
 	_, phys, _ := r.AS.Translate(addr)

@@ -1,0 +1,31 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+// TestTable5Golden asserts that the full Table V pipeline — corpus
+// generation, parallel profiling through the pooled hot path, and every
+// analytical model — is byte-identical to the output recorded before the
+// hot-path overhaul (seed 7, scale 0.02). This is the determinism contract:
+// scratch reuse, memoization, fault batching and parallel workers must not
+// change a single measured or predicted number.
+func TestTable5Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates Table V at scale 0.02 (several seconds)")
+	}
+	want, err := os.ReadFile("testdata/table5_seed7_scale002.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig() // scale 0.02, seed 7
+	cfg.Workers = 4        // exercise the concurrent profiling path
+	got, err := New(cfg).Run("table5", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("Table V diverged from the recorded output.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

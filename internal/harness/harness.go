@@ -16,6 +16,7 @@ import (
 	"bhive/internal/corpus"
 	"bhive/internal/models"
 	"bhive/internal/models/ithemal"
+	"bhive/internal/profcache"
 	"bhive/internal/profiler"
 	"bhive/internal/stats"
 	"bhive/internal/uarch"
@@ -39,6 +40,10 @@ type Config struct {
 	// Records, when non-empty, overrides corpus generation — e.g. a corpus
 	// loaded from a CSV written by bhive-collect.
 	Records []corpus.Record
+	// ProfileCache, when non-nil, is shared by all profiling workers:
+	// previously profiled (block, uarch, options, seed) tuples are served
+	// from it instead of being re-measured.
+	ProfileCache *profcache.Cache
 }
 
 // DefaultConfig is sized for interactive runs.
@@ -115,6 +120,7 @@ func (s *Suite) profileAll(cpu *uarch.CPU, opts profiler.Options, recs []corpus.
 		go func() {
 			defer wg.Done()
 			p := profiler.New(cpu, opts)
+			p.Cache = s.cfg.ProfileCache
 			for i := range ch {
 				r := p.Profile(recs[i].Block)
 				out[i] = measurement{tp: r.Throughput, status: r.Status}

@@ -8,6 +8,7 @@ import (
 
 	"bhive/internal/cache"
 	"bhive/internal/exec"
+	"bhive/internal/memo"
 	"bhive/internal/pipeline"
 	"bhive/internal/uarch"
 	"bhive/internal/vm"
@@ -29,6 +30,11 @@ type Machine struct {
 
 	codeFrames []*vm.PhysPage // frames backing the code mapping
 	codeLen    int
+
+	// Scratch buffers recycled across Prepare/Execute/Time calls.
+	trace []exec.Step
+	items []pipeline.Item
+	code  []byte
 }
 
 // New builds a machine for the given microarchitecture.
@@ -40,11 +46,60 @@ func New(cpu *uarch.CPU, seed int64) *Machine {
 
 // ResetMemory discards the address space and cold-resets both caches.
 func (m *Machine) ResetMemory() {
-	m.AS = vm.New()
-	m.L1I = cache.New(m.CPU.L1ISize, m.CPU.L1Assoc, m.CPU.LineSize)
-	m.L1D = cache.New(m.CPU.L1DSize, m.CPU.L1Assoc, m.CPU.LineSize)
-	m.codeFrames = nil
+	if m.AS == nil {
+		m.AS = vm.New()
+		m.L1I = cache.New(m.CPU.L1ISize, m.CPU.L1Assoc, m.CPU.LineSize)
+		m.L1D = cache.New(m.CPU.L1DSize, m.CPU.L1Assoc, m.CPU.LineSize)
+	} else {
+		m.AS.Reset()
+		m.L1I.Reset()
+		m.L1D.Reset()
+	}
+	m.codeFrames = m.codeFrames[:0]
 	m.codeLen = 0
+}
+
+// Reset returns the machine to the state a fresh New would produce,
+// recycling every allocation. A reset machine is measurement-identical to
+// a fresh one: the address space restarts frame numbering and both caches
+// cold-reset including their LRU clocks. The RNG is deliberately left
+// untouched — deterministic timing never consumes it, and reseeding
+// math/rand's 607-word state costs more than the rest of Reset combined.
+// Callers using the noisy timing mode must reseed Rand themselves.
+func (m *Machine) Reset() {
+	m.ResetMemory()
+}
+
+// WarmCaches touches every instruction and data cache line the trace
+// touches, in trace order, without paying for pipeline simulation. It
+// establishes the same resident set as a full timing run: the measurement
+// protocol only cares whether the subsequent timed run misses at all, and
+// a timed run has zero misses exactly when each cache set sees at most
+// associativity-many distinct lines — a property of the access set, not of
+// the LRU ordering a particular warm-up leaves behind.
+func (m *Machine) WarmCaches(p *Program, steps []exec.Step) {
+	var (
+		havePage bool
+		pageBase uint64
+		pagePhys uint64
+	)
+	for i := range steps {
+		st := &steps[i]
+		idx := i % len(p.Insts)
+		va := p.Addrs[idx]
+		if base := va & vm.PageMask; havePage && base == pageBase {
+			m.L1I.AccessRange(pagePhys+(va-base), p.Lens[idx])
+		} else if _, phys, ok := m.AS.Translate(va); ok {
+			m.L1I.AccessRange(phys, p.Lens[idx])
+			havePage, pageBase, pagePhys = true, base, phys-(va-base)
+		}
+		if st.Load != nil {
+			m.L1D.AccessRange(st.Load.Phys, int(st.Load.Size))
+		}
+		if st.Store != nil {
+			m.L1D.AccessRange(st.Store.Phys, int(st.Store.Size))
+		}
+	}
 }
 
 // Program is a prepared (encoded, described, address-assigned) instruction
@@ -56,6 +111,13 @@ type Program struct {
 	Addrs []uint64
 	Lens  []int
 	Descs []uarch.Desc
+
+	// Register-use sets per instruction, precomputed at Prepare time so
+	// timing runs do not re-derive them per dynamic instruction. The
+	// slices are shared memo entries — read-only.
+	AddrReads [][]uint8
+	DataReads [][]uint8
+	Writes    [][]uint8
 }
 
 // CodeSize returns the program's encoded size in bytes — what determines
@@ -64,33 +126,84 @@ func (p *Program) CodeSize() int {
 	return int(p.Addrs[len(p.Addrs)-1] - p.Addrs[0])
 }
 
+// Slice returns a program consisting of the first n instructions, sharing
+// the prepared metadata. The profiler uses this to derive the low-unroll
+// program from the high-unroll one instead of re-encoding and re-mapping:
+// the underlying code mapping stays valid because the prefix occupies the
+// same addresses.
+func (p *Program) Slice(n int) *Program {
+	return &Program{
+		Insts:     p.Insts[:n],
+		Addrs:     p.Addrs[:n+1],
+		Lens:      p.Lens[:n],
+		Descs:     p.Descs[:n],
+		AddrReads: p.AddrReads[:n],
+		DataReads: p.DataReads[:n],
+		Writes:    p.Writes[:n],
+	}
+}
+
 // Prepare encodes insts, maps the code pages (each to its own physical
 // frame), and resolves each instruction's micro-op description. It returns
 // uarch.UnsupportedError if the CPU cannot execute an instruction.
+// Encoding and description lookups are memoized process-wide.
 func (m *Machine) Prepare(insts []x86.Inst) (*Program, error) {
+	return m.PrepareUnrolled(insts, len(insts))
+}
+
+// PrepareUnrolled is Prepare for a program that repeats its first n
+// instructions (an unrolled basic block): encoding, description and
+// register-set lookups run once per distinct instruction and the results
+// are replicated across the copies, so preparing a 50× unroll costs the
+// same lookups as preparing the block itself.
+func (m *Machine) PrepareUnrolled(insts []x86.Inst, n int) (*Program, error) {
+	total := len(insts)
+	if n <= 0 || n > total {
+		n = total
+	}
 	p := &Program{Insts: insts}
-	p.Addrs = make([]uint64, 0, len(insts)+1)
-	p.Lens = make([]int, 0, len(insts))
-	p.Descs = make([]uarch.Desc, 0, len(insts))
+	p.Addrs = make([]uint64, 0, total+1)
+	p.Lens = make([]int, 0, total)
+	p.Descs = make([]uarch.Desc, 0, total)
+	p.AddrReads = make([][]uint8, 0, total)
+	p.DataReads = make([][]uint8, 0, total)
+	p.Writes = make([][]uint8, 0, total)
+
+	// Resolve the n distinct instructions once.
+	raws := make([][]byte, n)
+	descs := make([]uarch.Desc, n)
+	ars := make([][]uint8, n)
+	drs := make([][]uint8, n)
+	ws := make([][]uint8, n)
+	for i := 0; i < n; i++ {
+		raw, err := memo.Encode(&insts[i])
+		if err != nil {
+			return nil, err
+		}
+		d, err := memo.Describe(m.CPU, &insts[i])
+		if err != nil {
+			return nil, err
+		}
+		raws[i] = raw
+		descs[i] = d
+		ars[i], drs[i], ws[i] = memo.RegSets(&insts[i])
+	}
 
 	addr := uint64(CodeBase)
-	var code []byte
-	for i := range insts {
-		raw, err := x86.Encode(insts[i])
-		if err != nil {
-			return nil, err
-		}
-		d, err := m.CPU.Describe(&insts[i])
-		if err != nil {
-			return nil, err
-		}
+	code := m.code[:0]
+	for i := 0; i < total; i++ {
+		j := i % n
 		p.Addrs = append(p.Addrs, addr)
-		p.Lens = append(p.Lens, len(raw))
-		p.Descs = append(p.Descs, d)
-		addr += uint64(len(raw))
-		code = append(code, raw...)
+		p.Lens = append(p.Lens, len(raws[j]))
+		p.Descs = append(p.Descs, descs[j])
+		p.AddrReads = append(p.AddrReads, ars[j])
+		p.DataReads = append(p.DataReads, drs[j])
+		p.Writes = append(p.Writes, ws[j])
+		addr += uint64(len(raws[j]))
+		code = append(code, raws[j]...)
 	}
 	p.Addrs = append(p.Addrs, addr)
+	m.code = code
 
 	m.mapCode(code)
 	return p, nil
@@ -98,7 +211,7 @@ func (m *Machine) Prepare(insts []x86.Inst) (*Program, error) {
 
 // mapCode installs the code bytes at CodeBase on dedicated frames.
 func (m *Machine) mapCode(code []byte) {
-	m.codeFrames = nil
+	m.codeFrames = m.codeFrames[:0]
 	m.codeLen = len(code)
 	for off := 0; off < len(code) || off == 0; off += vm.PageSize {
 		frame := m.AS.NewPhysPage()
@@ -118,10 +231,26 @@ func (m *Machine) RemapCode() {
 // Execute runs the program functionally on the given state, returning the
 // dynamic trace. Page faults, divide errors and alignment faults surface
 // as errors exactly as signals would.
+//
+// The returned trace aliases a buffer owned by the machine: it is valid
+// until the next Execute call on this machine.
 func (m *Machine) Execute(p *Program, st *exec.State) ([]exec.Step, error) {
-	r := &exec.Runner{State: st, AS: m.AS, Record: true}
-	r.Trace = make([]exec.Step, 0, len(p.Insts))
-	if err := r.Run(p.Insts, p.Addrs); err != nil {
+	return m.ExecuteMonitored(p, st, nil)
+}
+
+// ExecuteMonitored is Execute with a page-fault monitor attached: onFault
+// is called for every fault, and returning true (after repairing the
+// mapping) resumes execution in place. This is the batched form of the
+// paper's monitor protocol — one functional pass discovers and maps every
+// page the block touches.
+func (m *Machine) ExecuteMonitored(p *Program, st *exec.State, onFault func(f *vm.Fault) bool) ([]exec.Step, error) {
+	if m.trace == nil {
+		m.trace = make([]exec.Step, 0, len(p.Insts))
+	}
+	r := &exec.Runner{State: st, AS: m.AS, Record: true, Trace: m.trace[:0], OnFault: onFault}
+	err := r.Run(p.Insts, p.Addrs)
+	m.trace = r.Trace[:0] // keep the (possibly grown) buffer
+	if err != nil {
 		return r.Trace, err
 	}
 	return r.Trace, nil
@@ -144,12 +273,25 @@ func (m *Machine) Time(p *Program, steps []exec.Step, cfg Config) pipeline.Count
 	if cfg.SwitchRate > 0 {
 		pcfg.Rand = m.Rand
 	}
-	return pipeline.Simulate(m.CPU, items, m.L1I, m.L1D, pcfg)
+	ctr := pipeline.Simulate(m.CPU, items, m.L1I, m.L1D, pcfg)
+	return ctr
 }
 
-// buildItems converts the functional trace into timed pipeline items.
+// buildItems converts the functional trace into timed pipeline items. The
+// returned slice aliases a machine-owned scratch buffer reused across Time
+// calls.
 func (m *Machine) buildItems(p *Program, steps []exec.Step) []pipeline.Item {
-	items := make([]pipeline.Item, len(steps))
+	if cap(m.items) < len(steps) {
+		m.items = make([]pipeline.Item, len(steps))
+	}
+	items := m.items[:len(steps)]
+	// Code-page translation cache: instruction addresses walk forward
+	// through a handful of pages, so remember the last page translated.
+	var (
+		havePage bool
+		pageBase uint64
+		pagePhys uint64
+	)
 	for i := range steps {
 		st := &steps[i]
 		idx := i % len(p.Insts) // traces are the program in order
@@ -159,69 +301,26 @@ func (m *Machine) buildItems(p *Program, steps []exec.Step) []pipeline.Item {
 		it.Store = st.Store
 		it.Subnormal = st.Subnormal
 		it.CodeLen = p.Lens[idx]
-		if _, phys, ok := m.AS.Translate(p.Addrs[idx]); ok {
+		it.CodePhys = 0
+		va := p.Addrs[idx]
+		if base := va & vm.PageMask; havePage && base == pageBase {
+			it.CodePhys = pagePhys + (va - base)
+		} else if _, phys, ok := m.AS.Translate(va); ok {
 			it.CodePhys = phys
+			havePage, pageBase, pagePhys = true, base, phys-(va-base)
 		}
-		it.AddrReads, it.DataReads, it.Writes = RegSets(st.Inst)
+		it.AddrReads = p.AddrReads[idx]
+		it.DataReads = p.DataReads[idx]
+		it.Writes = p.Writes[idx]
 	}
 	return items
 }
 
 // RegSets maps an instruction's register usage onto pipeline register ids:
-// 0–15 GPRs, 16–31 vector registers, 32 the flags.
+// 0–15 GPRs, 16–31 vector registers, 32 the flags. Results are memoized
+// process-wide; the returned slices are shared and read-only.
 func RegSets(in *x86.Inst) (addr, data, writes []uint8) {
-	id := func(r x86.Reg) (uint8, bool) {
-		switch b := r.Base64(); b.Class() {
-		case x86.ClassGP64:
-			return uint8(b.Num()), true
-		case x86.ClassYMM:
-			return uint8(16 + b.Num()), true
-		}
-		return 0, false
-	}
-	for k, a := range in.Args {
-		switch a.Kind {
-		case x86.KindReg:
-			r, w := in.ArgIO(k)
-			// Sub-register writes merge, hence also read (RegReads models
-			// this); replicate that rule here.
-			merge := w && (a.Reg.Class() == x86.ClassGP8 || a.Reg.Class() == x86.ClassGP16)
-			if r || merge {
-				if n, ok := id(a.Reg); ok {
-					data = append(data, n)
-				}
-			}
-			if w {
-				if n, ok := id(a.Reg); ok {
-					writes = append(writes, n)
-				}
-			}
-		case x86.KindMem:
-			if n, ok := id(a.Mem.Base); ok {
-				addr = append(addr, n)
-			}
-			if n, ok := id(a.Mem.Index); ok {
-				addr = append(addr, n)
-			}
-		}
-	}
-	for _, r := range in.Op.ImplicitReads() {
-		if n, ok := id(r); ok {
-			data = append(data, n)
-		}
-	}
-	for _, r := range in.Op.ImplicitWrites() {
-		if n, ok := id(r); ok {
-			writes = append(writes, n)
-		}
-	}
-	if in.Op.ReadsFlags() {
-		data = append(data, RegFlags)
-	}
-	if in.Op.WritesFlags() {
-		writes = append(writes, RegFlags)
-	}
-	return addr, data, writes
+	return memo.RegSets(in)
 }
 
 // RegFlags re-exports the pipeline flags id for convenience.

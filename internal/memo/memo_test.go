@@ -1,0 +1,128 @@
+package memo
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+func parse(t *testing.T, text string) *x86.Block {
+	t.Helper()
+	b, err := x86.ParseBlock(text, x86.SyntaxAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestDescribeMatchesDirect checks that memoized descriptions are
+// indistinguishable from direct cpu.Describe calls across a varied block,
+// repeated so both the miss and hit paths are exercised.
+func TestDescribeMatchesDirect(t *testing.T) {
+	b := parse(t, `add rax, rbx
+		xor ecx, ecx
+		mov rdx, qword ptr [rsp+8]
+		mov qword ptr [rsp+16], rdx
+		imul rax, rbx
+		mulss xmm0, xmm1
+		vxorps ymm2, ymm2, ymm2
+		vfmadd231ps ymm0, ymm1, ymm2`)
+	for _, cpu := range []*uarch.CPU{uarch.IvyBridge(), uarch.Haswell(), uarch.Skylake()} {
+		for round := 0; round < 2; round++ {
+			for i := range b.Insts {
+				in := &b.Insts[i]
+				want, wantErr := cpu.Describe(in)
+				got, gotErr := Describe(cpu, in)
+				if (wantErr == nil) != (gotErr == nil) || !reflect.DeepEqual(want, got) {
+					t.Fatalf("%s/%s: memoized desc diverged", cpu.Name, in)
+				}
+				wantR, wantRErr := cpu.DescribeRaw(in)
+				gotR, gotRErr := DescribeRaw(cpu, in)
+				if (wantRErr == nil) != (gotRErr == nil) || !reflect.DeepEqual(wantR, gotR) {
+					t.Fatalf("%s/%s: memoized raw desc diverged", cpu.Name, in)
+				}
+			}
+		}
+	}
+}
+
+// TestUnsupportedMemoized checks that UnsupportedError results are cached
+// and still reported as such.
+func TestUnsupportedMemoized(t *testing.T) {
+	b := parse(t, "vfmadd231ps %ymm1, %ymm2, %ymm3")
+	cpu := uarch.IvyBridge()
+	for round := 0; round < 2; round++ {
+		_, err := Describe(cpu, &b.Insts[0])
+		if _, ok := err.(*uarch.UnsupportedError); !ok {
+			t.Fatalf("round %d: want UnsupportedError, got %v", round, err)
+		}
+	}
+	// The same instruction must stay supported on Haswell: the µarch is
+	// part of the key.
+	if _, err := Describe(uarch.Haswell(), &b.Insts[0]); err != nil {
+		t.Fatalf("haswell fma: %v", err)
+	}
+}
+
+// TestEncodeMatchesDirect checks byte-exact memoized encodings.
+func TestEncodeMatchesDirect(t *testing.T) {
+	b := parse(t, "add rax, rbx\nmov rcx, qword ptr [rsp+8]\nnop")
+	for round := 0; round < 2; round++ {
+		for i := range b.Insts {
+			want, wantErr := x86.Encode(b.Insts[i])
+			got, gotErr := Encode(&b.Insts[i])
+			if (wantErr == nil) != (gotErr == nil) || string(want) != string(got) {
+				t.Fatalf("%s: memoized encoding diverged", &b.Insts[i])
+			}
+		}
+	}
+}
+
+// TestRegSetsStable checks memoized register sets repeat exactly.
+func TestRegSetsStable(t *testing.T) {
+	b := parse(t, "add rax, rbx\nmov rcx, qword ptr [rsp+8]\nadc r8b, r9b")
+	for i := range b.Insts {
+		a1, d1, w1 := RegSets(&b.Insts[i])
+		a2, d2, w2 := RegSets(&b.Insts[i])
+		if !reflect.DeepEqual(a1, a2) || !reflect.DeepEqual(d1, d2) || !reflect.DeepEqual(w1, w2) {
+			t.Fatalf("%s: unstable reg sets", &b.Insts[i])
+		}
+	}
+}
+
+// TestConcurrentAccess hammers the memo maps from many goroutines; run
+// under -race this is the regression test for the shared tables.
+func TestConcurrentAccess(t *testing.T) {
+	b := parse(t, `add rax, rbx
+		mov rcx, qword ptr [rsp+8]
+		mulss xmm0, xmm1
+		vxorps ymm2, ymm2, ymm2`)
+	cpus := []*uarch.CPU{uarch.IvyBridge(), uarch.Haswell(), uarch.Skylake()}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 200; round++ {
+				for i := range b.Insts {
+					in := &b.Insts[i]
+					cpu := cpus[(round+i)%len(cpus)]
+					if _, err := Describe(cpu, in); err != nil {
+						t.Error(err)
+					}
+					if _, err := DescribeRaw(cpu, in); err != nil {
+						t.Error(err)
+					}
+					if _, err := Encode(in); err != nil {
+						t.Error(err)
+					}
+					RegSets(in)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

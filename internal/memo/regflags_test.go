@@ -1,0 +1,15 @@
+package memo
+
+import (
+	"testing"
+
+	"bhive/internal/pipeline"
+)
+
+// memo duplicates the flags register id to avoid importing pipeline; this
+// pins the two constants together.
+func TestRegFlagsMatchesPipeline(t *testing.T) {
+	if RegFlags != pipeline.RegFlags {
+		t.Fatalf("memo.RegFlags = %d, pipeline.RegFlags = %d", RegFlags, pipeline.RegFlags)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 
 	"bhive/internal/machine"
+	"bhive/internal/memo"
 	"bhive/internal/uarch"
 	"bhive/internal/x86"
 )
@@ -54,11 +55,11 @@ func buildSimInsts(cpu *uarch.CPU, b *x86.Block, o tableOpts) ([]simInst, error)
 			err error
 		)
 		if o.zeroIdioms && o.moveElim {
-			d, err = cpu.Describe(in)
+			d, err = memo.Describe(cpu, in)
 		} else {
-			d, err = cpu.DescribeRaw(in)
+			d, err = memo.DescribeRaw(cpu, in)
 			if err == nil && o.zeroIdioms {
-				if full, e2 := cpu.Describe(in); e2 == nil && full.ZeroIdiom {
+				if full, e2 := memo.Describe(cpu, in); e2 == nil && full.ZeroIdiom {
 					d = full
 				}
 			}
@@ -170,7 +171,7 @@ func fuseLoadUops(uops []simUop) []simUop {
 // divReference returns the 64-bit divide latency in the CPU's tables.
 func divReference(cpu *uarch.CPU) int {
 	in := x86.NewInst(x86.DIV, x86.RegOp(x86.RCX))
-	d, err := cpu.Describe(&in)
+	d, err := memo.Describe(cpu, &in)
 	if err != nil || len(d.Uops) == 0 {
 		return 90
 	}

@@ -3,6 +3,7 @@ package models
 import (
 	"fmt"
 
+	"bhive/internal/memo"
 	"bhive/internal/uarch"
 	"bhive/internal/x86"
 )
@@ -105,7 +106,7 @@ func (m *OSACA) Predict(b *x86.Block) (float64, error) {
 			if skip {
 				continue
 			}
-			d, err := m.cpu.DescribeRaw(in)
+			d, err := memo.DescribeRaw(m.cpu, in)
 			if err != nil {
 				return 0, err
 			}

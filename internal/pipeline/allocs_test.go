@@ -1,0 +1,33 @@
+package pipeline
+
+import (
+	"testing"
+
+	"bhive/internal/uarch"
+)
+
+// TestSimulateAllocs guards the scratch-arena design: once the pooled
+// scratch has grown to the working-set size, steady-state Simulate calls
+// must not allocate. The budget of 1 absorbs rare pool-miss refills under
+// concurrent GC; the pre-arena implementation allocated ~10 slices per
+// call and trips this immediately.
+func TestSimulateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	cpu := uarch.Haswell()
+	var items []Item
+	for i := 0; i < 64; i++ {
+		items = append(items, aluItem(cpu, []uint8{0, 1}, []uint8{0}, 1))
+	}
+	l1i, l1d := caches(cpu)
+	// Grow the pooled scratch and warm the caches.
+	Simulate(cpu, items, l1i, l1d, Config{})
+
+	avg := testing.AllocsPerRun(200, func() {
+		Simulate(cpu, items, l1i, l1d, Config{})
+	})
+	if avg > 1 {
+		t.Fatalf("Simulate allocates %.1f times per run in steady state; want <= 1", avg)
+	}
+}

@@ -13,6 +13,7 @@ package pipeline
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"bhive/internal/cache"
 	"bhive/internal/exec"
@@ -84,12 +85,13 @@ type storeRec struct {
 	retired bool
 }
 
-// uop is a micro-op in flight.
+// uop is a micro-op in flight. Dependence edges live in the SimScratch
+// deps arena at [depLo, depHi).
 type uop struct {
 	item int
 	spec uarch.Uop
 
-	deps []int32 // indices of producer µops; -1 entries removed at build
+	depLo, depHi int32 // producer µop ids in scratch.deps
 
 	allocated bool
 	issued    bool
@@ -100,33 +102,74 @@ type uop struct {
 
 const maxCycles = 50_000_000
 
+// SimScratch holds every transient buffer one Simulate call needs, so the
+// steady-state simulation path performs no heap allocation. Scratches are
+// recycled through a sync.Pool; a zero SimScratch is ready to use.
+type SimScratch struct {
+	fetchReady   []uint64
+	uops         []uop
+	itemFirstUop []int32 // µop-id range starts per item, +1 sentinel
+	deps         []int32 // dependence-edge arena indexed by uop.depLo/depHi
+	itemStore    []int32 // index into stores, -1 if none
+	stores       []storeRec
+	rs           []int32  // allocated, unissued µop ids (age order)
+	portBusy     []uint64 // busy-until for non-pipelined units
+	portUse      []bool
+	itemAlloc    []bool
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(SimScratch) }}
+
+// grow returns s[:n], reallocating when the capacity is short. The
+// returned slice contents are unspecified; callers fully overwrite them.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
 // Simulate times the item sequence on the CPU and returns the counters.
 // l1i and l1d carry cache state across calls (warmup vs. timed runs).
+// Scratch memory is drawn from an internal pool, making the steady-state
+// path allocation-free (see TestSimulateAllocs).
 func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) Counters {
+	s := scratchPool.Get().(*SimScratch)
+	ctr := s.simulate(cpu, items, l1i, l1d, cfg)
+	scratchPool.Put(s)
+	return ctr
+}
+
+func (s *SimScratch) simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) Counters {
 	var ctr Counters
 	ctr.Instructions = uint64(len(items))
 	if len(items) == 0 {
 		return ctr
 	}
 
-	fetchReady := simulateFetch(cpu, items, l1i, &ctr)
+	s.fetchReady = grow(s.fetchReady, len(items))
+	fetchReady := s.fetchReady
+	simulateFetch(cpu, items, l1i, &ctr, fetchReady)
 
-	// Build the µop list with dependence edges.
-	uops := make([]uop, 0, len(items)*2)
-	itemUops := make([][]int32, len(items)) // µop ids per item
-	itemFirstUop := make([]int32, len(items))
+	// Build the µop list with dependence edges. Each item's µops are
+	// contiguous, so itemFirstUop with a sentinel entry replaces the
+	// per-item id slices.
+	s.uops = s.uops[:0]
+	s.deps = s.deps[:0]
+	s.stores = s.stores[:0]
+	s.itemFirstUop = grow(s.itemFirstUop, len(items)+1)
+	s.itemStore = grow(s.itemStore, len(items))
+	itemFirstUop := s.itemFirstUop
+	itemStore := s.itemStore
 	var lastWriter [NumRegs]int32
 	for i := range lastWriter {
 		lastWriter[i] = -1
 	}
 
-	var stores []storeRec
-	itemStore := make([]int32, len(items)) // index into stores, -1 if none
-
 	for i := range items {
 		it := &items[i]
 		itemStore[i] = -1
-		itemFirstUop[i] = int32(len(uops))
+		itemFirstUop[i] = int32(len(s.uops))
 
 		if it.Desc.ZeroIdiom {
 			for _, w := range it.Writes {
@@ -146,54 +189,49 @@ func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) C
 			continue
 		}
 
-		addrDeps := func() []int32 {
-			var d []int32
+		addrDeps := func() {
 			for _, r := range it.AddrReads {
 				if p := lastWriter[r]; p >= 0 {
-					d = append(d, p)
+					s.deps = append(s.deps, p)
 				}
 			}
-			return d
 		}
-		dataDeps := func() []int32 {
-			var d []int32
+		dataDeps := func() {
 			for _, r := range it.DataReads {
 				if p := lastWriter[r]; p >= 0 {
-					d = append(d, p)
+					s.deps = append(s.deps, p)
 				}
 			}
-			return d
 		}
 
 		var loadUop, lastCompute int32 = -1, -1
-		ids := make([]int32, 0, len(it.Desc.Uops))
 		for k := range it.Desc.Uops {
 			spec := it.Desc.Uops[k]
-			u := uop{item: i, spec: spec}
-			id := int32(len(uops))
+			u := uop{item: i, spec: spec, depLo: int32(len(s.deps))}
+			id := int32(len(s.uops))
 			switch spec.Class {
 			case uarch.ClassLoad:
-				u.deps = addrDeps()
+				addrDeps()
 				loadUop = id
 			case uarch.ClassStoreAddr:
-				u.deps = addrDeps()
+				addrDeps()
 			case uarch.ClassStoreData:
 				if lastCompute >= 0 {
-					u.deps = []int32{lastCompute}
+					s.deps = append(s.deps, lastCompute)
 				} else {
-					u.deps = dataDeps()
+					dataDeps()
 					if loadUop >= 0 {
-						u.deps = append(u.deps, loadUop)
+						s.deps = append(s.deps, loadUop)
 					}
 				}
 			default: // computation
-				u.deps = dataDeps()
+				dataDeps()
 				if loadUop >= 0 {
-					u.deps = append(u.deps, loadUop)
+					s.deps = append(s.deps, loadUop)
 				}
 				if lastCompute >= 0 {
 					// Multi-µop instructions chain internally.
-					u.deps = append(u.deps, lastCompute)
+					s.deps = append(s.deps, lastCompute)
 				}
 				if it.Subnormal && it.Desc.FP {
 					// Gradual underflow takes a microcode assist: it not
@@ -207,10 +245,9 @@ func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) C
 				}
 				lastCompute = id
 			}
-			uops = append(uops, u)
-			ids = append(ids, id)
+			u.depHi = int32(len(s.deps))
+			s.uops = append(s.uops, u)
 		}
-		itemUops[i] = ids
 
 		// Register writes come from the last computation µop, or the load
 		// for pure loads.
@@ -224,17 +261,21 @@ func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) C
 
 		if it.Store != nil {
 			var dataUop int32 = -1
-			for k, id := range ids {
+			for k := range it.Desc.Uops {
 				if it.Desc.Uops[k].Class == uarch.ClassStoreData {
-					dataUop = id
+					dataUop = itemFirstUop[i] + int32(k)
 				}
 			}
-			itemStore[i] = int32(len(stores))
-			stores = append(stores, storeRec{
+			itemStore[i] = int32(len(s.stores))
+			s.stores = append(s.stores, storeRec{
 				item: i, addr: it.Store.Addr, size: int(it.Store.Size), dataUop: dataUop,
 			})
 		}
 	}
+	itemFirstUop[len(items)] = int32(len(s.uops))
+	uops := s.uops
+	stores := s.stores
+	deps := s.deps
 	ctr.Uops = uint64(len(uops))
 
 	// Context-switch schedule.
@@ -260,16 +301,25 @@ func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) C
 		rsUsed       int
 		loadBufUsed  int
 		storeBufUsed int
-		rs           []int32                        // allocated, unissued µop ids (age order)
-		portBusy     = make([]uint64, cpu.NumPorts) // busy-until for non-pipelined units
 	)
-	var portUse []bool = make([]bool, cpu.NumPorts)
+	s.rs = s.rs[:0]
+	rs := s.rs
+	s.portBusy = grow(s.portBusy, cpu.NumPorts)
+	portBusy := s.portBusy
+	for p := range portBusy {
+		portBusy[p] = 0
+	}
+	s.portUse = grow(s.portUse, cpu.NumPorts)
+	portUse := s.portUse
 
-	itemAllocated := make([]bool, len(items))
-	itemRetired := make([]bool, len(items))
+	s.itemAlloc = grow(s.itemAlloc, len(items))
+	itemAllocated := s.itemAlloc
+	for i := range itemAllocated {
+		itemAllocated[i] = false
+	}
 
 	itemDone := func(i int) bool {
-		for _, id := range itemUops[i] {
+		for id := itemFirstUop[i]; id < itemFirstUop[i+1]; id++ {
 			if !uops[id].done || uops[id].doneAt > cycle {
 				return false
 			}
@@ -299,7 +349,6 @@ func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) C
 				break // finish next cycle
 			}
 			retireBudget -= items[i].Desc.FusedUops
-			itemRetired[i] = true
 			robUsed -= items[i].Desc.FusedUops
 			if items[i].Load != nil {
 				loadBufUsed--
@@ -329,7 +378,7 @@ func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) C
 			if f > allocBudget {
 				break
 			}
-			nExec := len(itemUops[nextAlloc])
+			nExec := int(itemFirstUop[nextAlloc+1] - itemFirstUop[nextAlloc])
 			if robUsed+f > cpu.ROBSize || rsUsed+nExec > cpu.RSSize {
 				break
 			}
@@ -349,7 +398,7 @@ func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) C
 				storeBufUsed++
 			}
 			itemAllocated[nextAlloc] = true
-			for _, id := range itemUops[nextAlloc] {
+			for id := itemFirstUop[nextAlloc]; id < itemFirstUop[nextAlloc+1]; id++ {
 				uops[id].allocated = true
 				rs = append(rs, id)
 			}
@@ -365,7 +414,7 @@ func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) C
 			u := &uops[id]
 			// Dependences satisfied?
 			ready := true
-			for _, d := range u.deps {
+			for _, d := range deps[u.depLo:u.depHi] {
 				if !uops[d].done || uops[d].doneAt > cycle {
 					ready = false
 					break
@@ -417,6 +466,7 @@ func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) C
 
 		cycle++
 	}
+	s.rs = rs[:0] // keep the grown reservation-station buffer
 
 	ctr.Cycles = cycle
 	return ctr
@@ -496,10 +546,9 @@ func contains(outer uint64, on int, inner uint64, in int) bool {
 }
 
 // simulateFetch models the 16-byte-per-cycle front end walking the code
-// bytes through the L1 instruction cache, returning for each instruction
-// the cycle its bytes are available for decode.
-func simulateFetch(cpu *uarch.CPU, items []Item, l1i *cache.Cache, ctr *Counters) []uint64 {
-	ready := make([]uint64, len(items))
+// bytes through the L1 instruction cache, filling ready (len(items)) with
+// the cycle each instruction's bytes are available for decode.
+func simulateFetch(cpu *uarch.CPU, items []Item, l1i *cache.Cache, ctr *Counters, ready []uint64) {
 	var bytes uint64  // total code bytes fetched
 	var stalls uint64 // accumulated I-cache miss cycles
 	lastLine := uint64(math.MaxUint64)
@@ -520,7 +569,6 @@ func simulateFetch(cpu *uarch.CPU, items []Item, l1i *cache.Cache, ctr *Counters
 		bytes += uint64(it.CodeLen)
 		ready[i] = bytes/16 + stalls
 	}
-	return ready
 }
 
 func min(a, b int) int {

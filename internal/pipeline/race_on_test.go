@@ -1,0 +1,7 @@
+//go:build race
+
+package pipeline
+
+// The race detector instruments allocations and makes sync.Pool drop
+// items at random, so allocation-count guards are meaningless under it.
+const raceEnabled = true

@@ -1,0 +1,116 @@
+package profcache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bhive/internal/pipeline"
+)
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("fresh cache has %d entries", c.Len())
+	}
+
+	e := Entry{
+		Status:       0,
+		Throughput:   1.25,
+		UnrollHi:     100,
+		UnrollLo:     50,
+		PagesMapped:  2,
+		CleanSamples: 16,
+		Counters:     pipeline.Counters{Cycles: 125, Instructions: 200},
+	}
+	k := Key("4801d8", "haswell", "opts-v1", 42)
+	c.Put(k, e)
+	if got, ok := c.Get(k); !ok || got != e {
+		t.Fatalf("Get after Put = %+v, %v", got, ok)
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c2.Get(k); !ok || got != e {
+		t.Fatalf("Get after reload = %+v, %v", got, ok)
+	}
+}
+
+func TestSaveIsNoOpWhenClean(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, _ := Open(path)
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("Save of an untouched cache wrote a file")
+	}
+	c.Put("k", Entry{Throughput: 1})
+	c.Put("k", Entry{Throughput: 1}) // identical re-Put keeps it clean
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	fi1, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(); err != nil { // second Save: nothing dirty
+		t.Fatal(err)
+	}
+	fi2, _ := os.Stat(path)
+	if !fi1.ModTime().Equal(fi2.ModTime()) {
+		t.Error("clean Save rewrote the file")
+	}
+}
+
+func TestVersionBumpInvalidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	raw, _ := json.Marshal(fileFormat{
+		Version: Version + 1,
+		Entries: map[string]Entry{"stale": {Throughput: 9}},
+	})
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("version-mismatched cache served %d stale entries", c.Len())
+	}
+}
+
+func TestCorruptFileIsAnError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("Open of a corrupt cache did not fail")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	base := Key("4801d8", "haswell", "opts", 1)
+	for name, k := range map[string]string{
+		"block": Key("4801d9", "haswell", "opts", 1),
+		"uarch": Key("4801d8", "skylake", "opts", 1),
+		"opts":  Key("4801d8", "haswell", "opts2", 1),
+		"seed":  Key("4801d8", "haswell", "opts", 2),
+	} {
+		if k == base {
+			t.Errorf("changing %s does not change the key", name)
+		}
+	}
+}

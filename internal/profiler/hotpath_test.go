@@ -1,0 +1,164 @@
+package profiler
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bhive/internal/profcache"
+	"bhive/internal/uarch"
+	"bhive/internal/vm"
+)
+
+// TestMeasurementOrderIndependence pins down the two equivalences the hot
+// path relies on: each unroll factor's measurement draws its RNG stream
+// from (blockSeed, unroll) alone, and the low-factor measurement on the
+// machine the high factor already warmed is identical to measuring it on a
+// fresh machine. The low measurement must therefore come out the same
+// whether it runs alone or after the high one.
+func TestMeasurementOrderIndependence(t *testing.T) {
+	p := New(uarch.Haswell(), DefaultOptions())
+	for _, text := range []string{
+		"add rax, rbx\nimul rcx, rdx",
+		"mov rcx, qword ptr [rsp+8]\nadd rcx, rax\nmov qword ptr [rsp+8], rcx",
+	} {
+		b := block(t, text)
+		seed := blockSeed(b.Insts)
+		lo, hi := p.unrollFactors(len(b.Insts))
+
+		// Low factor alone, on a fresh machine.
+		scA := &scratch{}
+		mA := scA.machine(p.CPU, seed)
+		progA, err := mA.PrepareUnrolled(scA.unrolled(b.Insts, lo), len(b.Insts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pageA *vm.PhysPage
+		cA, rA := p.measureOn(scA, mA, progA, lo, seed, &pageA)
+		if rA.Status != StatusOK {
+			t.Fatalf("%q: lo-alone status = %v", text, rA.Status)
+		}
+
+		// High first, then low on the shared machine — Profile's order.
+		scB := &scratch{}
+		mB := scB.machine(p.CPU, seed)
+		progB, err := mB.PrepareUnrolled(scB.unrolled(b.Insts, hi), len(b.Insts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pageB *vm.PhysPage
+		if _, rHi := p.measureOn(scB, mB, progB, hi, seed, &pageB); rHi.Status != StatusOK {
+			t.Fatalf("%q: hi status = %v", text, rHi.Status)
+		}
+		cB, rB := p.measureOn(scB, mB, progB.Slice(len(b.Insts)*lo), lo, seed, &pageB)
+		if rB.Status != StatusOK {
+			t.Fatalf("%q: lo-after-hi status = %v", text, rB.Status)
+		}
+
+		if cA != cB {
+			t.Errorf("%q: lo cycles depend on measurement order: alone=%d after-hi=%d", text, cA, cB)
+		}
+		if rA.CleanSamples != rB.CleanSamples {
+			t.Errorf("%q: clean samples depend on measurement order: alone=%d after-hi=%d",
+				text, rA.CleanSamples, rB.CleanSamples)
+		}
+	}
+}
+
+// TestProfileDeterministic: repeated Profile calls (exercising the scratch
+// pool reuse path) must return identical results.
+func TestProfileDeterministic(t *testing.T) {
+	p := New(uarch.Skylake(), DefaultOptions())
+	b := block(t, "xor edx, edx\ndiv rcx\nadd rax, rdx")
+	first := p.Profile(b)
+	for i := 0; i < 3; i++ {
+		if got := p.Profile(b); got != first {
+			t.Fatalf("Profile run %d = %+v, first run %+v", i+2, got, first)
+		}
+	}
+}
+
+// TestProfileCacheIdentity: results served through the persistent cache —
+// freshly stored, hit in memory, and hit after a save/reload cycle — must
+// match the uncached profiler on every field.
+func TestProfileCacheIdentity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "profiles.json")
+	pc, err := profcache.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cpu := uarch.IvyBridge()
+	plain := New(cpu, DefaultOptions())
+	cached := New(cpu, DefaultOptions())
+	cached.Cache = pc
+
+	blocks := []string{
+		"add rax, rbx\nimul rcx, rdx",                 // ok
+		"vfmadd231pd ymm0, ymm1, ymm2",                // unsupported on IVB
+		"mov rax, qword ptr [0]\nadd rax, 1",          // crashes: null page
+		"mov rcx, qword ptr [rsp+8]\nadd rax, rcx",    // ok, memory
+	}
+	check := func(text string, got, want Result) {
+		t.Helper()
+		// Errors round-trip as text only; compare the rest field-wise.
+		gotErr, wantErr := "", ""
+		if got.Err != nil {
+			gotErr = got.Err.Error()
+		}
+		if want.Err != nil {
+			wantErr = want.Err.Error()
+		}
+		got.Err, want.Err = nil, nil
+		if got != want || gotErr != wantErr {
+			t.Errorf("%q: cached result %+v (err %q) != uncached %+v (err %q)",
+				text, got, gotErr, want, wantErr)
+		}
+	}
+	for _, text := range blocks {
+		b := block(t, text)
+		want := plain.Profile(b)
+		check(text, cached.Profile(b), want) // fills the cache
+		check(text, cached.Profile(b), want) // in-memory hit
+	}
+	if pc.Len() != len(blocks) {
+		t.Fatalf("cache holds %d entries, want %d", pc.Len(), len(blocks))
+	}
+
+	if err := pc.Save(); err != nil {
+		t.Fatal(err)
+	}
+	pc2, err := profcache.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc2.Len() != len(blocks) {
+		t.Fatalf("reloaded cache holds %d entries, want %d", pc2.Len(), len(blocks))
+	}
+	reloaded := New(cpu, DefaultOptions())
+	reloaded.Cache = pc2
+	for _, text := range blocks {
+		b := block(t, text)
+		check(text, reloaded.Profile(b), plain.Profile(b))
+	}
+
+	// A different option set must miss the cache, not serve stale entries.
+	other := New(cpu, MappingOptions())
+	other.Cache = pc2
+	b := block(t, blocks[0])
+	want := New(cpu, MappingOptions()).Profile(b)
+	check(blocks[0], other.Profile(b), want)
+	if pc2.Len() != len(blocks)+1 {
+		t.Fatalf("option change did not create a new entry: %d entries", pc2.Len())
+	}
+}
+
+// TestUnrollSeedIndependent: the derived seeds must differ across unroll
+// factors and not collide trivially across blocks.
+func TestUnrollSeedIndependent(t *testing.T) {
+	if unrollSeed(1, 4) == unrollSeed(1, 8) {
+		t.Error("unroll factors 4 and 8 share a seed")
+	}
+	if unrollSeed(1, 4) == unrollSeed(2, 4) {
+		t.Error("blocks 1 and 2 share a seed at unroll 4")
+	}
+}

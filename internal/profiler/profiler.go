@@ -6,8 +6,8 @@
 //
 //  1. A monitor intercepts the page faults of a measurement run, maps every
 //     virtual page the block touches onto one chosen physical page, and
-//     restarts the block from a re-initialized state, so the final trace of
-//     addresses is identical to the mapping run's.
+//     resumes the block, so the final trace of addresses is identical to
+//     the mapping run's.
 //  2. Registers and the physical page are initialized with a moderately
 //     sized constant (0x12345600) so loaded values are usable pointers.
 //  3. MXCSR is set to FTZ/DAZ to suppress gradual-underflow slowdowns.
@@ -21,16 +21,30 @@
 //
 // Every technique can be disabled individually, which is how the paper's
 // ablation tables are regenerated.
+//
+// The hot path is allocation-conscious: each Profiler recycles machines,
+// architectural state and unroll buffers through an internal pool (so
+// Profile is safe for concurrent use), the unrolled program is prepared
+// once at the high unroll factor and sliced down for the low one, and the
+// monitor maps all faulting pages in a single functional pass instead of
+// restarting execution per fault.
 package profiler
 
 import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync"
 
 	"bhive/internal/exec"
 	"bhive/internal/machine"
+	"bhive/internal/memo"
 	"bhive/internal/pipeline"
+	"bhive/internal/profcache"
 	"bhive/internal/uarch"
 	"bhive/internal/vm"
 	"bhive/internal/x86"
@@ -116,6 +130,12 @@ func MappingOptions() Options {
 	return o
 }
 
+// Fingerprint encodes every Options field into a string, so any change in
+// measurement configuration changes persistent-cache keys.
+func (o Options) Fingerprint() string {
+	return fmt.Sprintf("%+v", o)
+}
+
 // Status classifies a profiling attempt.
 type Status int
 
@@ -163,10 +183,17 @@ type Result struct {
 	CleanSamples int
 }
 
-// Profiler measures basic blocks on one microarchitecture.
+// Profiler measures basic blocks on one microarchitecture. It is safe for
+// concurrent use by multiple goroutines.
 type Profiler struct {
 	CPU  *uarch.CPU
 	Opts Options
+
+	// Cache, when non-nil, is consulted before profiling and updated
+	// after, keyed by (block bytes, microarchitecture, options, seed).
+	Cache *profcache.Cache
+
+	pool sync.Pool // *scratch
 }
 
 // New builds a profiler with the given options.
@@ -174,16 +201,108 @@ func New(cpu *uarch.CPU, opts Options) *Profiler {
 	return &Profiler{CPU: cpu, Opts: opts}
 }
 
+// scratch bundles the per-measurement state a Profile call needs, recycled
+// across blocks so the steady-state hot path allocates almost nothing.
+type scratch struct {
+	m     *machine.Machine
+	st    exec.State
+	insts []x86.Inst
+}
+
+func (p *Profiler) getScratch() *scratch {
+	if v := p.pool.Get(); v != nil {
+		return v.(*scratch)
+	}
+	return &scratch{}
+}
+
+// machine returns the scratch machine reset to fresh-construction state.
+func (sc *scratch) machine(cpu *uarch.CPU, seed int64) *machine.Machine {
+	if sc.m == nil || sc.m.CPU != cpu {
+		sc.m = machine.New(cpu, seed)
+	} else {
+		sc.m.Reset()
+	}
+	return sc.m
+}
+
+// unrolled builds unroll copies of insts in the scratch buffer.
+func (sc *scratch) unrolled(insts []x86.Inst, unroll int) []x86.Inst {
+	out := sc.insts[:0]
+	for i := 0; i < unroll; i++ {
+		out = append(out, insts...)
+	}
+	sc.insts = out
+	return out
+}
+
+// resetState re-initializes the scratch architectural state exactly as a
+// freshly allocated one.
+func (p *Profiler) resetState(st *exec.State) *exec.State {
+	*st = exec.State{}
+	if p.Opts.InitRegisters {
+		st.InitRegisters(InitPattern)
+	}
+	if p.Opts.DisableSubnormals {
+		st.FTZ, st.DAZ = true, true
+	}
+	return st
+}
+
 // blockSeed derives a deterministic per-block RNG seed.
 func blockSeed(insts []x86.Inst) int64 {
 	h := fnv.New64a()
 	for i := range insts {
-		raw, err := x86.Encode(insts[i])
+		raw, err := memo.Encode(&insts[i])
 		if err == nil {
 			h.Write(raw)
 		}
 	}
 	return int64(h.Sum64())
+}
+
+// unrollSeed derives the RNG seed for one unroll factor's measurement.
+// Each factor's stream depends only on (blockSeed, unroll) — not on how
+// many measurements ran before it — so the hi and lo measurements are
+// order-independent and skipping one cannot perturb the other.
+func unrollSeed(seed int64, unroll int) int64 {
+	h := fnv.New64a()
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], uint64(seed))
+	binary.LittleEndian.PutUint64(b[8:], uint64(unroll))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+// sampleRNG is a splitmix64 stream for the sample-acceptance draws.
+// Seeding math/rand's 607-word lagged-Fibonacci state per measurement is
+// measurable overhead on the hot path; the acceptance test only needs a
+// deterministic uniform stream.
+type sampleRNG uint64
+
+func (r *sampleRNG) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *sampleRNG) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// blockHex is the lowercase hex of the block's encoded bytes — the
+// canonical BHive corpus representation, used as the cache identity.
+func blockHex(insts []x86.Inst) string {
+	var buf []byte
+	for i := range insts {
+		raw, err := memo.Encode(&insts[i])
+		if err == nil {
+			buf = append(buf, raw...)
+		}
+	}
+	return hex.EncodeToString(buf)
 }
 
 // unrollFactors picks unroll factors large enough to reach steady state
@@ -213,12 +332,42 @@ func (p *Profiler) Profile(b *x86.Block) Result {
 		return Result{Status: StatusCrashed}
 	}
 	seed := blockSeed(b.Insts)
-	rng := rand.New(rand.NewSource(seed))
+	if p.Cache == nil {
+		return p.profile(b, seed)
+	}
+	key := profcache.Key(blockHex(b.Insts), p.CPU.Name, p.Opts.Fingerprint(), seed)
+	if e, ok := p.Cache.Get(key); ok {
+		return resultFromEntry(e)
+	}
+	res := p.profile(b, seed)
+	p.Cache.Put(key, entryFromResult(res))
+	return res
+}
 
+// profile runs the measurement protocol, bypassing the persistent cache.
+func (p *Profiler) profile(b *x86.Block, seed int64) Result {
 	lo, hi := p.unrollFactors(len(b.Insts))
 	res := Result{UnrollLo: lo, UnrollHi: hi}
 
-	cHi, r := p.measureUnrolled(b, hi, rng)
+	sc := p.getScratch()
+	defer p.pool.Put(sc)
+
+	// Prepare once at the high factor; the low-factor program is a prefix
+	// of the same prepared code, so it is derived by slicing.
+	m := sc.machine(p.CPU, seed)
+	prog, err := m.PrepareUnrolled(sc.unrolled(b.Insts, hi), len(b.Insts))
+	if err != nil {
+		if _, ok := err.(*uarch.UnsupportedError); ok {
+			return Result{Status: StatusUnsupported, Err: err, UnrollLo: lo, UnrollHi: hi}
+		}
+		return Result{Status: StatusCrashed, Err: err, UnrollLo: lo, UnrollHi: hi}
+	}
+
+	// The chosen physical page is shared by both measurements, exactly as
+	// the page mapping itself is.
+	var thePage *vm.PhysPage
+
+	cHi, r := p.measureOn(sc, m, prog, hi, seed, &thePage)
 	if r.Status != StatusOK {
 		r.UnrollLo, r.UnrollHi = lo, hi
 		return r
@@ -232,9 +381,16 @@ func (p *Profiler) Profile(b *x86.Block) Result {
 		return res
 	}
 
-	cLo, r2 := p.measureUnrolled(b, lo, rng)
+	// The low measurement reuses the machine: its page working set is a
+	// subset of the high run's (same code prefix, same initial state), so
+	// the mapping is already in place and the warm-up run re-establishes
+	// the cache state the protocol requires.
+	cLo, r2 := p.measureOn(sc, m, prog.Slice(len(b.Insts)*lo), lo, seed, &thePage)
 	if r2.Status != StatusOK {
 		r2.UnrollLo, r2.UnrollHi = lo, hi
+		if r2.PagesMapped == 0 {
+			r2.PagesMapped = res.PagesMapped
+		}
 		return r2
 	}
 	if cHi <= cLo {
@@ -245,83 +401,64 @@ func (p *Profiler) Profile(b *x86.Block) Result {
 	return res
 }
 
-// measureUnrolled runs the full monitor/measure protocol for one unrolled
-// program and returns the accepted cycle count.
-func (p *Profiler) measureUnrolled(b *x86.Block, unroll int, rng *rand.Rand) (uint64, Result) {
+// pageFor returns the frame to map a faulting page to, honoring the
+// single-physical-page technique.
+func (p *Profiler) pageFor(m *machine.Machine, thePage **vm.PhysPage) *vm.PhysPage {
+	if p.Opts.SinglePhysPage {
+		if *thePage == nil {
+			*thePage = m.AS.NewPhysPage()
+			if p.Opts.InitRegisters {
+				(*thePage).Fill(InitPattern)
+			}
+		}
+		return *thePage
+	}
+	f := m.AS.NewPhysPage()
+	if p.Opts.InitRegisters {
+		f.Fill(InitPattern)
+	}
+	return f
+}
+
+// measureOn runs the monitor/measure protocol for one unrolled program on
+// an already-prepared machine and returns the accepted cycle count.
+func (p *Profiler) measureOn(sc *scratch, m *machine.Machine, prog *machine.Program, unroll int, seed int64, thePage **vm.PhysPage) (uint64, Result) {
 	var res Result
 	o := &p.Opts
 
-	m := machine.New(p.CPU, int64(rng.Uint64()))
-	insts := make([]x86.Inst, 0, len(b.Insts)*unroll)
-	for i := 0; i < unroll; i++ {
-		insts = append(insts, b.Insts...)
+	rng := sampleRNG(unrollSeed(seed, unroll))
+	if o.RealSampleNoise {
+		// Only the fully-faithful mode consumes the machine RNG (for
+		// interrupt arrivals); seeding it otherwise is wasted work.
+		m.Rand = rand.New(rand.NewSource(int64(rng.next())))
 	}
-	prog, err := m.Prepare(insts)
-	if err != nil {
-		if _, ok := err.(*uarch.UnsupportedError); ok {
-			return 0, Result{Status: StatusUnsupported, Err: err}
+
+	// Batched monitor (the paper's monitor protocol, minus the restarts):
+	// the single mapping pass faults once per untouched page, the handler
+	// installs the mapping, and execution resumes in place. Deterministic
+	// execution makes the resulting trace identical to the one the
+	// restart loop converges to.
+	onFault := func(f *vm.Fault) bool {
+		if !o.MapPages || !vm.ValidUserAddress(f.Addr) || res.PagesMapped >= o.MaxFaults {
+			return false
 		}
+		m.AS.Map(f.Addr, p.pageFor(m, thePage))
+		res.PagesMapped++
+		return true
+	}
+	steps, err := m.ExecuteMonitored(prog, p.resetState(&sc.st), onFault)
+	if err != nil {
 		return 0, Result{Status: StatusCrashed, Err: err}
 	}
 
-	newState := func() *exec.State {
-		st := &exec.State{}
-		if o.InitRegisters {
-			st.InitRegisters(InitPattern)
-		}
-		if o.DisableSubnormals {
-			st.FTZ, st.DAZ = true, true
-		}
-		return st
-	}
-
-	// The chosen physical page, initialized like the registers.
-	var thePage *vm.PhysPage
-	pageFor := func(addr uint64) *vm.PhysPage {
-		if o.SinglePhysPage {
-			if thePage == nil {
-				thePage = m.AS.NewPhysPage()
-				if o.InitRegisters {
-					thePage.Fill(InitPattern)
-				}
-			}
-			return thePage
-		}
-		f := m.AS.NewPhysPage()
-		if o.InitRegisters {
-			f.Fill(InitPattern)
-		}
-		return f
-	}
-
-	// Monitor loop (the paper's Figure "monitor" pseudocode): run, catch
-	// the fault, map the page, restart from a re-initialized state.
-	var steps []exec.Step
-	for {
-		steps, err = m.Execute(prog, newState())
-		if err == nil {
-			break
-		}
-		f, ok := err.(*vm.Fault)
-		if !ok || !o.MapPages {
-			return 0, Result{Status: StatusCrashed, Err: err}
-		}
-		if !vm.ValidUserAddress(f.Addr) {
-			return 0, Result{Status: StatusCrashed, Err: err}
-		}
-		if res.PagesMapped >= o.MaxFaults {
-			return 0, Result{Status: StatusCrashed, Err: err}
-		}
-		m.AS.Map(f.Addr, pageFor(f.Addr))
-		res.PagesMapped++
-	}
-
-	// Warm-up execution: after this point, all memory accesses made by the
-	// basic block are legal and (with the single-page mapping) hit L1.
-	m.Time(prog, steps, machine.Config{})
+	// Warm-up: after this point, all memory accesses made by the basic
+	// block are legal and (with the single-page mapping) hit L1. Only the
+	// cache resident set matters here, so the warm-up touches lines
+	// directly rather than paying for a full pipeline simulation.
+	m.WarmCaches(prog, steps)
 
 	// Timed run.
-	steps, err = m.Execute(prog, newState())
+	steps, err = m.Execute(prog, p.resetState(&sc.st))
 	if err != nil {
 		return 0, Result{Status: StatusCrashed, Err: err}
 	}
@@ -341,7 +478,7 @@ func (p *Profiler) measureUnrolled(b *x86.Block, unroll int, rng *rand.Rand) (ui
 		// switch, and they must agree on the cycle count.
 		counts := make(map[uint64]int)
 		for s := 0; s < samples; s++ {
-			st, err := m.Execute(prog, newState())
+			st, err := m.Execute(prog, p.resetState(&sc.st))
 			if err != nil {
 				return 0, Result{Status: StatusCrashed, Err: err}
 			}
@@ -366,7 +503,7 @@ func (p *Profiler) measureUnrolled(b *x86.Block, unroll int, rng *rand.Rand) (ui
 			dirtyProb = 1 - math.Exp(-o.SwitchRate*float64(ctr.Cycles))
 		}
 		for s := 0; s < samples; s++ {
-			if rng.Float64() >= dirtyProb {
+			if rng.float64() >= dirtyProb {
 				clean++
 			}
 		}
@@ -399,62 +536,70 @@ func (p *Profiler) measureUnrolled(b *x86.Block, unroll int, rng *rand.Rand) (ui
 // and returns the raw counters — used by the per-block ablation study
 // (Table II), where even broken configurations report a number.
 func (p *Profiler) MeasureRaw(b *x86.Block, unroll int) (pipeline.Counters, error) {
-	rng := rand.New(rand.NewSource(blockSeed(b.Insts)))
 	o := &p.Opts
+	seed := blockSeed(b.Insts)
 
-	m := machine.New(p.CPU, int64(rng.Uint64()))
-	insts := make([]x86.Inst, 0, len(b.Insts)*unroll)
-	for i := 0; i < unroll; i++ {
-		insts = append(insts, b.Insts...)
-	}
-	prog, err := m.Prepare(insts)
+	sc := p.getScratch()
+	defer p.pool.Put(sc)
+
+	m := sc.machine(p.CPU, unrollSeed(seed, unroll))
+	prog, err := m.PrepareUnrolled(sc.unrolled(b.Insts, unroll), len(b.Insts))
 	if err != nil {
 		return pipeline.Counters{}, err
 	}
-	newState := func() *exec.State {
-		st := &exec.State{}
-		if o.InitRegisters {
-			st.InitRegisters(InitPattern)
-		}
-		if o.DisableSubnormals {
-			st.FTZ, st.DAZ = true, true
-		}
-		return st
-	}
+
 	var thePage *vm.PhysPage
 	mapped := 0
-	var steps []exec.Step
-	for {
-		steps, err = m.Execute(prog, newState())
-		if err == nil {
-			break
+	onFault := func(f *vm.Fault) bool {
+		if !o.MapPages || !vm.ValidUserAddress(f.Addr) || mapped > o.MaxFaults {
+			return false
 		}
-		f, ok := err.(*vm.Fault)
-		if !ok || !o.MapPages || !vm.ValidUserAddress(f.Addr) || mapped > o.MaxFaults {
-			return pipeline.Counters{}, err
-		}
-		var frame *vm.PhysPage
-		if o.SinglePhysPage {
-			if thePage == nil {
-				thePage = m.AS.NewPhysPage()
-				if o.InitRegisters {
-					thePage.Fill(InitPattern)
-				}
-			}
-			frame = thePage
-		} else {
-			frame = m.AS.NewPhysPage()
-			if o.InitRegisters {
-				frame.Fill(InitPattern)
-			}
-		}
-		m.AS.Map(f.Addr, frame)
+		m.AS.Map(f.Addr, p.pageFor(m, &thePage))
 		mapped++
+		return true
+	}
+	steps, err := m.ExecuteMonitored(prog, p.resetState(&sc.st), onFault)
+	if err != nil {
+		return pipeline.Counters{}, err
 	}
 	m.Time(prog, steps, machine.Config{})
-	steps, err = m.Execute(prog, newState())
+	steps, err = m.Execute(prog, p.resetState(&sc.st))
 	if err != nil {
 		return pipeline.Counters{}, err
 	}
 	return m.Time(prog, steps, machine.Config{}), nil
+}
+
+// entryFromResult converts a Result for persistence. The error is stored
+// as text; its concrete type is not preserved across the cache.
+func entryFromResult(r Result) profcache.Entry {
+	e := profcache.Entry{
+		Status:       int(r.Status),
+		Throughput:   r.Throughput,
+		UnrollHi:     r.UnrollHi,
+		UnrollLo:     r.UnrollLo,
+		PagesMapped:  r.PagesMapped,
+		CleanSamples: r.CleanSamples,
+		Counters:     r.Counters,
+	}
+	if r.Err != nil {
+		e.ErrText = r.Err.Error()
+	}
+	return e
+}
+
+func resultFromEntry(e profcache.Entry) Result {
+	r := Result{
+		Status:       Status(e.Status),
+		Throughput:   e.Throughput,
+		UnrollHi:     e.UnrollHi,
+		UnrollLo:     e.UnrollLo,
+		PagesMapped:  e.PagesMapped,
+		CleanSamples: e.CleanSamples,
+		Counters:     e.Counters,
+	}
+	if e.ErrText != "" {
+		r.Err = errors.New(e.ErrText)
+	}
+	return r
 }

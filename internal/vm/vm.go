@@ -84,6 +84,16 @@ func (as *AddressSpace) UnmapAll() {
 	as.pages = make(map[uint64]*PhysPage)
 }
 
+// Reset restores the address space to its just-constructed state — no
+// mappings and frame numbering starting over at 1 — reusing the page-table
+// allocation. Physical addresses (frame ID × PageSize) are therefore
+// identical to a fresh New, which is what keeps cache set indexing, and
+// hence measurements, byte-identical when address spaces are recycled.
+func (as *AddressSpace) Reset() {
+	clear(as.pages)
+	as.nextFrame = 1
+}
+
 // Translate returns the frame and physical address for a virtual address.
 func (as *AddressSpace) Translate(vaddr uint64) (*PhysPage, uint64, bool) {
 	frame, ok := as.pages[vaddr&PageMask]

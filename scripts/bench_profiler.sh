@@ -1,0 +1,32 @@
+#!/bin/sh
+# Runs the profiling hot-path micro-benchmark and emits BENCH_profiler.json
+# with per-block cost (the benchmark profiles blocksPerOp blocks per op).
+#
+# Usage: scripts/bench_profiler.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_profiler.json}"
+
+raw="$(go test -bench BenchmarkProfileHotPath -benchmem -run '^$' -benchtime 2s . | tee /dev/stderr)"
+
+echo "$raw" | awk -v out="$out" '
+/^BenchmarkProfileHotPath/ {
+    ns = ""; allocs = ""; blocks = 1
+    for (i = 1; i <= NF; i++) {
+        if ($(i+1) == "ns/op")       ns = $i
+        if ($(i+1) == "allocs/op")   allocs = $i
+        if ($(i+1) == "blocksPerOp") blocks = $i
+    }
+    printf "{\n" > out
+    printf "  \"benchmark\": \"BenchmarkProfileHotPath\",\n" >> out
+    printf "  \"ns_per_block\": %.0f,\n", ns / blocks >> out
+    printf "  \"allocs_per_block\": %.1f,\n", allocs / blocks >> out
+    printf "  \"blocks_per_op\": %d,\n", blocks >> out
+    printf "  \"seed_baseline\": {\"ns_per_block\": 470958, \"allocs_per_block\": 4704.5},\n" >> out
+    printf "  \"speedup_vs_seed\": %.2f,\n", 470958 / (ns / blocks) >> out
+    printf "  \"alloc_reduction_vs_seed\": %.1f\n", 4704.5 / (allocs / blocks) >> out
+    printf "}\n" >> out
+}
+'
+cat "$out"
