@@ -124,7 +124,10 @@ func BenchmarkFigAppsVsClusters(b *testing.B) {
 func BenchmarkTable5Overall(b *testing.B) {
 	s := benchSuite()
 	for i := 0; i < b.N; i++ {
-		tab := s.Table5()
+		tab, err := s.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, row := range tab.Rows {
 			b.ReportMetric(parseNum(b, row[2]), "err_"+row[0]+"_"+row[1])
 		}
@@ -136,7 +139,10 @@ func BenchmarkTable5Overall(b *testing.B) {
 func BenchmarkFigClusterErr(b *testing.B) {
 	s := benchSuite()
 	for i := 0; i < b.N; i++ {
-		tab := s.FigClusterErr(uarch.Haswell())
+		tab, err := s.FigClusterErr(uarch.Haswell())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tab.Rows) != 6 {
 			b.Fatal("category rows")
 		}
@@ -148,7 +154,10 @@ func BenchmarkFigClusterErr(b *testing.B) {
 func BenchmarkFigAppErr(b *testing.B) {
 	s := benchSuite()
 	for i := 0; i < b.N; i++ {
-		tab := s.FigAppErr(uarch.Haswell())
+		tab, err := s.FigAppErr(uarch.Haswell())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tab.Rows) != 10 {
 			b.Fatal("application rows")
 		}
@@ -181,7 +190,10 @@ func BenchmarkFigScheduling(b *testing.B) {
 func BenchmarkTable6Google(b *testing.B) {
 	s := benchSuite()
 	for i := 0; i < b.N; i++ {
-		tab := s.Table6()
+		tab, err := s.Table6()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(tab.Rows) < 4 {
 			b.Fatal("google rows")
 		}
@@ -193,7 +205,10 @@ func BenchmarkTable6Google(b *testing.B) {
 func BenchmarkFigGoogleBlocks(b *testing.B) {
 	s := benchSuite()
 	for i := 0; i < b.N; i++ {
-		tab := s.FigGoogleBlocks()
+		tab, err := s.FigGoogleBlocks()
+		if err != nil {
+			b.Fatal(err)
+		}
 		// Category-6 share, weighted by frequency (paper: 40-50%).
 		b.ReportMetric(parseNum(b, tab.Rows[0][6]), "spannerCat6Pct")
 	}

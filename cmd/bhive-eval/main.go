@@ -9,15 +9,20 @@
 //	bhive-eval -exp fig-cluster-err -uarch haswell
 //	bhive-eval -exp all -scale 0.005 -ithemal
 //	bhive-eval -exp table5 -profile-cache /tmp/bhive.cache
+//	bhive-eval -exp table5 -scale 0.2 -checkpoint /tmp/run.ckpt -progress
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"bhive/internal/corpus"
 	"bhive/internal/harness"
@@ -25,27 +30,51 @@ import (
 )
 
 func main() {
+	code := 0
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "bhive-eval:", err)
+		}
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// run is the whole command behind a single exit point: every cleanup —
+// saving the profile cache, closing the checkpoint journal, stopping the
+// CPU profiler — is a defer, so it runs on the error paths too. The old
+// fatal()/os.Exit(1) shape silently skipped all of them, losing the
+// profile cache whenever an experiment failed.
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("bhive-eval", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "all", "experiment id: "+strings.Join(harness.Names(), ", ")+", or all")
-		scale   = flag.Float64("scale", 0.01, "corpus scale (1.0 = the paper's 358,561 blocks)")
-		seed    = flag.Int64("seed", 7, "seed")
-		arch    = flag.String("uarch", "", "restrict per-µarch figures to one microarchitecture")
-		trainIt = flag.Bool("ithemal", false, "train and include the learned model (slow)")
-		epochs  = flag.Int("ithemal-epochs", 12, "LSTM training epochs")
-		corpusF = flag.String("corpus", "", "load the corpus from a bhive-collect CSV instead of generating it")
-		cacheF  = flag.String("profile-cache", "", "persistent profile cache file (created if absent; reruns skip profiling)")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp       = fs.String("exp", "all", "experiment id: "+strings.Join(harness.Names(), ", ")+", or all")
+		scale     = fs.Float64("scale", 0.01, "corpus scale (1.0 = the paper's 358,561 blocks)")
+		seed      = fs.Int64("seed", 7, "seed")
+		arch      = fs.String("uarch", "", "restrict per-µarch figures to one microarchitecture")
+		trainIt   = fs.Bool("ithemal", false, "train and include the learned model (slow)")
+		epochs    = fs.Int("ithemal-epochs", 12, "LSTM training epochs")
+		corpusF   = fs.String("corpus", "", "load the corpus from a bhive-collect CSV instead of generating it")
+		cacheF    = fs.String("profile-cache", "", "persistent profile cache file (created if absent; reruns skip profiling)")
+		shardSize = fs.Int("shard-size", harness.DefaultShardSize, "corpus records per evaluation shard (the unit of checkpointing)")
+		ckptF     = fs.String("checkpoint", "", "shard checkpoint journal (created if absent; an interrupted run resumes from it)")
+		progress  = fs.Bool("progress", false, "print per-shard progress lines (blocks/s, cache-hit rate, rejects) to stderr")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fatal(err)
+		f, cerr := os.Create(*cpuProf)
+		if cerr != nil {
+			return cerr
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			f.Close()
+			return cerr
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -55,51 +84,86 @@ func main() {
 	cfg.Seed = *seed
 	cfg.TrainIthemal = *trainIt
 	cfg.IthemalEpochs = *epochs
+	cfg.ShardSize = *shardSize
+	cfg.CheckpointPath = *ckptF
+	if *progress {
+		cfg.Progress = stderr
+	}
 	if *corpusF != "" {
-		f, err := os.Open(*corpusF)
-		if err != nil {
-			fatal(err)
+		f, oerr := os.Open(*corpusF)
+		if oerr != nil {
+			return oerr
 		}
 		cfg.Records, err = corpus.ReadCSV(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
+
+	var pc *profcache.Cache
 	if *cacheF != "" {
-		pc, err := profcache.Open(*cacheF)
+		pc, err = profcache.Open(*cacheF)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg.ProfileCache = pc
 		defer func() {
-			if err := pc.Save(); err != nil {
-				fmt.Fprintln(os.Stderr, "bhive-eval:", err)
+			if serr := pc.Save(); serr != nil && err == nil {
+				err = serr
 			}
 		}()
 	}
 
 	s := harness.New(cfg)
+	defer s.Close()
+
+	// On SIGINT/SIGTERM, flush what a plain os.Exit would lose — the
+	// profile cache (completed checkpoint shards are already durable) —
+	// then exit with the conventional interrupted status. The handler is
+	// installed after the cache is open so it never races cache creation.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	defer func() { signal.Stop(sig); close(done) }()
+	go func() {
+		select {
+		case <-done:
+		case got := <-sig:
+			fmt.Fprintf(stderr, "bhive-eval: %v: flushing caches before exit\n", got)
+			if *cpuProf != "" {
+				pprof.StopCPUProfile()
+			}
+			s.Close()
+			if pc != nil {
+				if serr := pc.Save(); serr != nil {
+					fmt.Fprintln(stderr, "bhive-eval:", serr)
+				}
+			}
+			os.Exit(130)
+		}
+	}()
+
 	out, err := s.Run(*exp, *arch)
 	if err != nil {
-		fatal(err)
+		if errors.Is(err, harness.ErrInterrupted) {
+			fmt.Fprintln(stderr, "bhive-eval: shard budget reached; re-run with the same -checkpoint to continue")
+		}
+		return err
 	}
-	fmt.Print(out)
+	fmt.Fprint(stdout, out)
 
 	if *memProf != "" {
-		f, err := os.Create(*memProf)
-		if err != nil {
-			fatal(err)
+		f, cerr := os.Create(*memProf)
+		if cerr != nil {
+			return cerr
 		}
 		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fatal(err)
-		}
+		werr := pprof.WriteHeapProfile(f)
 		f.Close()
+		if werr != nil {
+			return werr
+		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bhive-eval:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bhive/internal/profcache"
+)
+
+// TestErrorPathStillSavesCache is the regression test for the old
+// fatal()/os.Exit(1) bug: a failure after profiling (here, an unwritable
+// -memprofile path) must not skip the deferred cache save, or every
+// profiled block is silently re-measured on the next run.
+func TestErrorPathStillSavesCache(t *testing.T) {
+	cacheF := filepath.Join(t.TempDir(), "profiles.cache")
+	err := run([]string{
+		"-exp", "table1", "-scale", "0.002",
+		"-profile-cache", cacheF,
+		"-memprofile", filepath.Join(t.TempDir(), "no-such-dir", "mem"),
+	}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("unwritable -memprofile must fail the run")
+	}
+	pc, perr := profcache.Open(cacheF)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if pc.Len() == 0 {
+		t.Fatal("profile cache was not saved on the error path")
+	}
+}
+
+// TestCheckpointedRunFlags drives the new sharding flags end to end: a
+// checkpointed table5 run at tiny scale, then a second run over the same
+// journal that must produce identical output while resuming every shard.
+func TestCheckpointedRunFlags(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	args := []string{
+		"-exp", "table5", "-scale", "0.002",
+		"-shard-size", "64", "-checkpoint", ckpt, "-progress",
+	}
+
+	var out1, prog1 bytes.Buffer
+	if err := run(args, &out1, &prog1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog1.String(), "meas shard") {
+		t.Fatalf("-progress produced no shard lines:\n%s", prog1.String())
+	}
+
+	var out2, prog2 bytes.Buffer
+	if err := run(args, &out2, &prog2); err != nil {
+		t.Fatal(err)
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("checkpointed re-run diverged.\n--- first ---\n%s\n--- second ---\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(prog2.String(), "resumed from checkpoint") {
+		t.Fatalf("re-run did not resume from the journal:\n%s", prog2.String())
+	}
+}
+
+func TestBadFlagsError(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}, io.Discard, io.Discard); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}

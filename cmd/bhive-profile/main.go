@@ -24,48 +24,69 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "bhive-profile:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run keeps every cleanup (CPU/heap profile flushing) on a defer behind a
+// single exit point, so error paths cannot skip them the way the old
+// fatal()/os.Exit(1) shape did.
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("bhive-profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		arch      = flag.String("uarch", "haswell", "microarchitecture: ivybridge, haswell, skylake")
-		hexStr    = flag.String("hex", "", "basic block as machine-code hex")
-		blockText = flag.String("block", "", "basic block as assembly (Intel or AT&T; default: read stdin)")
-		noMap     = flag.Bool("no-mapping", false, "disable page mapping (Agner-script baseline)")
-		naive     = flag.Bool("naive-unroll", false, "time a single 100x unroll instead of the derived method")
-		keepSub   = flag.Bool("keep-subnormals", false, "do not set MXCSR FTZ/DAZ")
-		noFilter  = flag.Bool("no-misaligned-filter", false, "accept measurements with line-splitting accesses")
-		runModels = flag.Bool("models", false, "also print the analytical models' predictions")
-		report    = flag.Bool("report", false, "print an IACA-style port-pressure report")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		arch      = fs.String("uarch", "haswell", "microarchitecture: ivybridge, haswell, skylake")
+		hexStr    = fs.String("hex", "", "basic block as machine-code hex")
+		blockText = fs.String("block", "", "basic block as assembly (Intel or AT&T; default: read stdin)")
+		noMap     = fs.Bool("no-mapping", false, "disable page mapping (Agner-script baseline)")
+		naive     = fs.Bool("naive-unroll", false, "time a single 100x unroll instead of the derived method")
+		keepSub   = fs.Bool("keep-subnormals", false, "do not set MXCSR FTZ/DAZ")
+		noFilter  = fs.Bool("no-misaligned-filter", false, "accept measurements with line-splitting accesses")
+		runModels = fs.Bool("models", false, "also print the analytical models' predictions")
+		report    = fs.Bool("report", false, "print an IACA-style port-pressure report")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *cpuProf != "" {
-		f, err := os.Create(*cpuProf)
-		if err != nil {
-			fatal(err)
+		f, cerr := os.Create(*cpuProf)
+		if cerr != nil {
+			return cerr
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			f.Close()
+			return cerr
 		}
 		defer pprof.StopCPUProfile()
 	}
 	if *memProf != "" {
 		defer func() {
-			f, err := os.Create(*memProf)
-			if err != nil {
-				fatal(err)
+			f, cerr := os.Create(*memProf)
+			if cerr != nil {
+				if err == nil {
+					err = cerr
+				}
+				return
 			}
 			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
-			}
+			werr := pprof.WriteHeapProfile(f)
 			f.Close()
+			if werr != nil && err == nil {
+				err = werr
+			}
 		}()
 	}
 
 	block, err := readBlock(*hexStr, *blockText)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	opts := bhive.DefaultOptions()
@@ -84,49 +105,50 @@ func main() {
 
 	res, err := bhive.ProfileWith(*arch, block, opts)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("uarch:       %s\n", *arch)
-	fmt.Printf("block:       %d instructions\n", len(block.Insts))
-	fmt.Printf("status:      %s\n", res.Status)
+	fmt.Fprintf(stdout, "uarch:       %s\n", *arch)
+	fmt.Fprintf(stdout, "block:       %d instructions\n", len(block.Insts))
+	fmt.Fprintf(stdout, "status:      %s\n", res.Status)
 	if res.Status == bhive.StatusOK {
-		fmt.Printf("throughput:  %.2f cycles/iteration\n", res.Throughput)
-		fmt.Printf("unroll:      %d and %d\n", res.UnrollLo, res.UnrollHi)
-		fmt.Printf("pages:       %d mapped by the monitor\n", res.PagesMapped)
-		fmt.Printf("samples:     %d/%d clean\n", res.CleanSamples, 16)
+		fmt.Fprintf(stdout, "throughput:  %.2f cycles/iteration\n", res.Throughput)
+		fmt.Fprintf(stdout, "unroll:      %d and %d\n", res.UnrollLo, res.UnrollHi)
+		fmt.Fprintf(stdout, "pages:       %d mapped by the monitor\n", res.PagesMapped)
+		fmt.Fprintf(stdout, "samples:     %d/%d clean\n", res.CleanSamples, 16)
 	} else if res.Err != nil {
-		fmt.Printf("error:       %v\n", res.Err)
+		fmt.Fprintf(stdout, "error:       %v\n", res.Err)
 	}
 
 	if *runModels {
-		ms, err := bhive.Models(*arch)
-		if err != nil {
-			fatal(err)
+		ms, merr := bhive.Models(*arch)
+		if merr != nil {
+			return merr
 		}
-		fmt.Println("models:")
+		fmt.Fprintln(stdout, "models:")
 		for _, m := range ms {
-			p, err := m.Predict(block)
-			if err != nil {
-				fmt.Printf("  %-9s -  (%v)\n", m.Name(), err)
+			p, perr := m.Predict(block)
+			if perr != nil {
+				fmt.Fprintf(stdout, "  %-9s -  (%v)\n", m.Name(), perr)
 				continue
 			}
-			fmt.Printf("  %-9s %.2f\n", m.Name(), p)
+			fmt.Fprintf(stdout, "  %-9s %.2f\n", m.Name(), p)
 		}
 	}
 
 	if *report {
-		cpu, err := uarch.ByName(*arch)
-		if err != nil {
-			fatal(err)
+		cpu, uerr := uarch.ByName(*arch)
+		if uerr != nil {
+			return uerr
 		}
-		text, err := models.Report(cpu, block)
-		if err != nil {
-			fatal(err)
+		text, rerr := models.Report(cpu, block)
+		if rerr != nil {
+			return rerr
 		}
-		fmt.Println()
-		fmt.Print(text)
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, text)
 	}
+	return nil
 }
 
 func readBlock(hexStr, blockText string) (*bhive.Block, error) {
@@ -142,9 +164,4 @@ func readBlock(hexStr, blockText string) (*bhive.Block, error) {
 		}
 		return bhive.ParseBlock(string(raw), bhive.SyntaxAuto)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bhive-profile:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,292 @@
+package harness
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"bhive/internal/uarch"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+
+	ck, err := OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutMeas("haswell", 0, []float64{1, 2.5, 0, 3}, []int{0, 0, 1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutPreds("haswell", 0, map[string][]float64{
+		"IACA":  {1.1, 2.4, math.NaN(), 3.2},
+		"OSACA": {math.NaN(), math.NaN(), math.NaN(), math.NaN()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err = OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	sh, ok := ck.Shard("haswell", 0)
+	if !ok || !sh.MeasDone || !sh.PredDone {
+		t.Fatalf("shard not fully replayed: %+v", sh)
+	}
+	if sh.Tp[1] != 2.5 || sh.Status[2] != 1 {
+		t.Fatalf("measurements corrupted: %+v", sh)
+	}
+	// NaN predictions (failed models) must survive the JSON round-trip.
+	if !math.IsNaN(sh.Preds["IACA"][2]) || sh.Preds["IACA"][3] != 3.2 {
+		t.Fatalf("preds corrupted: %v", sh.Preds["IACA"])
+	}
+	for i, v := range sh.Preds["OSACA"] {
+		if !math.IsNaN(v) {
+			t.Fatalf("OSACA[%d] = %v, want NaN", i, v)
+		}
+	}
+	if _, ok := ck.Shard("haswell", 1); ok {
+		t.Fatal("phantom shard")
+	}
+}
+
+func TestCheckpointIdentityMismatchRestarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck, err := OpenCheckpoint(path, "fp-a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutMeas("haswell", 0, []float64{1}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// Different fingerprint: persisted shards must be discarded, not merged.
+	ck, err = OpenCheckpoint(path, "fp-b", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Shards() != 0 {
+		t.Fatalf("foreign shards kept: %d", ck.Shards())
+	}
+	ck.Close()
+
+	// The restart rewrote the file under the new identity; the old one is gone.
+	ck, err = OpenCheckpoint(path, "fp-a", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if ck.Shards() != 0 {
+		t.Fatalf("stale shards resurrected: %d", ck.Shards())
+	}
+}
+
+func TestCheckpointShardSizeMismatchRestarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck, err := OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutMeas("haswell", 0, []float64{1}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	ck, err = OpenCheckpoint(path, "fp", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if ck.Shards() != 0 {
+		t.Fatalf("shard-size change must restart: %d", ck.Shards())
+	}
+}
+
+func TestCheckpointTruncatedTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck, err := OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutMeas("haswell", 0, []float64{1, 2}, []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// Simulate a crash mid-append: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"Arch":"haswell","Shard":1,"Stage":"meas","Tp":[9`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck, err = OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatalf("truncated trailing line must be tolerated: %v", err)
+	}
+	if ck.Shards() != 1 {
+		t.Fatalf("complete shards lost: %d", ck.Shards())
+	}
+	// The fragment must be physically gone so this append starts clean.
+	if err := ck.PutMeas("haswell", 1, []float64{3, 4}, []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"Tp":[9{`) {
+		t.Fatal("append landed on the truncated fragment")
+	}
+	ck, err = OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if ck.Shards() != 2 {
+		t.Fatalf("post-recovery append lost: %d", ck.Shards())
+	}
+}
+
+func TestCheckpointMidJournalCorruptionIsError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck, err := OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete (newline-terminated) garbage line is not the crash shape —
+	// it must surface as an error, never as silent shard loss.
+	if _, err := f.WriteString("not json\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := OpenCheckpoint(path, "fp", 4); err == nil {
+		t.Fatal("corrupt journal line must error")
+	}
+}
+
+// TestDataSingleflight asserts that concurrent experiments requesting the
+// same microarchitecture share one profiling pass: the old code released
+// the suite lock between the cache check and the compute, so racing
+// callers duplicated the entire measurement run.
+func TestDataSingleflight(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.002
+	cfg.ShardSize = 64
+	s := New(cfg)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.data(uarch.Haswell()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := s.profileCalls.Load(), uint64(len(s.recs)); got != want {
+		t.Fatalf("%d Profile calls for %d records: concurrent data() duplicated profiling", got, want)
+	}
+}
+
+// TestResumeAfterInterrupt simulates a killed run: the first suite stops
+// after three computed shards (ErrInterrupted), the second one picks up
+// the same checkpoint and must produce exactly the output of a run that
+// was never interrupted, while re-profiling only the missing shards.
+func TestResumeAfterInterrupt(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.002
+	cfg.ShardSize = 64
+	cfg.Workers = 4
+
+	// Reference: same configuration, no checkpoint, no interruption.
+	ref, err := New(cfg).Run("table5", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg.CheckpointPath = path
+	cfg.StopAfterShards = 3
+	s1 := New(cfg)
+	if _, err := s1.Run("table5", ""); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	if got, want := s1.profileCalls.Load(), uint64(3*cfg.ShardSize); got != want {
+		t.Fatalf("interrupted run profiled %d blocks, want %d", got, want)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.StopAfterShards = 0
+	s2 := New(cfg)
+	got, err := s2.Run("table5", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got != ref {
+		t.Fatalf("resumed output diverged.\n--- resumed ---\n%s\n--- reference ---\n%s", got, ref)
+	}
+	// The three checkpointed shards must not have been re-profiled.
+	want := uint64(3*len(s2.recs) - 3*cfg.ShardSize)
+	if got := s2.profileCalls.Load(); got != want {
+		t.Fatalf("resumed run profiled %d blocks, want %d (checkpointed shards re-profiled?)", got, want)
+	}
+}
+
+// TestResumeMatchesGolden is the acceptance check from the issue: an
+// interrupted table5 run at the golden configuration (seed 7, scale
+// 0.02), resumed from its checkpoint, must be byte-identical to
+// testdata/table5_seed7_scale002.golden.
+func TestResumeMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates Table V at scale 0.02 twice (tens of seconds)")
+	}
+	want, err := os.ReadFile("testdata/table5_seed7_scale002.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig() // scale 0.02, seed 7: the golden configuration
+	cfg.Workers = 4
+	cfg.CheckpointPath = filepath.Join(t.TempDir(), "run.ckpt")
+	cfg.StopAfterShards = 3
+
+	s1 := New(cfg)
+	if _, err := s1.Run("table5", ""); !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("want ErrInterrupted, got %v", err)
+	}
+	s1.Close()
+
+	cfg.StopAfterShards = 0
+	s2 := New(cfg)
+	got, err := s2.Run("table5", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	if got != string(want) {
+		t.Fatalf("resumed Table V diverged from the golden output.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

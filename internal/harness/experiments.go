@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
 	"bhive/internal/classify"
@@ -216,29 +215,36 @@ func (s *Suite) FigAppsVsClusters() *Table {
 	return t
 }
 
-// Table5 reproduces the overall model-error table (Table V).
-func (s *Suite) Table5() *Table {
+// Table5 reproduces the overall model-error table (Table V). Its cells
+// come straight from the streaming aggregates the shard pipeline fed, so
+// building the table never re-walks the per-record slices.
+func (s *Suite) Table5() (*Table, error) {
 	t := &Table{
 		ID:     "table5",
 		Title:  "Overall error of evaluated models (unweighted mean relative error)",
 		Header: []string{"Microarchitecture", "Model", "Average Error"},
 	}
 	for _, cpu := range uarch.All() {
-		d := s.data(cpu)
+		d, err := s.data(cpu)
+		if err != nil {
+			return nil, err
+		}
 		for _, name := range d.names {
-			t.Rows = append(t.Rows, []string{cpu.Name, name,
-				s.errorCell(d, name, func(int) bool { return true }, false)})
+			t.Rows = append(t.Rows, []string{cpu.Name, name, overallCell(d, name)})
 		}
 	}
 	t.Notes = append(t.Notes,
 		"paper: IVB .1693/.1885/.1180/.3277, HSW .1798/.1832/.1253/.3916, SKL .1578/.2278/.1191/.3768 (IACA/llvm-mca/Ithemal/OSACA)")
-	return t
+	return t, nil
 }
 
 // FigAppErr reproduces the per-application error figure for one CPU
 // (errors weighted by sampling frequency, as in the paper's figures).
-func (s *Suite) FigAppErr(cpu *uarch.CPU) *Table {
-	d := s.data(cpu)
+func (s *Suite) FigAppErr(cpu *uarch.CPU) (*Table, error) {
+	d, err := s.data(cpu)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "fig-app-err-" + cpu.Name,
 		Title:  fmt.Sprintf("Per-application error on %s (frequency weighted)", cpu.Name),
@@ -252,12 +258,15 @@ func (s *Suite) FigAppErr(cpu *uarch.CPU) *Table {
 		}
 		t.Rows = append(t.Rows, row)
 	}
-	return t
+	return t, nil
 }
 
 // FigClusterErr reproduces the per-category error figure for one CPU.
-func (s *Suite) FigClusterErr(cpu *uarch.CPU) *Table {
-	d := s.data(cpu)
+func (s *Suite) FigClusterErr(cpu *uarch.CPU) (*Table, error) {
+	d, err := s.data(cpu)
+	if err != nil {
+		return nil, err
+	}
 	cats := s.classifier().Categories()
 	t := &Table{
 		ID:     "fig-cluster-err-" + cpu.Name,
@@ -272,14 +281,17 @@ func (s *Suite) FigClusterErr(cpu *uarch.CPU) *Table {
 		}
 		t.Rows = append(t.Rows, row)
 	}
-	return t
+	return t, nil
 }
 
 // FigLenErr is an extension experiment the paper's source carries as a
 // TODO ("compare error to basic block length"): per-model error bucketed
 // by block size in instructions.
-func (s *Suite) FigLenErr(cpu *uarch.CPU) *Table {
-	d := s.data(cpu)
+func (s *Suite) FigLenErr(cpu *uarch.CPU) (*Table, error) {
+	d, err := s.data(cpu)
+	if err != nil {
+		return nil, err
+	}
 	buckets := []struct {
 		name   string
 		lo, hi int
@@ -309,7 +321,7 @@ func (s *Suite) FigLenErr(cpu *uarch.CPU) *Table {
 		}
 		t.Rows = append(t.Rows, row)
 	}
-	return t
+	return t, nil
 }
 
 // CaseStudy reproduces the interesting-blocks table: measured vs predicted
@@ -356,9 +368,10 @@ func (s *Suite) CaseStudy() (*Table, error) {
 			}
 		}
 		if s.cfg.TrainIthemal {
-			d := s.data(hsw)
-			_ = d // ensures the model is trained
-			m := s.learn[hsw.Name]
+			if _, err := s.data(hsw); err != nil { // ensures the model is trained
+				return nil, err
+			}
+			m := s.ithemalModel(hsw.Name)
 			p, err := m.Predict(b)
 			if err != nil {
 				row = append(row, "-")
@@ -425,7 +438,7 @@ type googleResult struct {
 	cats     []classify.Category
 }
 
-func (s *Suite) googleData() []*googleResult {
+func (s *Suite) googleData() ([]*googleResult, error) {
 	hsw := uarch.Haswell()
 
 	// Classify the case-study blocks with an LDA fit over the union of
@@ -459,9 +472,10 @@ func (s *Suite) googleData() []*googleResult {
 
 		preds := []models.Predictor{models.NewIACA(hsw), models.NewLLVMMCA(hsw)}
 		if s.cfg.TrainIthemal {
-			d := s.data(hsw)
-			_ = d
-			preds = append(preds, s.learn[hsw.Name])
+			if _, err := s.data(hsw); err != nil {
+				return nil, err
+			}
+			preds = append(preds, s.ithemalModel(hsw.Name))
 		}
 
 		g := &googleResult{name: app.Name, preds: make(map[string][]float64)}
@@ -494,18 +508,22 @@ func (s *Suite) googleData() []*googleResult {
 		}
 		out = append(out, g)
 	}
-	return out
+	return out, nil
 }
 
 // Table6 reproduces the Spanner/Dremel accuracy table (Table VI).
-func (s *Suite) Table6() *Table {
+func (s *Suite) Table6() (*Table, error) {
 	t := &Table{
 		ID:    "table6",
 		Title: "Accuracy on Spanner and Dremel (Haswell; OSACA excluded as in the paper)",
 		Header: []string{"Application", "Model", "Average Error", "Weighted Error",
 			"Kendall's Tau"},
 	}
-	for _, g := range s.googleData() {
+	gs, err := s.googleData()
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range gs {
 		for _, name := range g.names {
 			errs := make([]float64, len(g.measured))
 			for i := range g.measured {
@@ -521,18 +539,22 @@ func (s *Suite) Table6() *Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper (Spanner): IACA .1892/.1659/.7786, llvm-mca .1764/.1519/.7623, Ithemal .1629/.1414/.7799")
-	return t
+	return t, nil
 }
 
 // FigGoogleBlocks reproduces the category composition of the Google
 // workloads, weighted by execution frequency.
-func (s *Suite) FigGoogleBlocks() *Table {
+func (s *Suite) FigGoogleBlocks() (*Table, error) {
 	t := &Table{
 		ID:     "fig-google-blocks",
 		Title:  "Basic-block composition of Spanner/Dremel (weighted by execution frequency, %)",
 		Header: []string{"Application", "Cat-1", "Cat-2", "Cat-3", "Cat-4", "Cat-5", "Cat-6"},
 	}
-	for _, g := range s.googleData() {
+	gs, err := s.googleData()
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range gs {
 		var byCat [classify.NumCategories + 1]float64
 		var total float64
 		for i, c := range g.cats {
@@ -546,7 +568,7 @@ func (s *Suite) FigGoogleBlocks() *Table {
 		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes, "paper: both applications spend 40-50% of time in load-dominated blocks (category-6)")
-	return t
+	return t, nil
 }
 
 // Names lists the experiment ids runnable via Run.
@@ -567,6 +589,17 @@ func (s *Suite) Run(id, uarchName string) (string, error) {
 		}
 		cpus = []*uarch.CPU{cpu}
 	}
+	renderAll := func(f func(*uarch.CPU) (*Table, error)) (string, error) {
+		var sb strings.Builder
+		for _, cpu := range cpus {
+			t, err := f(cpu)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(t.Render())
+		}
+		return sb.String(), nil
+	}
 	switch id {
 	case "table1":
 		return s.Table1().Render(), nil
@@ -577,31 +610,27 @@ func (s *Suite) Run(id, uarchName string) (string, error) {
 	case "table4":
 		return s.Table4().Render(), nil
 	case "table5":
-		return s.Table5().Render(), nil
+		t, err := s.Table5()
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "table6":
-		return s.Table6().Render(), nil
+		t, err := s.Table6()
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "fig-examples":
 		return s.FigExamples(), nil
 	case "fig-apps-clusters":
 		return s.FigAppsVsClusters().Render(), nil
 	case "fig-app-err":
-		var sb strings.Builder
-		for _, cpu := range cpus {
-			sb.WriteString(s.FigAppErr(cpu).Render())
-		}
-		return sb.String(), nil
+		return renderAll(s.FigAppErr)
 	case "fig-cluster-err":
-		var sb strings.Builder
-		for _, cpu := range cpus {
-			sb.WriteString(s.FigClusterErr(cpu).Render())
-		}
-		return sb.String(), nil
+		return renderAll(s.FigClusterErr)
 	case "fig-length-err":
-		var sb strings.Builder
-		for _, cpu := range cpus {
-			sb.WriteString(s.FigLenErr(cpu).Render())
-		}
-		return sb.String(), nil
+		return renderAll(s.FigLenErr)
 	case "case-study":
 		t, err := s.CaseStudy()
 		if err != nil {
@@ -611,7 +640,11 @@ func (s *Suite) Run(id, uarchName string) (string, error) {
 	case "fig-scheduling":
 		return s.FigScheduling()
 	case "fig-google-blocks":
-		return s.FigGoogleBlocks().Render(), nil
+		t, err := s.FigGoogleBlocks()
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
 	case "all":
 		var sb strings.Builder
 		for _, name := range Names() {
@@ -625,11 +658,4 @@ func (s *Suite) Run(id, uarchName string) (string, error) {
 		return sb.String(), nil
 	}
 	return "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, Names())
-}
-
-// sortedCopy is a test helper.
-func sortedCopy(xs []string) []string {
-	out := append([]string(nil), xs...)
-	sort.Strings(out)
-	return out
 }

@@ -3,14 +3,29 @@
 // ablations, the corpus and category statistics, the per-model error
 // tables, the case studies, and the Google-workload validation. See
 // DESIGN.md for the experiment index.
+//
+// Evaluation is sharded and resumable: the corpus is split into
+// fixed-size shards, profiling and model prediction are driven
+// shard-by-shard through the worker pool, and each completed shard is
+// persisted to an append-only checkpoint journal (see Checkpoint) keyed
+// by the run fingerprint. An interrupted run re-invoked with the same
+// checkpoint file resumes from the last completed shard and produces
+// byte-identical tables. Shard results stream into the incremental
+// aggregators of internal/stats as they complete, and per-shard progress
+// lines (blocks/s, cache-hit rate, reject-status histogram) go to
+// Config.Progress.
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"io"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"bhive/internal/classify"
 	"bhive/internal/corpus"
@@ -22,6 +37,16 @@ import (
 	"bhive/internal/uarch"
 	"bhive/internal/x86"
 )
+
+// DefaultShardSize is the per-shard record count when Config.ShardSize is
+// unset: large enough to amortize worker startup, small enough that an
+// interrupted run loses under a second of work.
+const DefaultShardSize = 512
+
+// ErrInterrupted is returned when Config.StopAfterShards exhausts its
+// budget before the run completes. Completed shards are already persisted
+// to the checkpoint; a re-run resumes behind them.
+var ErrInterrupted = errors.New("harness: shard budget exhausted before the run completed")
 
 // Config scales and parameterizes a harness run.
 type Config struct {
@@ -44,6 +69,26 @@ type Config struct {
 	// previously profiled (block, uarch, options, seed) tuples are served
 	// from it instead of being re-measured.
 	ProfileCache *profcache.Cache
+
+	// ShardSize is the number of corpus records per evaluation shard
+	// (0 = DefaultShardSize). Shards are the unit of checkpointing,
+	// resumption and progress reporting.
+	ShardSize int
+	// CheckpointPath, when non-empty, persists every completed shard to an
+	// append-only journal there; a re-run with the same configuration
+	// resumes from the last completed shard. See Checkpoint for the file
+	// format.
+	CheckpointPath string
+	// Progress, when non-nil, receives one line per completed shard
+	// (blocks/s, cache-hit rate, reject-status histogram) and a per-µarch
+	// summary line. It must be distinct from the stream the rendered
+	// tables go to.
+	Progress io.Writer
+	// StopAfterShards, when positive, aborts the run with ErrInterrupted
+	// once that many shards have been computed (resumed shards don't
+	// count). It bounds chunked batch jobs — "do N shards per invocation"
+	// — and simulates interruption in the resumability tests.
+	StopAfterShards int
 }
 
 // DefaultConfig is sized for interactive runs.
@@ -63,23 +108,43 @@ type measurement struct {
 	status profiler.Status
 }
 
-// archData caches per-microarchitecture results.
+// archData caches per-microarchitecture results. The overall/tau
+// aggregates are streamed shard-by-shard while the per-record slices are
+// filled; summary tables read the aggregates and never re-walk the
+// records.
 type archData struct {
-	meas  []measurement
-	preds map[string][]float64 // model name -> per-record prediction (NaN = failed)
-	names []string             // model order
+	meas    []measurement
+	preds   map[string][]float64 // model name -> per-record prediction (NaN = failed)
+	names   []string             // model order
+	overall map[string]*stats.Running // per-model streaming mean relative error
+	tau     map[string]*stats.TauAcc  // per-model streaming Kendall-tau accumulator
+}
+
+// archOnce singleflights the expensive per-µarch computation: concurrent
+// experiments requesting the same microarchitecture share one profiling
+// pass instead of racing to duplicate it.
+type archOnce struct {
+	once sync.Once
+	d    *archData
+	err  error
 }
 
 // Suite owns the corpus and caches expensive intermediate results.
 type Suite struct {
-	cfg Config
-
+	cfg  Config
 	recs []corpus.Record
+	fp   string // run fingerprint binding checkpoints to this configuration
 
-	mu    sync.Mutex
-	arch  map[string]*archData
-	cls   *classify.Classifier
-	learn map[string]*ithemal.Model
+	mu       sync.Mutex
+	arch     map[string]*archOnce
+	cls      *classify.Classifier
+	learn    map[string]*ithemal.Model
+	ckpt     *Checkpoint
+	ckptErr  error
+	ckptOpen bool
+
+	computedShards atomic.Int64  // shards computed (not resumed) this run
+	profileCalls   atomic.Uint64 // Profile invocations (resumed shards skip these)
 }
 
 // New builds a suite: the corpus is generated eagerly, everything else
@@ -91,24 +156,85 @@ func New(cfg Config) *Suite {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.ShardSize <= 0 {
+		cfg.ShardSize = DefaultShardSize
+	}
 	recs := cfg.Records
 	if len(recs) == 0 {
 		recs = corpus.GenerateAll(cfg.Scale, cfg.Seed)
 	}
-	return &Suite{
+	s := &Suite{
 		cfg:   cfg,
 		recs:  recs,
-		arch:  make(map[string]*archData),
+		arch:  make(map[string]*archOnce),
 		learn: make(map[string]*ithemal.Model),
 	}
+	if cfg.CheckpointPath != "" {
+		s.fp = runFingerprint(cfg, recs)
+	}
+	return s
 }
 
 // Records exposes the generated corpus.
 func (s *Suite) Records() []corpus.Record { return s.recs }
 
-// profileAll profiles a record set in parallel under the given options.
-func (s *Suite) profileAll(cpu *uarch.CPU, opts profiler.Options, recs []corpus.Record) []measurement {
-	out := make([]measurement, len(recs))
+// Close releases the checkpoint journal, if one was opened. The journal
+// is durable after every shard, so Close loses nothing; it only stops
+// further appends.
+func (s *Suite) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ckpt != nil {
+		return s.ckpt.Close()
+	}
+	return nil
+}
+
+// checkpoint lazily opens the journal configured by CheckpointPath.
+func (s *Suite) checkpoint() (*Checkpoint, error) {
+	if s.cfg.CheckpointPath == "" {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ckptOpen {
+		s.ckpt, s.ckptErr = OpenCheckpoint(s.cfg.CheckpointPath, s.fp, s.cfg.ShardSize)
+		s.ckptOpen = true
+	}
+	return s.ckpt, s.ckptErr
+}
+
+func (s *Suite) progressf(format string, args ...any) {
+	if s.cfg.Progress != nil {
+		fmt.Fprintf(s.cfg.Progress, format, args...)
+	}
+}
+
+// spendShard charges one computed shard against StopAfterShards and
+// reports whether the budget is now exhausted.
+func (s *Suite) spendShard() bool {
+	n := s.computedShards.Add(1)
+	return s.cfg.StopAfterShards > 0 && n >= int64(s.cfg.StopAfterShards)
+}
+
+// numShards is the shard count covering n records.
+func (s *Suite) numShards(n int) int {
+	return (n + s.cfg.ShardSize - 1) / s.cfg.ShardSize
+}
+
+// shardBounds returns the [lo, hi) record range of shard si.
+func (s *Suite) shardBounds(si, n int) (lo, hi int) {
+	lo = si * s.cfg.ShardSize
+	hi = lo + s.cfg.ShardSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// profileRange profiles recs into out (parallel index-aligned slices)
+// under the given options, feeding met.
+func (s *Suite) profileRange(cpu *uarch.CPU, opts profiler.Options, recs []corpus.Record, out []measurement, met *profiler.Metrics) {
 	var wg sync.WaitGroup
 	ch := make(chan int, len(recs))
 	for i := range recs {
@@ -121,44 +247,31 @@ func (s *Suite) profileAll(cpu *uarch.CPU, opts profiler.Options, recs []corpus.
 			defer wg.Done()
 			p := profiler.New(cpu, opts)
 			p.Cache = s.cfg.ProfileCache
+			p.Metrics = met
 			for i := range ch {
 				r := p.Profile(recs[i].Block)
 				out[i] = measurement{tp: r.Throughput, status: r.Status}
+				s.profileCalls.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// profileAll profiles a record set in parallel under the given options
+// (unsharded: the ablation tables and Google corpora are small).
+func (s *Suite) profileAll(cpu *uarch.CPU, opts profiler.Options, recs []corpus.Record) []measurement {
+	out := make([]measurement, len(recs))
+	s.profileRange(cpu, opts, recs, out, nil)
 	return out
 }
 
-// data returns (and lazily computes) the measurements and model
-// predictions for one microarchitecture.
-func (s *Suite) data(cpu *uarch.CPU) *archData {
-	s.mu.Lock()
-	if d, ok := s.arch[cpu.Name]; ok {
-		s.mu.Unlock()
-		return d
-	}
-	s.mu.Unlock()
-
-	d := &archData{preds: make(map[string][]float64)}
-	d.meas = s.profileAll(cpu, profiler.DefaultOptions(), s.recs)
-
-	preds := []models.Predictor{}
-	for _, m := range models.All(cpu) {
-		preds = append(preds, m)
-	}
-	if s.cfg.TrainIthemal {
-		preds = append(preds, s.ithemalFor(cpu, d.meas))
-	}
-	for _, m := range preds {
-		d.names = append(d.names, m.Name())
-		d.preds[m.Name()] = make([]float64, len(s.recs))
-	}
-
+// predictRange runs every predictor over recs, writing into d.preds at
+// offset base.
+func (s *Suite) predictRange(preds []models.Predictor, recs []corpus.Record, d *archData, base int) {
 	var wg sync.WaitGroup
-	ch := make(chan int, len(s.recs))
-	for i := range s.recs {
+	ch := make(chan int, len(recs))
+	for i := range recs {
 		ch <- i
 	}
 	close(ch)
@@ -168,21 +281,186 @@ func (s *Suite) data(cpu *uarch.CPU) *archData {
 			defer wg.Done()
 			for i := range ch {
 				for _, m := range preds {
-					p, err := m.Predict(s.recs[i].Block)
+					p, err := m.Predict(recs[i].Block)
 					if err != nil {
 						p = math.NaN()
 					}
-					d.preds[m.Name()][i] = p
+					d.preds[m.Name()][base+i] = p
 				}
 			}
 		}()
 	}
 	wg.Wait()
+}
 
+// data returns (and lazily computes, exactly once per microarchitecture)
+// the measurements and model predictions for one microarchitecture.
+// Concurrent callers share a single computation.
+func (s *Suite) data(cpu *uarch.CPU) (*archData, error) {
 	s.mu.Lock()
-	s.arch[cpu.Name] = d
+	ao := s.arch[cpu.Name]
+	if ao == nil {
+		ao = new(archOnce)
+		s.arch[cpu.Name] = ao
+	}
 	s.mu.Unlock()
-	return d
+	ao.once.Do(func() { ao.d, ao.err = s.computeArch(cpu) })
+	return ao.d, ao.err
+}
+
+// computeArch drives the sharded measurement and prediction pipeline for
+// one microarchitecture: resume completed shards from the checkpoint,
+// compute and persist the rest, and stream every shard into the
+// incremental aggregators.
+func (s *Suite) computeArch(cpu *uarch.CPU) (*archData, error) {
+	ck, err := s.checkpoint()
+	if err != nil {
+		return nil, err
+	}
+	n := len(s.recs)
+	num := s.numShards(n)
+
+	d := &archData{
+		meas:    make([]measurement, n),
+		preds:   make(map[string][]float64),
+		overall: make(map[string]*stats.Running),
+		tau:     make(map[string]*stats.TauAcc),
+	}
+	met := new(profiler.Metrics)
+
+	// Pass 1: measurements, shard by shard.
+	for si := 0; si < num; si++ {
+		lo, hi := s.shardBounds(si, n)
+		if ck != nil {
+			if sh, ok := ck.Shard(cpu.Name, si); ok && sh.MeasDone && len(sh.Tp) == hi-lo {
+				for i := lo; i < hi; i++ {
+					d.meas[i] = measurement{tp: sh.Tp[i-lo], status: profiler.Status(sh.Status[i-lo])}
+				}
+				s.progressf("[%s] meas shard %d/%d: %d blocks resumed from checkpoint\n",
+					cpu.Name, si+1, num, hi-lo)
+				continue
+			}
+		}
+		start := time.Now()
+		before := met.Snapshot()
+		s.profileRange(cpu, profiler.DefaultOptions(), s.recs[lo:hi], d.meas[lo:hi], met)
+		if ck != nil {
+			tp := make([]float64, hi-lo)
+			st := make([]int, hi-lo)
+			for i := lo; i < hi; i++ {
+				tp[i-lo] = d.meas[i].tp
+				st[i-lo] = int(d.meas[i].status)
+			}
+			if err := ck.PutMeas(cpu.Name, si, tp, st); err != nil {
+				return nil, err
+			}
+		}
+		delta := met.Snapshot().Sub(before)
+		s.progressf("[%s] meas shard %d/%d: %d blocks  %.0f blocks/s  cache-hit %.1f%%  reject: %s\n",
+			cpu.Name, si+1, num, hi-lo,
+			float64(hi-lo)/time.Since(start).Seconds(),
+			100*delta.HitRate(), delta.RejectHistogram())
+		if s.spendShard() {
+			return nil, ErrInterrupted
+		}
+	}
+
+	// Predictors: the analytical models, plus the learned model trained on
+	// the (now complete) measurements.
+	var preds []models.Predictor
+	for _, m := range models.All(cpu) {
+		preds = append(preds, m)
+	}
+	if s.cfg.TrainIthemal {
+		preds = append(preds, s.ithemalFor(cpu, d.meas))
+	}
+	for _, m := range preds {
+		d.names = append(d.names, m.Name())
+		d.preds[m.Name()] = make([]float64, n)
+	}
+	for _, name := range d.names {
+		d.overall[name] = new(stats.Running)
+		d.tau[name] = new(stats.TauAcc)
+	}
+
+	// Pass 2: predictions, shard by shard; every shard (resumed or
+	// computed) streams into the aggregators in record order, so resumed
+	// runs fold the same values in the same order.
+	for si := 0; si < num; si++ {
+		lo, hi := s.shardBounds(si, n)
+		resumed := false
+		if ck != nil {
+			if sh, ok := ck.Shard(cpu.Name, si); ok && sh.PredDone && predsMatch(sh.Preds, d.names, hi-lo) {
+				for _, name := range d.names {
+					copy(d.preds[name][lo:hi], sh.Preds[name])
+				}
+				resumed = true
+				s.progressf("[%s] pred shard %d/%d: %d blocks resumed from checkpoint\n",
+					cpu.Name, si+1, num, hi-lo)
+			}
+		}
+		if !resumed {
+			start := time.Now()
+			s.predictRange(preds, s.recs[lo:hi], d, lo)
+			if ck != nil {
+				shard := make(map[string][]float64, len(d.names))
+				for _, name := range d.names {
+					shard[name] = d.preds[name][lo:hi]
+				}
+				if err := ck.PutPreds(cpu.Name, si, shard); err != nil {
+					return nil, err
+				}
+			}
+			s.progressf("[%s] pred shard %d/%d: %d blocks  %.0f blocks/s  %d models\n",
+				cpu.Name, si+1, num, hi-lo,
+				float64(hi-lo)/time.Since(start).Seconds(), len(preds))
+		}
+		s.aggregateShard(d, lo, hi)
+		if !resumed && s.spendShard() {
+			return nil, ErrInterrupted
+		}
+	}
+
+	if s.cfg.Progress != nil {
+		line := fmt.Sprintf("[%s] done: %d blocks", cpu.Name, n)
+		for _, name := range d.names {
+			line += fmt.Sprintf("  %s mean=%.4f tau=%.4f", name, d.overall[name].Mean(), d.tau[name].Value())
+		}
+		s.progressf("%s\n", line)
+	}
+	return d, nil
+}
+
+// aggregateShard streams one shard's accepted (measurement, prediction)
+// pairs into the per-model accumulators.
+func (s *Suite) aggregateShard(d *archData, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if d.meas[i].status != profiler.StatusOK || d.meas[i].tp <= 0 {
+			continue
+		}
+		for _, name := range d.names {
+			p := d.preds[name][i]
+			if math.IsNaN(p) {
+				continue
+			}
+			d.overall[name].Add(stats.RelError(p, d.meas[i].tp))
+			d.tau[name].Add(p, d.meas[i].tp)
+		}
+	}
+}
+
+// predsMatch verifies a checkpointed prediction shard covers exactly the
+// expected models at the expected length (a model-set change must miss).
+func predsMatch(got map[string][]float64, names []string, n int) bool {
+	if len(got) != len(names) {
+		return false
+	}
+	for _, name := range names {
+		if len(got[name]) != n {
+			return false
+		}
+	}
+	return true
 }
 
 // ithemalFor trains (and caches) the learned model for one CPU on its
@@ -216,8 +494,8 @@ func (s *Suite) ithemalFor(cpu *uarch.CPU, meas []measurement) *ithemal.Model {
 		}
 		samples = append(samples, ithemal.Sample{Block: s.recs[i].Block, Throughput: meas[i].tp})
 	}
-	if cap := s.cfg.IthemalTrainCap; cap > 0 && len(samples) > cap {
-		samples = samples[:cap]
+	if limit := s.cfg.IthemalTrainCap; limit > 0 && len(samples) > limit {
+		samples = samples[:limit]
 	}
 	m := ithemal.New(32, 64, s.cfg.Seed)
 	tc := ithemal.DefaultTrainConfig()
@@ -231,6 +509,14 @@ func (s *Suite) ithemalFor(cpu *uarch.CPU, meas []measurement) *ithemal.Model {
 	s.learn[cpu.Name] = m
 	s.mu.Unlock()
 	return m
+}
+
+// ithemalModel returns the trained learned model for one µarch (nil if
+// not trained); data(cpu) must have completed first.
+func (s *Suite) ithemalModel(name string) *ithemal.Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.learn[name]
 }
 
 // pureVector reports whether every instruction in the block works on
@@ -270,10 +556,10 @@ func (s *Suite) classifier() *classify.Classifier {
 	return s.cls
 }
 
-// errorRows aggregates per-model errors over a filtered record subset.
+// errorCell aggregates one model's error over a filtered record subset.
 func (s *Suite) errorCell(d *archData, name string, keep func(i int) bool, weighted bool) string {
-	var errs []float64
-	var ws []uint64
+	var mean stats.Running
+	var wmean stats.RunningWeighted
 	for i := range s.recs {
 		if d.meas[i].status != profiler.StatusOK || d.meas[i].tp <= 0 || !keep(i) {
 			continue
@@ -282,16 +568,27 @@ func (s *Suite) errorCell(d *archData, name string, keep func(i int) bool, weigh
 		if math.IsNaN(p) {
 			continue
 		}
-		errs = append(errs, stats.RelError(p, d.meas[i].tp))
-		ws = append(ws, s.recs[i].Freq)
+		e := stats.RelError(p, d.meas[i].tp)
+		mean.Add(e)
+		wmean.Add(e, s.recs[i].Freq)
 	}
-	if len(errs) == 0 {
+	if mean.N() == 0 {
 		return "-"
 	}
 	if weighted {
-		return fmt.Sprintf("%.4f", stats.WeightedMean(errs, ws))
+		return fmt.Sprintf("%.4f", wmean.Mean())
 	}
-	return fmt.Sprintf("%.4f", stats.Mean(errs))
+	return fmt.Sprintf("%.4f", mean.Mean())
+}
+
+// overallCell renders one model's corpus-wide mean error from the
+// streaming aggregate (no per-record walk).
+func overallCell(d *archData, name string) string {
+	agg := d.overall[name]
+	if agg == nil || agg.N() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", agg.Mean())
 }
 
 // appNames returns the corpus applications in stable order.

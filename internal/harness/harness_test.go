@@ -120,7 +120,10 @@ func TestTable4AndExamples(t *testing.T) {
 
 func TestTable5Shape(t *testing.T) {
 	s := testSuite(t)
-	tab := s.Table5()
+	tab, err := s.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 9 { // 3 µarch x 3 analytical models
 		t.Fatalf("9 rows, got %d", len(tab.Rows))
 	}
@@ -255,7 +258,10 @@ func TestFigClusterErrVectorizedHard(t *testing.T) {
 		t.Skip("full per-cluster sweep")
 	}
 	s := testSuite(t)
-	tab := s.FigClusterErr(uarch.Haswell())
+	tab, err := s.FigClusterErr(uarch.Haswell())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 6 {
 		t.Fatal("six categories")
 	}
@@ -269,7 +275,10 @@ func TestTable6AndGoogleBlocks(t *testing.T) {
 	cfg.Scale = 0.001
 	s := New(cfg)
 
-	tab := s.Table6()
+	tab, err := s.Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 4 { // 2 apps x 2 analytical models (no Ithemal)
 		t.Fatalf("%d rows", len(tab.Rows))
 	}
@@ -283,7 +292,10 @@ func TestTable6AndGoogleBlocks(t *testing.T) {
 		}
 	}
 
-	fig := s.FigGoogleBlocks()
+	fig, err := s.FigGoogleBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig.Rows) != 2 {
 		t.Fatal("two applications")
 	}
@@ -298,7 +310,10 @@ func TestTable6AndGoogleBlocks(t *testing.T) {
 
 func TestFigLenErr(t *testing.T) {
 	s := testSuite(t)
-	tab := s.FigLenErr(uarch.Haswell())
+	tab, err := s.FigLenErr(uarch.Haswell())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 6 {
 		t.Fatalf("%d buckets", len(tab.Rows))
 	}

@@ -131,11 +131,15 @@ func (c *Cache) Save() error {
 	if err != nil {
 		return fmt.Errorf("profcache: %w", err)
 	}
+	// Sync before rename: a crash right after Save must leave either the
+	// old file or the complete new one, never a short write behind the
+	// final name.
 	_, werr := tmp.Write(raw)
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
+	if werr != nil || serr != nil || cerr != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("profcache: writing %s: %v/%v", c.path, werr, cerr)
+		return fmt.Errorf("profcache: writing %s: %v/%v/%v", c.path, werr, serr, cerr)
 	}
 	if err := os.Rename(tmp.Name(), c.path); err != nil {
 		os.Remove(tmp.Name())

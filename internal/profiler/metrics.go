@@ -1,0 +1,108 @@
+package profiler
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// NumStatus is the number of distinct profiling statuses; ByStatus arrays
+// are indexed by Status.
+const NumStatus = len(statusNames)
+
+// Metrics aggregates Profile outcomes across the goroutines sharing it:
+// how many blocks were served from the persistent cache vs. actually
+// measured, and the per-status outcome histogram. It is the first
+// observability layer of the sharded evaluation pipeline — per-shard
+// progress lines are derived from Snapshot deltas. All counters are
+// atomic; a nil *Metrics is a valid no-op sink.
+type Metrics struct {
+	cacheHits atomic.Uint64
+	profiled  atomic.Uint64
+	status    [NumStatus]atomic.Uint64
+}
+
+// record accounts one Profile call. hit reports whether the result came
+// from the persistent cache (a miss means the block was measured).
+func (m *Metrics) record(s Status, hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.cacheHits.Add(1)
+	} else {
+		m.profiled.Add(1)
+	}
+	if int(s) < NumStatus {
+		m.status[s].Add(1)
+	}
+}
+
+// Snapshot is a point-in-time copy of the counters, suitable for delta
+// arithmetic between shards.
+type Snapshot struct {
+	// CacheHits counts blocks served from the persistent profile cache.
+	CacheHits uint64
+	// Profiled counts blocks that went through the measurement protocol.
+	Profiled uint64
+	// ByStatus histograms the outcome of every Profile call, indexed by
+	// Status (cache hits included — a cached rejection is still a
+	// rejection).
+	ByStatus [NumStatus]uint64
+}
+
+// Snapshot copies the current counters. Safe on a nil receiver.
+func (m *Metrics) Snapshot() Snapshot {
+	var s Snapshot
+	if m == nil {
+		return s
+	}
+	s.CacheHits = m.cacheHits.Load()
+	s.Profiled = m.profiled.Load()
+	for i := range s.ByStatus {
+		s.ByStatus[i] = m.status[i].Load()
+	}
+	return s
+}
+
+// Sub returns the counter deltas since prev (for per-shard reporting).
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{
+		CacheHits: s.CacheHits - prev.CacheHits,
+		Profiled:  s.Profiled - prev.Profiled,
+	}
+	for i := range s.ByStatus {
+		d.ByStatus[i] = s.ByStatus[i] - prev.ByStatus[i]
+	}
+	return d
+}
+
+// Total is the number of Profile calls covered by the snapshot.
+func (s Snapshot) Total() uint64 { return s.CacheHits + s.Profiled }
+
+// HitRate is the persistent-cache hit fraction (0 with no calls).
+func (s Snapshot) HitRate() float64 {
+	if t := s.Total(); t > 0 {
+		return float64(s.CacheHits) / float64(t)
+	}
+	return 0
+}
+
+// RejectHistogram renders the non-OK statuses as "crashed=3 unstable=1"
+// ("none" if every call succeeded).
+func (s Snapshot) RejectHistogram() string {
+	var sb strings.Builder
+	for i, n := range s.ByStatus {
+		if Status(i) == StatusOK || n == 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%d", Status(i), n)
+	}
+	if sb.Len() == 0 {
+		return "none"
+	}
+	return sb.String()
+}

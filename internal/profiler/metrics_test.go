@@ -1,0 +1,62 @@
+package profiler
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bhive/internal/profcache"
+	"bhive/internal/uarch"
+)
+
+func TestMetricsCountsAndHistogram(t *testing.T) {
+	pc, err := profcache.Open(filepath.Join(t.TempDir(), "c.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(uarch.Haswell(), DefaultOptions())
+	p.Cache = pc
+	p.Metrics = new(Metrics)
+
+	ok := block(t, "add rax, rbx")
+	crash := block(t, "mov rax, qword ptr [0]")
+	p.Profile(ok)
+	p.Profile(crash)
+	p.Profile(ok) // served from cache
+
+	s := p.Metrics.Snapshot()
+	if s.Profiled != 2 || s.CacheHits != 1 {
+		t.Fatalf("profiled=%d hits=%d, want 2/1", s.Profiled, s.CacheHits)
+	}
+	if s.Total() != 3 {
+		t.Fatalf("total %d", s.Total())
+	}
+	if got := s.HitRate(); got < 0.3 || got > 0.4 {
+		t.Fatalf("hit rate %v", got)
+	}
+	if s.ByStatus[StatusOK] != 2 || s.ByStatus[StatusCrashed] != 1 {
+		t.Fatalf("status histogram %v", s.ByStatus)
+	}
+	if h := s.RejectHistogram(); !strings.Contains(h, "crashed=1") {
+		t.Fatalf("reject histogram %q", h)
+	}
+
+	// Deltas since a snapshot isolate one shard's worth of work.
+	p.Profile(crash) // cache hit, still a rejection
+	d := p.Metrics.Snapshot().Sub(s)
+	if d.Total() != 1 || d.CacheHits != 1 || d.ByStatus[StatusCrashed] != 1 {
+		t.Fatalf("delta %+v", d)
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	m.record(StatusOK, false) // must not panic
+	s := m.Snapshot()
+	if s.Total() != 0 || s.HitRate() != 0 {
+		t.Fatalf("nil metrics snapshot %+v", s)
+	}
+	if s.RejectHistogram() != "none" {
+		t.Fatalf("clean histogram %q", s.RejectHistogram())
+	}
+}

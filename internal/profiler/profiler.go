@@ -193,6 +193,11 @@ type Profiler struct {
 	// after, keyed by (block bytes, microarchitecture, options, seed).
 	Cache *profcache.Cache
 
+	// Metrics, when non-nil, accumulates cache-hit counts and the
+	// per-status outcome histogram across every Profile call (shared by
+	// all goroutines using this profiler).
+	Metrics *Metrics
+
 	pool sync.Pool // *scratch
 }
 
@@ -329,18 +334,24 @@ func (p *Profiler) unrollFactors(n int) (lo, hi int) {
 // Profile measures one basic block.
 func (p *Profiler) Profile(b *x86.Block) Result {
 	if len(b.Insts) == 0 {
+		p.Metrics.record(StatusCrashed, false)
 		return Result{Status: StatusCrashed}
 	}
 	seed := blockSeed(b.Insts)
 	if p.Cache == nil {
-		return p.profile(b, seed)
+		res := p.profile(b, seed)
+		p.Metrics.record(res.Status, false)
+		return res
 	}
 	key := profcache.Key(blockHex(b.Insts), p.CPU.Name, p.Opts.Fingerprint(), seed)
 	if e, ok := p.Cache.Get(key); ok {
-		return resultFromEntry(e)
+		res := resultFromEntry(e)
+		p.Metrics.record(res.Status, true)
+		return res
 	}
 	res := p.profile(b, seed)
 	p.Cache.Put(key, entryFromResult(res))
+	p.Metrics.record(res.Status, false)
 	return res
 }
 

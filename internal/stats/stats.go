@@ -1,9 +1,22 @@
 // Package stats provides the evaluation metrics of the paper: relative
 // error, unweighted and frequency-weighted averages, and Kendall's tau
 // (the fraction of pairwise throughput orderings a model preserves).
+//
+// NaN policy: failed model predictions surface as NaN in the harness, so
+// every aggregate here treats NaN as "no data" rather than letting it
+// poison the result. Mean, WeightedMean and Percentile skip NaN inputs;
+// KendallTau drops pairs with NaN on either side; Summarize filters
+// (prediction, measurement, weight) triples with NaN in either value
+// before computing anything, and reports the filtered count as N. A
+// length mismatch in WeightedMean or KendallTau is caller misuse and is
+// reported by returning NaN / 0 respectively instead of panicking deep
+// inside a long evaluation run.
 package stats
 
-import "sort"
+import (
+	"math"
+	"sort"
+)
 
 // RelError is the paper's error metric: |predicted − measured| / measured.
 func RelError(predicted, measured float64) float64 {
@@ -23,29 +36,28 @@ func RelError(predicted, measured float64) float64 {
 	return d / measured
 }
 
-// Mean returns the unweighted average of xs (0 for empty input).
+// Mean returns the unweighted average of the non-NaN values of xs
+// (0 if no values remain).
 func Mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	var s float64
+	var r Running
 	for _, x := range xs {
-		s += x
+		r.Add(x)
 	}
-	return s / float64(len(xs))
+	return r.Mean()
 }
 
-// WeightedMean returns the weighted average of xs (0 if weights sum to 0).
+// WeightedMean returns the weighted average of the non-NaN values of xs
+// (0 if the surviving weights sum to 0). A length mismatch between xs and
+// ws is misuse and yields NaN.
 func WeightedMean(xs []float64, ws []uint64) float64 {
-	var s, w float64
+	if len(xs) != len(ws) {
+		return math.NaN()
+	}
+	var r RunningWeighted
 	for i, x := range xs {
-		s += x * float64(ws[i])
-		w += float64(ws[i])
+		r.Add(x, ws[i])
 	}
-	if w == 0 {
-		return 0
-	}
-	return s / w
+	return r.Mean()
 }
 
 // KendallTau computes Kendall's tau-a between two value sequences: the
@@ -55,14 +67,22 @@ func WeightedMean(xs []float64, ws []uint64) float64 {
 // first sequence and count inversions of the second with a merge sort,
 // discounting tied pairs.
 func KendallTau(a, b []float64) float64 {
-	n := len(a)
-	if n != len(b) || n < 2 {
+	if len(a) != len(b) {
 		return 0
 	}
+	// Pairs with NaN on either side carry no ordering information and are
+	// dropped (see the package NaN policy).
 	type pair struct{ a, b float64 }
-	ps := make([]pair, n)
-	for i := range ps {
-		ps[i] = pair{a[i], b[i]}
+	ps := make([]pair, 0, len(a))
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		ps = append(ps, pair{a[i], b[i]})
+	}
+	n := len(ps)
+	if n < 2 {
+		return 0
 	}
 	sort.Slice(ps, func(i, j int) bool {
 		if ps[i].a != ps[j].a {
@@ -156,10 +176,22 @@ func countInversions(xs, buf []float64) int64 {
 }
 
 // kendallTauNaive is the O(n²) reference implementation, kept for
-// property-testing the fast path.
+// property-testing the fast path. It applies the same NaN-pair filtering.
 func kendallTauNaive(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var fa, fb []float64
+	for i := range a {
+		if math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			continue
+		}
+		fa = append(fa, a[i])
+		fb = append(fb, b[i])
+	}
+	a, b = fa, fb
 	n := len(a)
-	if n != len(b) || n < 2 {
+	if n < 2 {
 		return 0
 	}
 	var concordant, discordant int64
@@ -179,12 +211,19 @@ func kendallTauNaive(a, b []float64) float64 {
 	return float64(concordant-discordant) / float64(pairs)
 }
 
-// Percentile returns the p-th percentile (0..100) of xs.
+// Percentile returns the p-th percentile (0..100) of the non-NaN values
+// of xs (0 if no values remain). NaN values would break sort.Float64s'
+// ordering invariants, so they are filtered before sorting.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	idx := p / 100 * float64(len(sorted)-1)
 	lo := int(idx)
@@ -206,21 +245,34 @@ type Summary struct {
 }
 
 // Summarize builds a Summary from parallel prediction/measurement/weight
-// slices.
+// slices. Triples with NaN in the prediction or measurement are filtered
+// out first (see the package NaN policy); N reports the surviving count.
 func Summarize(pred, meas []float64, weights []uint64) Summary {
-	errs := make([]float64, len(pred))
+	var fp, fm []float64
+	var fw []uint64
 	for i := range pred {
-		errs[i] = RelError(pred[i], meas[i])
+		if math.IsNaN(pred[i]) || math.IsNaN(meas[i]) {
+			continue
+		}
+		fp = append(fp, pred[i])
+		fm = append(fm, meas[i])
+		if weights != nil && i < len(weights) {
+			fw = append(fw, weights[i])
+		}
+	}
+	errs := make([]float64, len(fp))
+	for i := range fp {
+		errs[i] = RelError(fp[i], fm[i])
 	}
 	s := Summary{
-		N:         len(pred),
+		N:         len(fp),
 		MeanError: Mean(errs),
 		Median:    Percentile(errs, 50),
 		P90:       Percentile(errs, 90),
-		Tau:       KendallTau(pred, meas),
+		Tau:       KendallTau(fp, fm),
 	}
 	if weights != nil {
-		s.WeightedError = WeightedMean(errs, weights)
+		s.WeightedError = WeightedMean(errs, fw)
 	}
 	return s
 }

@@ -52,6 +52,24 @@ func TestMeans(t *testing.T) {
 	}
 }
 
+func TestMeansNaNPolicy(t *testing.T) {
+	// NaN entries are "no data", not poison.
+	if got := Mean([]float64{1, math.NaN(), 3}); got != 2 {
+		t.Fatalf("mean with NaN: %v", got)
+	}
+	if got := Mean([]float64{math.NaN()}); got != 0 {
+		t.Fatalf("all-NaN mean: %v", got)
+	}
+	// The NaN value's weight must be excluded with it.
+	if got := WeightedMean([]float64{1, math.NaN()}, []uint64{1, 1000}); got != 1 {
+		t.Fatalf("weighted mean with NaN: %v", got)
+	}
+	// A length mismatch is misuse, reported as NaN instead of a panic.
+	if got := WeightedMean([]float64{1, 2}, []uint64{1}); !math.IsNaN(got) {
+		t.Fatalf("length mismatch must yield NaN, got %v", got)
+	}
+}
+
 func TestKendallTau(t *testing.T) {
 	a := []float64{1, 2, 3, 4, 5}
 	if got := KendallTau(a, a); got != 1 {
@@ -84,6 +102,45 @@ func TestKendallTauNoise(t *testing.T) {
 	}
 	if tau := KendallTau(x, random); math.Abs(tau) > 0.15 {
 		t.Fatalf("random tau = %f", tau)
+	}
+}
+
+func TestKendallTauNaNAndTies(t *testing.T) {
+	// NaN pairs are dropped; ties among the surviving pairs are discounted
+	// exactly as if the NaN rows had never been collected. Failed models
+	// produce NaN predictions, so this is the harness's everyday case.
+	a := []float64{1, 2, 2, 3, 4, 5}
+	b := []float64{1, 2, 2, 3, 4, 5}
+	an := []float64{1, 2, math.NaN(), 2, 3, 4, math.NaN(), 5}
+	bn := []float64{1, 2, 7, 2, 3, 4, math.NaN(), 5}
+	if got, want := KendallTau(an, bn), KendallTau(a, b); got != want {
+		t.Fatalf("NaN-filtered tau %v != clean tau %v", got, want)
+	}
+	// The naive reference applies the same policy.
+	if got, want := KendallTau(an, bn), kendallTauNaive(an, bn); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fast %v != naive %v on NaN input", got, want)
+	}
+	// An all-NaN side leaves fewer than two pairs.
+	nan2 := []float64{math.NaN(), math.NaN(), 1}
+	if got := KendallTau(nan2, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("degenerate tau %v", got)
+	}
+}
+
+func TestSummarizeNaNPolicy(t *testing.T) {
+	pred := []float64{1, math.NaN(), 4}
+	meas := []float64{1, 2, 2}
+	s := Summarize(pred, meas, []uint64{1, 99, 2})
+	if s.N != 2 {
+		t.Fatalf("N must count surviving pairs: %d", s.N)
+	}
+	if s.MeanError != 0.5 {
+		t.Fatalf("mean error %v", s.MeanError)
+	}
+	// The NaN row's weight (99) must not dilute the weighted error.
+	want := (0*1 + 1*2) / 3.0
+	if math.Abs(s.WeightedError-want) > 1e-12 {
+		t.Fatalf("weighted error %v want %v", s.WeightedError, want)
 	}
 }
 
