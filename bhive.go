@@ -28,6 +28,7 @@
 package bhive
 
 import (
+	"bhive/internal/blocklint"
 	"bhive/internal/classify"
 	"bhive/internal/corpus"
 	"bhive/internal/harness"
@@ -68,6 +69,11 @@ type (
 	TrainSample = ithemal.Sample
 	// TrainOptions configures LSTM training.
 	TrainOptions = ithemal.TrainConfig
+	// LintReport is the static block analyzer's typed result: a predicted
+	// measurement status plus machine-readable diagnostics (BL001…).
+	LintReport = blocklint.Report
+	// LintDiag is one static-analysis finding.
+	LintDiag = blocklint.Diag
 )
 
 // Syntax constants.
@@ -125,6 +131,19 @@ func ProfileWith(arch string, b *Block, opts Options) (Result, error) {
 		return Result{}, err
 	}
 	return profiler.New(cpu, opts).Profile(b), nil
+}
+
+// Lint statically analyzes a block under the given measurement options:
+// it predicts the profiling status without running the machine and
+// reports per-block diagnostics and facts. A rejected report (non-OK
+// prediction) is a guarantee — the dynamic protocol cannot accept the
+// block — which is what makes prescreening safe.
+func Lint(arch string, b *Block, opts Options) (*LintReport, error) {
+	cpu, err := uarch.ByName(arch)
+	if err != nil {
+		return nil, err
+	}
+	return blocklint.New(cpu, opts).Analyze(b), nil
 }
 
 // Models returns the three analytical predictors (IACA-, llvm-mca- and

@@ -22,13 +22,26 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "bhive-classify:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bhive-classify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		scale = flag.Float64("scale", 0.01, "corpus scale")
-		seed  = flag.Int64("seed", 7, "seed")
-		stdin = flag.Bool("stdin", false, "classify one block read from stdin")
-		block = flag.String("block", "", "classify one block given as assembly")
+		scale = fs.Float64("scale", 0.01, "corpus scale")
+		seed  = fs.Int64("seed", 7, "seed")
+		stdin = fs.Bool("stdin", false, "classify one block read from stdin")
+		block = fs.String("block", "", "classify one block given as assembly")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	recs := corpus.GenerateAll(*scale, *seed)
 	blocks := make([]*x86.Block, len(recs))
@@ -44,17 +57,17 @@ func main() {
 		if *stdin {
 			raw, err := io.ReadAll(os.Stdin)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			text = string(raw)
 		}
 		b, err := x86.ParseBlock(text, x86.SyntaxAuto)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cat := cls.Classify(b)
-		fmt.Printf("%s: %s\n", cat, cat.Description())
-		return
+		fmt.Fprintf(stdout, "%s: %s\n", cat, cat.Description())
+		return nil
 	}
 
 	// Corpus-level report, via the harness renderers.
@@ -62,14 +75,10 @@ func main() {
 	cfg.Scale = *scale
 	cfg.Seed = *seed
 	s := harness.New(cfg)
-	fmt.Print(s.Table4().Render())
-	fmt.Println()
-	fmt.Print(s.FigAppsVsClusters().Render())
-	fmt.Println()
-	fmt.Print(s.FigExamples())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bhive-classify:", err)
-	os.Exit(1)
+	fmt.Fprint(stdout, s.Table4().Render())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, s.FigAppsVsClusters().Render())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, s.FigExamples())
+	return nil
 }

@@ -60,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		shardSize = fs.Int("shard-size", harness.DefaultShardSize, "corpus records per evaluation shard (the unit of checkpointing)")
 		ckptF     = fs.String("checkpoint", "", "shard checkpoint journal (created if absent; an interrupted run resumes from it)")
 		progress  = fs.Bool("progress", false, "print per-shard progress lines (blocks/s, cache-hit rate, rejects) to stderr")
+		prescreen = fs.Bool("prescreen", false, "statically reject blocks before profiling (skips counted as prescreened=N)")
+		crosschk  = fs.Bool("crosscheck", false, "validate dynamic reject statuses against static predictions (mismatches to -progress)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -86,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	cfg.IthemalEpochs = *epochs
 	cfg.ShardSize = *shardSize
 	cfg.CheckpointPath = *ckptF
+	cfg.Prescreen = *prescreen
+	cfg.Crosscheck = *crosschk
 	if *progress {
 		cfg.Progress = stderr
 	}
@@ -152,6 +156,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		return err
 	}
 	fmt.Fprint(stdout, out)
+	if *crosschk {
+		fmt.Fprintf(stderr, "bhive-eval: crosscheck: %d static/dynamic mismatches\n", s.CrosscheckMismatches())
+	}
 
 	if *memProf != "" {
 		f, cerr := os.Create(*memProf)

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"bhive/internal/portmap"
@@ -21,38 +22,47 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "bhive-exegesis:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bhive-exegesis", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		arch = flag.String("uarch", "haswell", "microarchitecture")
-		inst = flag.String("inst", "", "measure a single instruction (default: the built-in template set)")
+		arch = fs.String("uarch", "haswell", "microarchitecture")
+		inst = fs.String("inst", "", "measure a single instruction (default: the built-in template set)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cpu, err := uarch.ByName(*arch)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	templates := portmap.DefaultTemplates()
 	if *inst != "" {
 		in, err := x86.ParseInst(*inst, x86.SyntaxAuto)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		templates = []x86.Inst{in}
 	}
 
 	entries, err := portmap.BuildTable(cpu, templates)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("%-28s %9s %12s %8s %6s\n", "instruction", "latency", "rthroughput", "ports", "µops")
+	fmt.Fprintf(stdout, "%-28s %9s %12s %8s %6s\n", "instruction", "latency", "rthroughput", "ports", "µops")
 	for _, e := range entries {
-		fmt.Printf("%-28s %9.2f %12.2f %8s %6.2f\n",
+		fmt.Fprintf(stdout, "%-28s %9.2f %12.2f %8s %6.2f\n",
 			e.Inst, e.Latency, e.RThroughput, e.Ports, e.UopsPer)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bhive-exegesis:", err)
-	os.Exit(1)
+	return nil
 }

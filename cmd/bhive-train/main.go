@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sync"
@@ -20,27 +21,42 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "bhive-train:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run keeps the command behind a single exit point so the deferred
+// close of the weights file cannot be skipped by an error path.
+func run(args []string, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("bhive-train", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		arch   = flag.String("uarch", "haswell", "microarchitecture")
-		scale  = flag.Float64("scale", 0.004, "corpus scale for training data")
-		seed   = flag.Int64("seed", 7, "seed")
-		epochs = flag.Int("epochs", 14, "training epochs")
-		lr     = flag.Float64("lr", 1e-3, "initial learning rate")
-		out    = flag.String("out", "ithemal.model", "output weights file")
+		arch   = fs.String("uarch", "haswell", "microarchitecture")
+		scale  = fs.Float64("scale", 0.004, "corpus scale for training data")
+		seed   = fs.Int64("seed", 7, "seed")
+		epochs = fs.Int("epochs", 14, "training epochs")
+		lr     = fs.Float64("lr", 1e-3, "initial learning rate")
+		out    = fs.String("out", "ithemal.model", "output weights file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cpu, err := uarch.ByName(*arch)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Fprintf(os.Stderr, "generating corpus at scale %g...\n", *scale)
+	fmt.Fprintf(stderr, "generating corpus at scale %g...\n", *scale)
 	recs := corpus.GenerateAll(*scale, *seed)
 
-	fmt.Fprintf(os.Stderr, "profiling %d blocks on %s...\n", len(recs), cpu.Name)
+	fmt.Fprintf(stderr, "profiling %d blocks on %s...\n", len(recs), cpu.Name)
 	samples := measure(cpu, recs)
-	fmt.Fprintf(os.Stderr, "%d blocks profiled successfully\n", len(samples))
+	fmt.Fprintf(stderr, "%d blocks profiled successfully\n", len(samples))
 
 	m := ithemal.New(32, 64, *seed)
 	cfg := ithemal.TrainConfig{
@@ -48,20 +64,25 @@ func main() {
 		LR:     *lr,
 		Seed:   *seed,
 		Progress: func(epoch int, loss float64) {
-			fmt.Fprintf(os.Stderr, "epoch %2d: loss %.4f\n", epoch, loss)
+			fmt.Fprintf(stderr, "epoch %2d: loss %.4f\n", epoch, loss)
 		},
 	}
 	m.Train(samples, cfg)
 
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if err := m.Save(f); err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	fmt.Fprintf(stderr, "wrote %s\n", *out)
+	return nil
 }
 
 func measure(cpu *uarch.CPU, recs []corpus.Record) []ithemal.Sample {
@@ -95,9 +116,4 @@ func measure(cpu *uarch.CPU, recs []corpus.Record) []ithemal.Sample {
 		}
 	}
 	return samples
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "bhive-train:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,260 @@
+// The loader: a minimal, stdlib-only replacement for golang.org/x/tools'
+// package loading. It walks the module, parses each package with
+// go/parser, and type-checks it with go/types using a recursive importer
+// that resolves module-internal import paths ("bhive/...") straight from
+// the source tree and delegates the standard library to the compiler's
+// source importer. No export data, no go list subprocess, no external
+// modules.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Check loads every package under modRoot matched by patterns and runs
+// the analyzers over each. Patterns are either "./..." (the whole
+// module) or directory paths relative to modRoot. Findings come back
+// sorted by position.
+func Check(modRoot string, patterns []string, as []*Analyzer) ([]Finding, error) {
+	modPath, err := modulePath(modRoot)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(modRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	ld := newLoader(modRoot, modPath)
+	var findings []Finding
+	for _, dir := range dirs {
+		pkg, files, err := ld.load(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue // no buildable Go files
+		}
+		pass := &Pass{
+			Fset:  ld.fset,
+			Files: files,
+			Pkg:   pkg,
+			Info:  ld.infos[pkg],
+		}
+		for _, a := range as {
+			a := a
+			pass.Report = func(pos token.Pos, format string, args ...any) {
+				findings = append(findings, Finding{
+					Pos:      ld.fset.Position(pos),
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf(format, args...),
+				})
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// modulePath reads the module path out of modRoot/go.mod.
+func modulePath(modRoot string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(modRoot, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("%s/go.mod: no module directive", modRoot)
+}
+
+// expandPatterns resolves "./..." to every directory under modRoot that
+// holds Go files, skipping testdata, hidden directories, and vendor.
+func expandPatterns(modRoot string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		if pat != "./..." && pat != "..." {
+			add(filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(pat, "./"))))
+			continue
+		}
+		err := filepath.WalkDir(modRoot, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != modRoot && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			ents, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range ents {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+					add(path)
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loader type-checks packages on demand and memoizes them, acting as its
+// own importer for module-internal paths.
+type loader struct {
+	fset    *token.FileSet
+	modRoot string
+	modPath string
+	std     types.Importer
+	pkgs    map[string]*types.Package // by import path
+	files   map[*types.Package][]*ast.File
+	infos   map[*types.Package]*types.Info
+	loading map[string]bool
+}
+
+func newLoader(modRoot, modPath string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		modRoot: modRoot,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*types.Package{},
+		files:   map[*types.Package][]*ast.File{},
+		infos:   map[*types.Package]*types.Info{},
+		loading: map[string]bool{},
+	}
+}
+
+// Import implements types.Importer: module-internal paths are resolved
+// from the source tree, everything else falls through to the stdlib
+// source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, ld.modPath), "/")
+		pkg, _, err := ld.load(filepath.Join(ld.modRoot, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("import %q: no Go files in %s", path, rel)
+		}
+		return pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks the package in dir (non-test, buildable
+// files only). Returns (nil, nil, nil) when the directory has no
+// buildable Go files.
+func (ld *loader) load(dir string) (*types.Package, []*ast.File, error) {
+	ip := ld.importPath(dir)
+	if pkg, ok := ld.pkgs[ip]; ok {
+		return pkg, ld.files[pkg], nil
+	}
+	if ld.loading[ip] {
+		return nil, nil, fmt.Errorf("import cycle through %q", ip)
+	}
+	ld.loading[ip] = true
+	defer delete(ld.loading, ip)
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ignoredFile(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: ld,
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	pkg, err := conf.Check(ip, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %w", ip, err)
+	}
+	ld.pkgs[ip] = pkg
+	ld.files[pkg] = files
+	ld.infos[pkg] = info
+	return pkg, files, nil
+}
+
+// importPath maps a directory under modRoot to its import path.
+func (ld *loader) importPath(dir string) string {
+	rel, err := filepath.Rel(ld.modRoot, dir)
+	if err != nil || rel == "." {
+		return ld.modPath
+	}
+	return ld.modPath + "/" + filepath.ToSlash(rel)
+}

@@ -1,0 +1,1380 @@
+package blocklint
+
+import (
+	"fmt"
+	"math/bits"
+
+	"bhive/internal/machine"
+	"bhive/internal/profiler"
+	"bhive/internal/vm"
+	"bhive/internal/x86"
+)
+
+// The abstract interpreter mirrors internal/exec over a Known/Unknown
+// value domain and replays the profiler's exact run sequence. The
+// soundness contract: every Known value is exactly what the concrete
+// machine computes; every conclusion drawn from Unknown values is
+// conservative (mayCrash, not a verdict). A non-OK prediction is emitted
+// only when the rejection is guaranteed on every concretization of the
+// Unknowns — which is what lets prescreening skip the block outright.
+
+// aval is an abstract 64-bit value: exactly v, or unknown.
+type aval struct {
+	known bool
+	v     uint64
+}
+
+func kv(v uint64) aval { return aval{known: true, v: v} }
+
+// abool is an abstract boolean (three-valued).
+type abool struct {
+	known bool
+	v     bool
+}
+
+func kb(b bool) abool { return abool{known: true, v: b} }
+
+// avec is an abstract 256-bit vector register.
+type avec struct {
+	known bool
+	b     [32]byte
+}
+
+// astate mirrors exec.State over abstract values.
+type astate struct {
+	gpr                [16]aval
+	vec                [16]avec
+	zf, sf, cf, of, pf abool
+	rip                uint64
+}
+
+// readGPR mirrors exec.State.ReadGPR (zero-extension, high-byte regs).
+func (s *astate) readGPR(r x86.Reg) aval {
+	full := s.gpr[r.Base64().Num()]
+	if !full.known {
+		return aval{}
+	}
+	switch r.Class() {
+	case x86.ClassGP64:
+		return full
+	case x86.ClassGP32:
+		return kv(full.v & 0xFFFFFFFF)
+	case x86.ClassGP16:
+		return kv(full.v & 0xFFFF)
+	case x86.ClassGP8:
+		if r.IsHighByte() {
+			return kv((full.v >> 8) & 0xFF)
+		}
+		return kv(full.v & 0xFF)
+	}
+	return kv(0)
+}
+
+// writeGPR mirrors exec.State.WriteGPR: sub-register writes merge, which
+// makes the whole register unknown when either side is.
+func (s *astate) writeGPR(r x86.Reg, v aval) {
+	n := r.Base64().Num()
+	old := s.gpr[n]
+	switch r.Class() {
+	case x86.ClassGP64:
+		s.gpr[n] = v
+	case x86.ClassGP32:
+		if v.known {
+			s.gpr[n] = kv(v.v & 0xFFFFFFFF)
+		} else {
+			s.gpr[n] = aval{}
+		}
+	case x86.ClassGP16:
+		if v.known && old.known {
+			s.gpr[n] = kv(old.v&^uint64(0xFFFF) | v.v&0xFFFF)
+		} else {
+			s.gpr[n] = aval{}
+		}
+	case x86.ClassGP8:
+		if v.known && old.known {
+			if r.IsHighByte() {
+				s.gpr[n] = kv(old.v&^uint64(0xFF00) | (v.v&0xFF)<<8)
+			} else {
+				s.gpr[n] = kv(old.v&^uint64(0xFF) | v.v&0xFF)
+			}
+		} else {
+			s.gpr[n] = aval{}
+		}
+	}
+}
+
+func (s *astate) unknownFlags() {
+	s.zf, s.sf, s.cf, s.of, s.pf = abool{}, abool{}, abool{}, abool{}, abool{}
+}
+
+// setZSP mirrors exec.State.setZSP.
+func (s *astate) setZSP(res aval, size int) {
+	if !res.known {
+		s.zf, s.sf, s.pf = abool{}, abool{}, abool{}
+		return
+	}
+	r := maskTo(res.v, size)
+	s.zf = kb(r == 0)
+	s.sf = kb(r>>(uint(size)*8-1)&1 == 1)
+	b := r & 0xFF
+	b ^= b >> 4
+	b ^= b >> 2
+	b ^= b >> 1
+	s.pf = kb(b&1 == 0)
+}
+
+// setAddFlags mirrors exec.State.setAddFlags.
+func (s *astate) setAddFlags(a, b, res aval, size int) {
+	if !a.known || !b.known || !res.known {
+		s.unknownFlags()
+		return
+	}
+	nbits := uint(size) * 8
+	av, bv, rv := maskTo(a.v, size), maskTo(b.v, size), maskTo(res.v, size)
+	s.cf = kb(rv < av || (rv == av && bv != 0))
+	sa, sb, sr := av>>(nbits-1)&1, bv>>(nbits-1)&1, rv>>(nbits-1)&1
+	s.of = kb(sa == sb && sa != sr)
+	s.setZSP(res, size)
+}
+
+// setSubFlags mirrors exec.State.setSubFlags.
+func (s *astate) setSubFlags(a, b, res aval, size int) {
+	if !a.known || !b.known || !res.known {
+		s.unknownFlags()
+		return
+	}
+	nbits := uint(size) * 8
+	av, bv, rv := maskTo(a.v, size), maskTo(b.v, size), maskTo(res.v, size)
+	s.cf = kb(av < bv || (av == bv && rv != 0))
+	sa, sb, sr := av>>(nbits-1)&1, bv>>(nbits-1)&1, rv>>(nbits-1)&1
+	s.of = kb(sa != sb && sa != sr)
+	s.setZSP(res, size)
+}
+
+func (s *astate) setLogicFlags(res aval, size int) {
+	s.cf, s.of = kb(false), kb(false)
+	s.setZSP(res, size)
+}
+
+// Three-valued logic helpers for condition evaluation.
+func aOr(a, b abool) abool {
+	if a.known && a.v || b.known && b.v {
+		return kb(true)
+	}
+	if a.known && b.known {
+		return kb(false)
+	}
+	return abool{}
+}
+
+func aNot(a abool) abool {
+	if a.known {
+		return kb(!a.v)
+	}
+	return abool{}
+}
+
+func aNe(a, b abool) abool {
+	if a.known && b.known {
+		return kb(a.v != b.v)
+	}
+	return abool{}
+}
+
+func aAnd(a, b abool) abool { return aNot(aOr(aNot(a), aNot(b))) }
+
+// cond mirrors exec.State.Cond over abstract flags.
+func (s *astate) cond(c x86.Cond) abool {
+	switch c {
+	case x86.CondE:
+		return s.zf
+	case x86.CondNE:
+		return aNot(s.zf)
+	case x86.CondL:
+		return aNe(s.sf, s.of)
+	case x86.CondLE:
+		return aOr(s.zf, aNe(s.sf, s.of))
+	case x86.CondG:
+		return aAnd(aNot(s.zf), aNot(aNe(s.sf, s.of)))
+	case x86.CondGE:
+		return aNot(aNe(s.sf, s.of))
+	case x86.CondB:
+		return s.cf
+	case x86.CondBE:
+		return aOr(s.cf, s.zf)
+	case x86.CondA:
+		return aAnd(aNot(s.cf), aNot(s.zf))
+	case x86.CondAE:
+		return aNot(s.cf)
+	case x86.CondS:
+		return s.sf
+	case x86.CondNS:
+		return aNot(s.sf)
+	}
+	return kb(false)
+}
+
+func maskTo(v uint64, size int) uint64 {
+	if size >= 8 {
+		return v
+	}
+	return v & (1<<(uint(size)*8) - 1)
+}
+
+func signExtend(v uint64, size int) int64 {
+	switch size {
+	case 1:
+		return int64(int8(v))
+	case 2:
+		return int64(int16(v))
+	case 4:
+		return int64(int32(v))
+	}
+	return int64(v)
+}
+
+func amask(a aval, size int) aval {
+	if !a.known {
+		return a
+	}
+	return kv(maskTo(a.v, size))
+}
+
+// aframe is one abstract physical frame: byte values plus per-byte
+// unknownness.
+type aframe struct {
+	data [vm.PageSize]byte
+	unk  [vm.PageSize]bool
+}
+
+// memAgg accumulates observed-address facts for one static instruction
+// during the recorded (hi, timed) run.
+type memAgg struct {
+	accesses  int
+	allKnown  bool
+	first     uint64
+	last      uint64
+	stride    int64
+	strideSet bool
+	strideOK  bool
+	orAddrs   uint64
+	splits    bool
+	pages     map[uint64]struct{}
+}
+
+// interp replays the measurement protocol abstractly for one block.
+type interp struct {
+	a       *Analyzer
+	insts   []x86.Inst
+	offsets []int
+	n       int
+	addrs   []uint64 // per unrolled instruction, plus the end address
+
+	pages  map[uint64]*aframe
+	shared *aframe // the single physical data page
+	st     astate
+
+	// Uncertainty tracking.
+	mayCrash      bool // some concretization may crash
+	mappingsExact bool // the mapped-page set and fault budget are exact
+	clobbered     bool // a store went to an unknown address
+	pagesMapped   int  // monitor budget used in the current measureOn
+
+	// Per-timed-run and reporting state.
+	splitInst   int // static index of a guaranteed line split (-1 none)
+	recordFacts bool
+	facts       map[int]*memAgg
+	diags       []Diag
+	sawInexact  bool
+	sawVec      bool
+}
+
+func newInterp(a *Analyzer, insts []x86.Inst, raws [][]byte, hi int) *interp {
+	n := len(insts)
+	total := n * hi
+	it := &interp{
+		a:             a,
+		insts:         insts,
+		n:             n,
+		pages:         make(map[uint64]*aframe),
+		mappingsExact: true,
+		splitInst:     -1,
+		facts:         make(map[int]*memAgg),
+	}
+
+	// Mirror machine.PrepareUnrolled address assignment and mapCode.
+	it.addrs = make([]uint64, 0, total+1)
+	addr := uint64(machine.CodeBase)
+	var code []byte
+	for i := 0; i < total; i++ {
+		it.addrs = append(it.addrs, addr)
+		addr += uint64(len(raws[i%n]))
+		code = append(code, raws[i%n]...)
+	}
+	it.addrs = append(it.addrs, addr)
+	for off := 0; off < len(code) || off == 0; off += vm.PageSize {
+		f := &aframe{}
+		copy(f.data[:], code[off:])
+		it.pages[machine.CodeBase+uint64(off)] = f
+	}
+	return it
+}
+
+// offsetOf returns the byte offset of static instruction i.
+func (it *interp) offsetOf(i int) int {
+	if it.offsets != nil && i < len(it.offsets) {
+		return it.offsets[i]
+	}
+	return -1
+}
+
+// inexact marks the analysis conservative from here on, reporting why
+// once.
+func (it *interp) inexact(statIdx int, why string) {
+	it.mayCrash = true
+	if !it.sawInexact {
+		it.sawInexact = true
+		it.diags = append(it.diags, Diag{Code: CodeInexact, Inst: statIdx, Offset: it.offsetOf(statIdx),
+			Msg: why + "; prediction is conservative from here"})
+	}
+}
+
+// crashDiag builds a guaranteed-crash diagnostic.
+func (it *interp) crashDiag(code Code, statIdx int, msg string) *Diag {
+	return &Diag{Code: code, Inst: statIdx, Offset: it.offsetOf(statIdx), Msg: msg}
+}
+
+// resetState mirrors profiler.resetState: fresh architectural state,
+// optionally pattern-initialized. Every register is Known.
+func (it *interp) resetState() {
+	var pat uint64
+	var vb [32]byte
+	if it.a.Opts.InitRegisters {
+		pat = profiler.InitPattern
+		for o := 0; o < 32; o += 8 {
+			vb[o], vb[o+1], vb[o+2] = byte(pat), byte(pat>>8), byte(pat>>16)
+			vb[o+3] = byte(pat >> 24)
+		}
+	}
+	for i := range it.st.gpr {
+		it.st.gpr[i] = kv(pat)
+	}
+	for i := range it.st.vec {
+		it.st.vec[i] = avec{known: true, b: vb}
+	}
+	f := kb(false)
+	it.st.zf, it.st.sf, it.st.cf, it.st.of, it.st.pf = f, f, f, f, f
+}
+
+// newDataFrame mirrors profiler.pageFor's frame initialization.
+func (it *interp) newDataFrame() *aframe {
+	f := &aframe{}
+	if it.a.Opts.InitRegisters {
+		pat := uint32(profiler.InitPattern)
+		for i := 0; i < vm.PageSize; i += 4 {
+			f.data[i] = byte(pat)
+			f.data[i+1] = byte(pat >> 8)
+			f.data[i+2] = byte(pat >> 16)
+			f.data[i+3] = byte(pat >> 24)
+		}
+	}
+	return f
+}
+
+// mapPage installs a data mapping, honoring SinglePhysPage.
+func (it *interp) mapPage(base uint64) {
+	if it.a.Opts.SinglePhysPage {
+		if it.shared == nil {
+			it.shared = it.newDataFrame()
+		}
+		it.pages[base] = it.shared
+		return
+	}
+	it.pages[base] = it.newDataFrame()
+}
+
+// replay runs the protocol (mirroring profiler.profile after Prepare) and
+// returns the predicted status plus whether an OK prediction is exact.
+func (it *interp) replay(lo, hi int) (profiler.Status, bool) {
+	if st := it.measureOn(it.n*hi, true); st != profiler.StatusOK {
+		return st, true
+	}
+	if !it.a.Opts.DerivedThroughput {
+		return profiler.StatusOK, !it.mayCrash
+	}
+	it.pagesMapped = 0 // the budget counter resets per measureOn
+	if st := it.measureOn(it.n*lo, false); st != profiler.StatusOK {
+		return st, true
+	}
+	// cycles(hi) <= cycles(lo) would be Unstable — a timing outcome the
+	// static analysis cannot rule out; Agrees whitelists it.
+	return profiler.StatusOK, !it.mayCrash
+}
+
+// measureOn mirrors profiler.measureOn for one unrolled length: the
+// monitored mapping run, then the timed run (whose faults are fatal),
+// then the misaligned filter. Sample acceptance and the cache-miss check
+// are timing outcomes and are not predicted.
+func (it *interp) measureOn(count int, record bool) profiler.Status {
+	if d := it.run(count, true, false); d != nil {
+		it.diags = append(it.diags, *d)
+		return profiler.StatusCrashed
+	}
+	it.splitInst = -1
+	it.recordFacts = record
+	if d := it.run(count, false, true); d != nil {
+		it.diags = append(it.diags, *d)
+		return profiler.StatusCrashed
+	}
+	it.recordFacts = false
+	if it.a.Opts.FilterMisaligned && it.splitInst >= 0 && !it.mayCrash {
+		it.diags = append(it.diags, *it.crashDiag(CodeLineSplit, it.splitInst,
+			"access is guaranteed to cross a cache-line boundary in the timed run"))
+		return profiler.StatusMisaligned
+	}
+	return profiler.StatusOK
+}
+
+// run executes count unrolled instructions, mirroring exec.Runner.Run.
+// monitored attaches the page-fault monitor; timed marks the run whose
+// accesses feed the misaligned filter. A non-nil return is a guaranteed
+// crash.
+func (it *interp) run(count int, monitored, timed bool) *Diag {
+	it.resetState()
+	for i := 0; i < count; i++ {
+		idx := i % it.n
+		it.st.rip = it.addrs[i+1]
+		if d := it.step(&it.insts[idx], idx, monitored, timed); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// intOpSize mirrors exec.intOpSize.
+func intOpSize(in *x86.Inst, k int) int {
+	a := in.Args[k]
+	switch a.Kind {
+	case x86.KindReg:
+		return a.Reg.Size()
+	case x86.KindMem:
+		return int(a.Mem.Size)
+	}
+	return 8
+}
+
+// ea mirrors exec.Runner.ea over abstract registers.
+func (it *interp) ea(m x86.Mem) aval {
+	var a aval
+	switch m.Base {
+	case x86.RegNone:
+		a = kv(0)
+	case x86.RIP:
+		a = kv(it.st.rip)
+	default:
+		a = it.st.readGPR(m.Base)
+	}
+	if m.Index != x86.RegNone {
+		iv := it.st.readGPR(m.Index)
+		if !a.known || !iv.known {
+			a = aval{}
+		} else {
+			a = kv(a.v + iv.v*uint64(m.Scale))
+		}
+	}
+	if !a.known {
+		return a
+	}
+	return kv(a.v + uint64(int64(m.Disp)))
+}
+
+// recordAccess feeds the observed-address facts for one access.
+func (it *interp) recordAccess(statIdx int, av aval, size int, split bool) {
+	if !it.recordFacts {
+		return
+	}
+	agg := it.facts[statIdx]
+	if agg == nil {
+		agg = &memAgg{allKnown: true, pages: make(map[uint64]struct{})}
+		it.facts[statIdx] = agg
+	}
+	agg.accesses++
+	if !av.known {
+		agg.allKnown = false
+		return
+	}
+	if split {
+		agg.splits = true
+	}
+	agg.orAddrs |= av.v
+	for base := av.v &^ uint64(vm.PageSize-1); ; base += vm.PageSize {
+		agg.pages[base] = struct{}{}
+		if base >= (av.v+uint64(size)-1)&^uint64(vm.PageSize-1) {
+			break
+		}
+	}
+	if agg.accesses == 1 {
+		agg.first, agg.last = av.v, av.v
+		agg.strideOK = true
+		return
+	}
+	d := int64(av.v - agg.last)
+	if !agg.strideSet {
+		agg.stride, agg.strideSet = d, true
+	} else if d != agg.stride {
+		agg.strideOK = false
+	}
+	agg.last = av.v
+}
+
+// access performs one memory access of size bytes at av. For loads the
+// returned value is the abstract loaded value; for stores val is written.
+// A non-nil Diag is a guaranteed crash.
+func (it *interp) access(statIdx int, av aval, size int, write bool, val aval, monitored bool) (aval, *Diag) {
+	o := &it.a.Opts
+	if size <= 0 {
+		size = 1
+	}
+	lineSize := uint64(it.a.CPU.LineSize)
+	if lineSize == 0 {
+		lineSize = 64
+	}
+
+	if !av.known {
+		// The access may fault on an unmappable address; if monitored and
+		// repairable it maps pages the model cannot name.
+		if monitored {
+			it.mappingsExact = false
+		}
+		if write {
+			it.clobbered = true
+		}
+		what := "load"
+		if write {
+			what = "store"
+		}
+		it.inexact(statIdx, fmt.Sprintf("%s address depends on unknown values", what))
+		it.recordAccess(statIdx, av, size, false)
+		return aval{}, nil
+	}
+
+	addr := av.v
+	last := addr + uint64(size) - 1
+	if last < addr {
+		// The access wraps the address space: the top pages are never
+		// valid user addresses, so the fault is unrepairable.
+		return aval{}, it.crashDiag(CodeBadAddress, statIdx,
+			fmt.Sprintf("access at %#x wraps the address space", addr))
+	}
+
+	// Fault handling per page, mirroring vm.AddressSpace.Read/Write: the
+	// fault address is the first unmapped byte of the span.
+	lastBase := last &^ uint64(vm.PageSize-1)
+	for base := addr &^ uint64(vm.PageSize-1); ; base += vm.PageSize {
+		if _, ok := it.pages[base]; !ok {
+			faultAddr := base
+			if addr > base {
+				faultAddr = addr
+			}
+			switch {
+			case !monitored:
+				if it.mappingsExact {
+					return aval{}, it.crashDiag(CodeBadAddress, statIdx,
+						fmt.Sprintf("page fault at %#x in an unmonitored timed run", faultAddr))
+				}
+				// The monitor may have mapped this page while repairing an
+				// unknown-address access; assume the surviving path did.
+				it.inexact(statIdx, fmt.Sprintf("page at %#x may or may not be mapped", faultAddr))
+				it.mapPage(base)
+			case !o.MapPages:
+				return aval{}, it.crashDiag(CodeNoMapping, statIdx,
+					fmt.Sprintf("access at %#x with page mapping disabled", faultAddr))
+			case !vm.ValidUserAddress(faultAddr):
+				return aval{}, it.crashDiag(CodeBadAddress, statIdx,
+					fmt.Sprintf("%#x is not a mappable user address", faultAddr))
+			case it.mappingsExact && it.pagesMapped >= o.MaxFaults:
+				return aval{}, it.crashDiag(CodePageBudget, statIdx,
+					fmt.Sprintf("%d pages already mapped (MaxFaults=%d)", it.pagesMapped, o.MaxFaults))
+			default:
+				if !it.mappingsExact {
+					it.inexact(statIdx, "page-mapping budget cannot be tracked exactly")
+				}
+				it.mapPage(base)
+				it.pagesMapped++
+			}
+		}
+		if base == lastBase {
+			break
+		}
+	}
+
+	split := addr%lineSize+uint64(size) > lineSize
+	if timedSplit := split && it.recordFacts; timedSplit && it.splitInst < 0 {
+		it.splitInst = statIdx
+	}
+	it.recordAccess(statIdx, av, size, split)
+
+	if write {
+		for i := 0; i < size; i++ {
+			a := addr + uint64(i)
+			f := it.pages[a&^uint64(vm.PageSize-1)]
+			off := a % vm.PageSize
+			if val.known && size <= 8 {
+				f.data[off] = byte(val.v >> (8 * uint(i)))
+				f.unk[off] = false
+			} else {
+				f.unk[off] = true
+			}
+		}
+		return aval{}, nil
+	}
+
+	if it.clobbered || size > 8 {
+		return aval{}, nil
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		a := addr + uint64(i)
+		f := it.pages[a&^uint64(vm.PageSize-1)]
+		off := a % vm.PageSize
+		if f.unk[off] {
+			return aval{}, nil
+		}
+		v |= uint64(f.data[off]) << (8 * uint(i))
+	}
+	return kv(v), nil
+}
+
+// readIntArg mirrors exec.Runner.readIntArg.
+func (it *interp) readIntArg(in *x86.Inst, k, statIdx int, monitored bool) (aval, *Diag) {
+	a := in.Args[k]
+	switch a.Kind {
+	case x86.KindReg:
+		return it.st.readGPR(a.Reg), nil
+	case x86.KindImm:
+		return kv(uint64(a.Imm)), nil
+	case x86.KindMem:
+		return it.access(statIdx, it.ea(a.Mem), int(a.Mem.Size), false, aval{}, monitored)
+	}
+	return aval{}, nil
+}
+
+// writeIntArg mirrors exec.Runner.writeIntArg.
+func (it *interp) writeIntArg(in *x86.Inst, k int, v aval, statIdx int, monitored bool) *Diag {
+	a := in.Args[k]
+	switch a.Kind {
+	case x86.KindReg:
+		it.st.writeGPR(a.Reg, v)
+		return nil
+	case x86.KindMem:
+		_, d := it.access(statIdx, it.ea(a.Mem), int(a.Mem.Size), true, v, monitored)
+		return d
+	}
+	return nil
+}
+
+// step mirrors exec.Runner.exec for one instruction.
+func (it *interp) step(in *x86.Inst, statIdx int, monitored, timed bool) *Diag {
+	_ = timed
+	s := &it.st
+	op := in.Op
+	if op.IsVex() || (op >= x86.MOVSS && op <= x86.PMOVMSKB) {
+		return it.stepVec(in, statIdx, monitored)
+	}
+
+	switch op {
+	case x86.MOV:
+		v, d := it.readIntArg(in, 1, statIdx, monitored)
+		if d != nil {
+			return d
+		}
+		return it.writeIntArg(in, 0, v, statIdx, monitored)
+
+	case x86.MOVZX:
+		v, d := it.readIntArg(in, 1, statIdx, monitored)
+		if d != nil {
+			return d
+		}
+		return it.writeIntArg(in, 0, amask(v, intOpSize(in, 1)), statIdx, monitored)
+
+	case x86.MOVSX, x86.MOVSXD:
+		v, d := it.readIntArg(in, 1, statIdx, monitored)
+		if d != nil {
+			return d
+		}
+		if v.known {
+			v = kv(uint64(signExtend(v.v, intOpSize(in, 1))))
+		}
+		return it.writeIntArg(in, 0, v, statIdx, monitored)
+
+	case x86.LEA:
+		v := it.ea(in.Args[1].Mem)
+		if v.known {
+			v = kv(maskTo(v.v, in.Args[0].Reg.Size()))
+		}
+		s.writeGPR(in.Args[0].Reg, v)
+		return nil
+
+	case x86.PUSH:
+		v, d := it.readIntArg(in, 0, statIdx, monitored)
+		if d != nil {
+			return d
+		}
+		rsp := s.gpr[x86.RSP.Num()]
+		if rsp.known {
+			rsp = kv(rsp.v - 8)
+		}
+		s.gpr[x86.RSP.Num()] = rsp
+		_, d = it.access(statIdx, rsp, 8, true, v, monitored)
+		return d
+
+	case x86.POP:
+		v, d := it.access(statIdx, s.gpr[x86.RSP.Num()], 8, false, aval{}, monitored)
+		if d != nil {
+			return d
+		}
+		if rsp := s.gpr[x86.RSP.Num()]; rsp.known {
+			s.gpr[x86.RSP.Num()] = kv(rsp.v + 8)
+		}
+		return it.writeIntArg(in, 0, v, statIdx, monitored)
+
+	case x86.XCHG:
+		a, d := it.readIntArg(in, 0, statIdx, monitored)
+		if d != nil {
+			return d
+		}
+		b, d := it.readIntArg(in, 1, statIdx, monitored)
+		if d != nil {
+			return d
+		}
+		if d := it.writeIntArg(in, 0, b, statIdx, monitored); d != nil {
+			return d
+		}
+		return it.writeIntArg(in, 1, a, statIdx, monitored)
+
+	case x86.ADD, x86.ADC, x86.SUB, x86.SBB, x86.AND, x86.OR, x86.XOR,
+		x86.CMP, x86.TEST:
+		return it.stepALU(in, statIdx, monitored)
+
+	case x86.INC, x86.DEC, x86.NEG, x86.NOT:
+		return it.stepUnary(in, statIdx, monitored)
+
+	case x86.BSWAP:
+		v := s.readGPR(in.Args[0].Reg)
+		if v.known {
+			if in.Args[0].Reg.Size() == 4 {
+				v = kv(uint64(bits.ReverseBytes32(uint32(v.v))))
+			} else {
+				v = kv(bits.ReverseBytes64(v.v))
+			}
+		}
+		s.writeGPR(in.Args[0].Reg, v)
+		return nil
+
+	case x86.IMUL:
+		return it.stepIMul(in, statIdx, monitored)
+	case x86.MUL:
+		return it.stepWideMul(in, statIdx, monitored)
+	case x86.DIV, x86.IDIV:
+		return it.stepDiv(in, statIdx, monitored)
+
+	case x86.CDQ:
+		if eax := s.readGPR(x86.EAX); eax.known {
+			s.writeGPR(x86.EDX, kv(uint64(uint32(int32(eax.v)>>31))))
+		} else {
+			s.writeGPR(x86.EDX, aval{})
+		}
+		return nil
+	case x86.CQO:
+		if rax := s.gpr[x86.RAX.Num()]; rax.known {
+			s.gpr[x86.RDX.Num()] = kv(uint64(int64(rax.v) >> 63))
+		} else {
+			s.gpr[x86.RDX.Num()] = aval{}
+		}
+		return nil
+
+	case x86.SHL, x86.SHR, x86.SAR, x86.ROL, x86.ROR:
+		return it.stepShift(in, statIdx, monitored)
+
+	case x86.POPCNT, x86.LZCNT, x86.TZCNT, x86.BSF, x86.BSR:
+		return it.stepBitScan(in, statIdx, monitored)
+
+	case x86.BT:
+		v, d := it.readIntArg(in, 0, statIdx, monitored)
+		if d != nil {
+			return d
+		}
+		idx, d := it.readIntArg(in, 1, statIdx, monitored)
+		if d != nil {
+			return d
+		}
+		if v.known && idx.known {
+			bitsN := uint64(intOpSize(in, 0)) * 8
+			s.cf = kb(v.v>>(idx.v%bitsN)&1 == 1)
+		} else {
+			s.cf = abool{}
+		}
+		return nil
+
+	case x86.NOP:
+		return nil
+	}
+
+	// Conditional moves and sets, mirroring exec's Cond dispatch.
+	if c := op.Cond(); c != x86.CondNone {
+		switch {
+		case op >= x86.CMOVE && op <= x86.CMOVNS:
+			cv := s.cond(c)
+			if cv.known && cv.v {
+				v, d := it.readIntArg(in, 1, statIdx, monitored)
+				if d != nil {
+					return d
+				}
+				return it.writeIntArg(in, 0, v, statIdx, monitored)
+			}
+			if cv.known && !cv.v {
+				// The memory source is read even when the condition fails.
+				if in.Args[1].Kind == x86.KindMem {
+					_, d := it.readIntArg(in, 1, statIdx, monitored)
+					return d
+				}
+				return nil
+			}
+			// Unknown condition: the source access happens either way; the
+			// destination may or may not be overwritten.
+			if in.Args[1].Kind == x86.KindMem {
+				if _, d := it.readIntArg(in, 1, statIdx, monitored); d != nil {
+					return d
+				}
+			}
+			s.writeGPR(in.Args[0].Reg, aval{})
+			return nil
+		case op >= x86.SETE && op <= x86.SETNS:
+			cv := s.cond(c)
+			v := aval{}
+			if cv.known {
+				v = kv(0)
+				if cv.v {
+					v = kv(1)
+				}
+			}
+			return it.writeIntArg(in, 0, v, statIdx, monitored)
+		}
+	}
+
+	if op.IsBranch() {
+		return nil // basic blocks never contain branches; exec no-ops them
+	}
+
+	// Anything else is exec's "unimplemented op" error: a guaranteed crash.
+	return it.crashDiag(CodeNoExec, statIdx,
+		fmt.Sprintf("%s is not implemented by the functional executor", in.String()))
+}
+
+// stepVec handles every instruction exec routes to execVec: the memory
+// access is simulated exactly (addresses come from GPRs), the data results
+// are treated as unknown.
+func (it *interp) stepVec(in *x86.Inst, statIdx int, monitored bool) *Diag {
+	if in.Op == x86.VZEROUPPER {
+		for i := range it.st.vec {
+			for b := 16; b < 32; b++ {
+				it.st.vec[i].b[b] = 0
+			}
+		}
+		return nil
+	}
+	if !it.sawVec {
+		it.sawVec = true
+		it.diags = append(it.diags, Diag{Code: CodeUnmodeled, Inst: statIdx, Offset: it.offsetOf(statIdx),
+			Msg: fmt.Sprintf("%s: vector data flow is not modeled; its outputs are unknown", in.String()),
+		})
+	}
+	if m := in.MemArg(); m >= 0 {
+		rd, wr := in.ArgIO(m)
+		av := it.ea(in.Args[m].Mem)
+		size := int(in.Args[m].Mem.Size)
+		if rd {
+			if _, d := it.access(statIdx, av, size, false, aval{}, monitored); d != nil {
+				return d
+			}
+		}
+		if wr {
+			if _, d := it.access(statIdx, av, size, true, aval{}, monitored); d != nil {
+				return d
+			}
+		}
+	}
+	for _, r := range in.RegWrites() {
+		if r.IsVec() {
+			it.st.vec[r.Num()].known = false
+		} else if r.IsGP() {
+			it.st.writeGPR(r, aval{})
+		}
+	}
+	if in.Op.WritesFlags() {
+		it.st.unknownFlags()
+	}
+	return nil
+}
+
+// stepALU mirrors exec.Runner.execALU.
+func (it *interp) stepALU(in *x86.Inst, statIdx int, monitored bool) *Diag {
+	s := &it.st
+	size := intOpSize(in, 0)
+	a, d := it.readIntArg(in, 0, statIdx, monitored)
+	if d != nil {
+		return d
+	}
+	b, d := it.readIntArg(in, 1, statIdx, monitored)
+	if d != nil {
+		return d
+	}
+	a, b = amask(a, size), amask(b, size)
+	bothKnown := a.known && b.known
+	var res aval
+	write := true
+	switch in.Op {
+	case x86.ADD:
+		if bothKnown {
+			res = kv(a.v + b.v)
+		}
+		s.setAddFlags(a, b, res, size)
+	case x86.ADC:
+		if bothKnown && s.cf.known {
+			c := uint64(0)
+			if s.cf.v {
+				c = 1
+			}
+			res = kv(a.v + b.v + c)
+			s.setAddFlags(a, kv(b.v+c), res, size)
+		} else {
+			s.unknownFlags()
+		}
+	case x86.SUB:
+		if bothKnown {
+			res = kv(a.v - b.v)
+		}
+		s.setSubFlags(a, b, res, size)
+	case x86.SBB:
+		if bothKnown && s.cf.known {
+			c := uint64(0)
+			if s.cf.v {
+				c = 1
+			}
+			res = kv(a.v - b.v - c)
+			s.setSubFlags(a, kv(b.v+c), res, size)
+		} else {
+			s.unknownFlags()
+		}
+	case x86.CMP:
+		if bothKnown {
+			res = kv(a.v - b.v)
+		}
+		s.setSubFlags(a, b, res, size)
+		write = false
+	case x86.AND:
+		if bothKnown {
+			res = kv(a.v & b.v)
+		}
+		s.setLogicFlags(res, size)
+	case x86.TEST:
+		if bothKnown {
+			res = kv(a.v & b.v)
+		}
+		s.setLogicFlags(res, size)
+		write = false
+	case x86.OR:
+		if bothKnown {
+			res = kv(a.v | b.v)
+		}
+		s.setLogicFlags(res, size)
+	case x86.XOR:
+		if bothKnown {
+			res = kv(a.v ^ b.v)
+		}
+		s.setLogicFlags(res, size)
+	}
+	if !write {
+		return nil
+	}
+	return it.writeIntArg(in, 0, amask(res, size), statIdx, monitored)
+}
+
+// stepUnary mirrors exec.Runner.execUnary.
+func (it *interp) stepUnary(in *x86.Inst, statIdx int, monitored bool) *Diag {
+	s := &it.st
+	size := intOpSize(in, 0)
+	a, d := it.readIntArg(in, 0, statIdx, monitored)
+	if d != nil {
+		return d
+	}
+	a = amask(a, size)
+	var res aval
+	switch in.Op {
+	case x86.INC:
+		if a.known {
+			res = kv(a.v + 1)
+		}
+		cf := s.cf // inc preserves CF
+		s.setAddFlags(a, kv(1), res, size)
+		s.cf = cf
+	case x86.DEC:
+		if a.known {
+			res = kv(a.v - 1)
+		}
+		cf := s.cf
+		s.setSubFlags(a, kv(1), res, size)
+		s.cf = cf
+	case x86.NEG:
+		if a.known {
+			res = kv(-a.v)
+		}
+		s.setSubFlags(kv(0), a, res, size)
+		if a.known {
+			s.cf = kb(a.v != 0)
+		} else {
+			s.cf = abool{}
+		}
+	case x86.NOT:
+		if a.known {
+			res = kv(^a.v) // not touches no flags
+		}
+	}
+	return it.writeIntArg(in, 0, amask(res, size), statIdx, monitored)
+}
+
+// stepIMul mirrors exec.Runner.execIMul.
+func (it *interp) stepIMul(in *x86.Inst, statIdx int, monitored bool) *Diag {
+	s := &it.st
+	size := intOpSize(in, 0)
+	var a, b aval
+	var d *Diag
+	if len(in.Args) == 3 {
+		if a, d = it.readIntArg(in, 1, statIdx, monitored); d != nil {
+			return d
+		}
+		b = kv(uint64(in.Args[2].Imm))
+	} else {
+		if a, d = it.readIntArg(in, 0, statIdx, monitored); d != nil {
+			return d
+		}
+		if b, d = it.readIntArg(in, 1, statIdx, monitored); d != nil {
+			return d
+		}
+	}
+	if !a.known || !b.known {
+		s.unknownFlags()
+		return it.writeIntArg(in, 0, aval{}, statIdx, monitored)
+	}
+	sa, sb := signExtend(a.v, size), signExtend(b.v, size)
+	res := uint64(sa * sb)
+	hi, _ := bits.Mul64(uint64(sa), uint64(sb))
+	cf := signExtend(res, size) != sa*sb || (size == 8 && hi != 0 && hi != ^uint64(0))
+	s.cf, s.of = kb(cf), kb(cf)
+	s.setZSP(kv(res), size)
+	return it.writeIntArg(in, 0, kv(maskTo(res, size)), statIdx, monitored)
+}
+
+// stepWideMul mirrors exec.Runner.execWideMul.
+func (it *interp) stepWideMul(in *x86.Inst, statIdx int, monitored bool) *Diag {
+	s := &it.st
+	size := intOpSize(in, 0)
+	v, d := it.readIntArg(in, 0, statIdx, monitored)
+	if d != nil {
+		return d
+	}
+	switch size {
+	case 4:
+		eax := s.readGPR(x86.EAX)
+		if !v.known || !eax.known {
+			s.writeGPR(x86.EAX, aval{})
+			s.writeGPR(x86.EDX, aval{})
+			s.cf, s.of = abool{}, abool{}
+			return nil
+		}
+		prod := eax.v * maskTo(v.v, 4)
+		s.writeGPR(x86.EAX, kv(prod&0xFFFFFFFF))
+		s.writeGPR(x86.EDX, kv(prod>>32))
+		s.cf = kb(prod>>32 != 0)
+	default:
+		rax := s.gpr[x86.RAX.Num()]
+		if !v.known || !rax.known {
+			s.gpr[x86.RAX.Num()] = aval{}
+			s.gpr[x86.RDX.Num()] = aval{}
+			s.cf, s.of = abool{}, abool{}
+			return nil
+		}
+		hi, lo := bits.Mul64(rax.v, v.v)
+		s.gpr[x86.RAX.Num()] = kv(lo)
+		s.gpr[x86.RDX.Num()] = kv(hi)
+		s.cf = kb(hi != 0)
+	}
+	s.of = s.cf
+	return nil
+}
+
+// divUnknown models a division whose outcome the analysis cannot decide:
+// it may raise #DE, and the implicit outputs become unknown.
+func (it *interp) divUnknown(in *x86.Inst, statIdx int, size int, why string) {
+	s := &it.st
+	it.inexact(statIdx, why)
+	switch size {
+	case 1:
+		s.writeGPR(x86.AL, aval{})
+		s.writeGPR(x86.AH, aval{})
+	case 4:
+		s.writeGPR(x86.EAX, aval{})
+		s.writeGPR(x86.EDX, aval{})
+	default:
+		s.gpr[x86.RAX.Num()] = aval{}
+		s.gpr[x86.RDX.Num()] = aval{}
+	}
+	_ = in
+}
+
+// stepDiv mirrors exec.Runner.execDiv, including every #DE condition.
+func (it *interp) stepDiv(in *x86.Inst, statIdx int, monitored bool) *Diag {
+	s := &it.st
+	size := intOpSize(in, 0)
+	v, d := it.readIntArg(in, 0, statIdx, monitored)
+	if d != nil {
+		return d
+	}
+	v = amask(v, size)
+	if !v.known {
+		it.divUnknown(in, statIdx, size, "divisor is unknown (may be zero)")
+		return nil
+	}
+	if v.v == 0 {
+		return it.crashDiag(CodeDivideError, statIdx, "division by a guaranteed-zero divisor raises #DE")
+	}
+	de := it.crashDiag(CodeDivideError, statIdx, "quotient overflow is guaranteed to raise #DE")
+	signed := in.Op == x86.IDIV
+	switch size {
+	case 1:
+		ax := s.readGPR(x86.AX)
+		if !ax.known {
+			it.divUnknown(in, statIdx, size, "dividend is unknown (quotient may overflow)")
+			return nil
+		}
+		dividend := ax.v
+		if signed {
+			q := int64(int16(dividend)) / int64(int8(v.v))
+			rem := int64(int16(dividend)) % int64(int8(v.v))
+			if q > 127 || q < -128 {
+				return de
+			}
+			s.writeGPR(x86.AL, kv(uint64(q)))
+			s.writeGPR(x86.AH, kv(uint64(rem)))
+		} else {
+			q := dividend / v.v
+			if q > 0xFF {
+				return de
+			}
+			s.writeGPR(x86.AL, kv(q))
+			s.writeGPR(x86.AH, kv(dividend%v.v))
+		}
+	case 4:
+		edx, eax := s.readGPR(x86.EDX), s.readGPR(x86.EAX)
+		if !edx.known || !eax.known {
+			it.divUnknown(in, statIdx, size, "dividend is unknown (quotient may overflow)")
+			return nil
+		}
+		dividend := edx.v<<32 | eax.v
+		if signed {
+			q := int64(dividend) / int64(int32(v.v))
+			rem := int64(dividend) % int64(int32(v.v))
+			if q > 0x7FFFFFFF || q < -0x80000000 {
+				return de
+			}
+			s.writeGPR(x86.EAX, kv(uint64(uint32(q))))
+			s.writeGPR(x86.EDX, kv(uint64(uint32(rem))))
+		} else {
+			q := dividend / v.v
+			if q > 0xFFFFFFFF {
+				return de
+			}
+			s.writeGPR(x86.EAX, kv(q))
+			s.writeGPR(x86.EDX, kv(dividend%v.v))
+		}
+	default:
+		rdx, rax := s.gpr[x86.RDX.Num()], s.gpr[x86.RAX.Num()]
+		if !rdx.known || !rax.known {
+			it.divUnknown(in, statIdx, size, "dividend is unknown (quotient may overflow)")
+			return nil
+		}
+		hi, lo := rdx.v, rax.v
+		if signed {
+			negDividend := int64(hi) < 0
+			if negDividend {
+				lo = -lo
+				hi = ^hi
+				if lo == 0 {
+					hi++
+				}
+			}
+			dv := int64(v.v)
+			negDiv := dv < 0
+			uv := uint64(dv)
+			if negDiv {
+				uv = uint64(-dv)
+			}
+			if hi >= uv {
+				return de
+			}
+			q, rem := bits.Div64(hi, lo, uv)
+			if negDividend != negDiv {
+				if q > 1<<63 {
+					return de
+				}
+				q = -q
+			} else if q >= 1<<63 {
+				return de
+			}
+			if negDividend {
+				rem = -rem
+			}
+			s.gpr[x86.RAX.Num()] = kv(q)
+			s.gpr[x86.RDX.Num()] = kv(rem)
+		} else {
+			if hi >= v.v {
+				return de
+			}
+			q, rem := bits.Div64(hi, lo, v.v)
+			s.gpr[x86.RAX.Num()] = kv(q)
+			s.gpr[x86.RDX.Num()] = kv(rem)
+		}
+	}
+	return nil
+}
+
+// stepShift mirrors exec.Runner.execShift.
+func (it *interp) stepShift(in *x86.Inst, statIdx int, monitored bool) *Diag {
+	s := &it.st
+	size := intOpSize(in, 0)
+	a, d := it.readIntArg(in, 0, statIdx, monitored)
+	if d != nil {
+		return d
+	}
+	a = amask(a, size)
+	cnt, d := it.readIntArg(in, 1, statIdx, monitored)
+	if d != nil {
+		return d
+	}
+	if !cnt.known {
+		// Count 0 leaves flags unchanged, anything else updates them; the
+		// destination is rewritten either way.
+		if in.Op == x86.ROL || in.Op == x86.ROR {
+			s.cf = abool{}
+		} else {
+			s.unknownFlags()
+		}
+		return it.writeIntArg(in, 0, aval{}, statIdx, monitored)
+	}
+	c := cnt.v
+	if size == 8 {
+		c &= 63
+	} else {
+		c &= 31
+	}
+	if c == 0 {
+		// Flags unchanged; destination rewritten with the same value (a
+		// memory destination still performs its store).
+		return it.writeIntArg(in, 0, a, statIdx, monitored)
+	}
+	if !a.known {
+		if in.Op == x86.ROL || in.Op == x86.ROR {
+			s.cf = abool{}
+		} else {
+			s.unknownFlags()
+		}
+		return it.writeIntArg(in, 0, aval{}, statIdx, monitored)
+	}
+	bitsN := uint(size) * 8
+	var res uint64
+	switch in.Op {
+	case x86.SHL:
+		res = a.v << c
+		s.cf = kb(c <= uint64(bitsN) && a.v>>(uint64(bitsN)-c)&1 == 1)
+		s.setZSP(kv(res), size)
+		s.of = kb((res>>(bitsN-1)&1 == 1) != s.cf.v)
+	case x86.SHR:
+		res = a.v >> c
+		s.cf = kb(a.v>>(c-1)&1 == 1)
+		s.setZSP(kv(res), size)
+		s.of = kb(a.v>>(bitsN-1)&1 == 1)
+	case x86.SAR:
+		res = uint64(signExtend(a.v, size) >> c)
+		s.cf = kb(a.v>>(c-1)&1 == 1)
+		s.setZSP(kv(res), size)
+		s.of = kb(false)
+	case x86.ROL:
+		k := c % uint64(bitsN)
+		res = a.v<<k | a.v>>(uint64(bitsN)-k)
+		s.cf = kb(res&1 == 1)
+	case x86.ROR:
+		k := c % uint64(bitsN)
+		res = a.v>>k | a.v<<(uint64(bitsN)-k)
+		s.cf = kb(res>>(bitsN-1)&1 == 1)
+	}
+	return it.writeIntArg(in, 0, kv(maskTo(res, size)), statIdx, monitored)
+}
+
+// stepBitScan mirrors exec.Runner.execBitScan.
+func (it *interp) stepBitScan(in *x86.Inst, statIdx int, monitored bool) *Diag {
+	s := &it.st
+	size := intOpSize(in, 1)
+	v, d := it.readIntArg(in, 1, statIdx, monitored)
+	if d != nil {
+		return d
+	}
+	v = amask(v, size)
+	bitsN := size * 8
+	if !v.known {
+		switch in.Op {
+		case x86.POPCNT:
+			s.zf = abool{}
+		case x86.LZCNT, x86.TZCNT:
+			s.cf, s.zf = abool{}, abool{}
+		case x86.BSF, x86.BSR:
+			// The destination is only written for nonzero input: merge.
+			s.zf = abool{}
+			s.writeGPR(in.Args[0].Reg, aval{})
+			return nil
+		}
+		return it.writeIntArg(in, 0, aval{}, statIdx, monitored)
+	}
+	var res uint64
+	switch in.Op {
+	case x86.POPCNT:
+		res = uint64(bits.OnesCount64(v.v))
+		s.zf = kb(v.v == 0)
+	case x86.LZCNT:
+		res = uint64(bits.LeadingZeros64(v.v) - (64 - bitsN))
+		s.cf = kb(v.v == 0)
+		s.zf = kb(res == 0)
+	case x86.TZCNT:
+		if v.v == 0 {
+			res = uint64(bitsN)
+		} else {
+			res = uint64(bits.TrailingZeros64(v.v))
+		}
+		s.cf = kb(v.v == 0)
+		s.zf = kb(res == 0)
+	case x86.BSF:
+		if v.v == 0 {
+			s.zf = kb(true)
+			return nil // destination undefined; left unchanged
+		}
+		s.zf = kb(false)
+		res = uint64(bits.TrailingZeros64(v.v))
+	case x86.BSR:
+		if v.v == 0 {
+			s.zf = kb(true)
+			return nil
+		}
+		s.zf = kb(false)
+		res = uint64(63 - bits.LeadingZeros64(v.v))
+	}
+	return it.writeIntArg(in, 0, kv(res), statIdx, monitored)
+}

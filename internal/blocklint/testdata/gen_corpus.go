@@ -1,0 +1,39 @@
+//go:build ignore
+
+// gen_corpus regenerates example_corpus.csv: a small generated corpus
+// slice plus handcrafted pathological rows that exercise every reject
+// diagnostic. Run from the repo root:
+//
+//	go run internal/blocklint/testdata/gen_corpus.go > internal/blocklint/testdata/example_corpus.csv
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bhive/internal/corpus"
+)
+
+func main() {
+	recs := corpus.GenerateAll(0.002, 7)
+	fmt.Println("app,hex,freq")
+	for _, r := range recs {
+		hexStr, err := r.Block.Hex()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gen_corpus:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s,%s,%d\n", r.App, hexStr, r.Freq)
+	}
+	// Pathological rows, one per reject diagnostic the auditor catalogues.
+	for _, row := range []struct{ app, hex string }{
+		{"pathological", "zz"},                   // BL001: not hex
+		{"pathological", "4889c8ff"},             // BL001: truncated instruction
+		{"pathological", "31c9f7f1"},             // BL008: guaranteed #DE
+		{"pathological", "488b413f"},             // BL010: line-splitting load
+		{"pathological", "488b81000000ed"},       // BL007: non-canonical address
+		{"pathological", "4881c300100000488b03"}, // BL009: page-budget blowout
+	} {
+		fmt.Printf("%s,%s,1\n", row.app, row.hex)
+	}
+}

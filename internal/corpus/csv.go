@@ -29,6 +29,47 @@ func WriteCSV(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
+// RawRecord is one corpus CSV row before block decoding: what auditing
+// tools need so that undecodable hex is reported per row instead of
+// aborting the whole read.
+type RawRecord struct {
+	App  string
+	Hex  string
+	Freq uint64
+	// Line is the 1-based CSV line the row came from.
+	Line int
+}
+
+// ReadCSVRaw loads corpus rows without decoding the hex. Malformed rows
+// (wrong field count, bad frequency) still fail the read; hex validity is
+// deliberately not checked — that is the auditor's job.
+func ReadCSVRaw(r io.Reader) ([]RawRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var out []RawRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || (line == 1 && strings.HasPrefix(text, "app,")) {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("corpus: line %d: want 3 fields, got %d", line, len(parts))
+		}
+		freq, err := strconv.ParseUint(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: line %d: bad frequency %q", line, parts[2])
+		}
+		out = append(out, RawRecord{App: parts[0], Hex: parts[1], Freq: freq, Line: line})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // ReadCSV loads records written by WriteCSV (or by cmd/bhive-collect),
 // decoding each block from its machine-code hex.
 func ReadCSV(r io.Reader) ([]Record, error) {

@@ -317,10 +317,10 @@ func (c *Checkpoint) Close() error {
 // the profcache key discipline, applied to whole runs.
 func runFingerprint(cfg Config, recs []corpus.Record) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "ckpt-v%d|seed=%d|scale=%g|ithemal=%v/%d/%d|opts=%s|profcache-v%d|n=%d\n",
+	fmt.Fprintf(h, "ckpt-v%d|seed=%d|scale=%g|ithemal=%v/%d/%d|opts=%s|profcache-v%d|prescreen=%v|n=%d\n",
 		CheckpointVersion, cfg.Seed, cfg.Scale,
 		cfg.TrainIthemal, cfg.IthemalEpochs, cfg.IthemalTrainCap,
-		profiler.DefaultOptions().Fingerprint(), profcache.Version, len(recs))
+		profiler.DefaultOptions().Fingerprint(), profcache.Version, cfg.Prescreen, len(recs))
 	var buf []byte
 	for i := range recs {
 		fmt.Fprintf(h, "%s|%d|", recs[i].App, recs[i].Freq)

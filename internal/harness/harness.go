@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bhive/internal/blocklint"
 	"bhive/internal/classify"
 	"bhive/internal/corpus"
 	"bhive/internal/models"
@@ -89,6 +90,20 @@ type Config struct {
 	// count). It bounds chunked batch jobs — "do N shards per invocation"
 	// — and simulates interruption in the resumability tests.
 	StopAfterShards int
+
+	// Prescreen runs the static block analyzer (internal/blocklint) over
+	// every record before profiling and skips statically rejected blocks:
+	// the predicted status is recorded without running the measurement
+	// protocol, and the skip is counted in the metrics ("prescreened=N" in
+	// the progress lines). Sound because the analyzer only rejects when
+	// the rejection is guaranteed.
+	Prescreen bool
+	// Crosscheck profiles every non-prescreened record normally and also
+	// runs the static analyzer, counting blocks whose dynamic status
+	// disagrees with the static prediction outside the whitelisted cases
+	// (see blocklint.Report.Agrees). Disagreements are surfaced in the
+	// progress stream and in the metrics ("cross-mismatch=N").
+	Crosscheck bool
 }
 
 // DefaultConfig is sized for interactive runs.
@@ -114,8 +129,8 @@ type measurement struct {
 // records.
 type archData struct {
 	meas    []measurement
-	preds   map[string][]float64 // model name -> per-record prediction (NaN = failed)
-	names   []string             // model order
+	preds   map[string][]float64      // model name -> per-record prediction (NaN = failed)
+	names   []string                  // model order
 	overall map[string]*stats.Running // per-model streaming mean relative error
 	tau     map[string]*stats.TauAcc  // per-model streaming Kendall-tau accumulator
 }
@@ -143,8 +158,9 @@ type Suite struct {
 	ckptErr  error
 	ckptOpen bool
 
-	computedShards atomic.Int64  // shards computed (not resumed) this run
-	profileCalls   atomic.Uint64 // Profile invocations (resumed shards skip these)
+	computedShards  atomic.Int64  // shards computed (not resumed) this run
+	profileCalls    atomic.Uint64 // Profile invocations (resumed shards skip these)
+	crossMismatches atomic.Uint64 // static/dynamic disagreements (Crosscheck)
 }
 
 // New builds a suite: the corpus is generated eagerly, everything else
@@ -232,9 +248,19 @@ func (s *Suite) shardBounds(si, n int) (lo, hi int) {
 	return lo, hi
 }
 
+// maxMismatchLines bounds the per-suite cross-check detail lines in the
+// progress stream; the full count is always in the metrics.
+const maxMismatchLines = 20
+
 // profileRange profiles recs into out (parallel index-aligned slices)
-// under the given options, feeding met.
+// under the given options, feeding met. With Config.Prescreen, statically
+// rejected blocks are skipped; with Config.Crosscheck, dynamic statuses
+// are validated against the static predictions.
 func (s *Suite) profileRange(cpu *uarch.CPU, opts profiler.Options, recs []corpus.Record, out []measurement, met *profiler.Metrics) {
+	var lint *blocklint.Analyzer
+	if s.cfg.Prescreen || s.cfg.Crosscheck {
+		lint = blocklint.New(cpu, opts)
+	}
 	var wg sync.WaitGroup
 	ch := make(chan int, len(recs))
 	for i := range recs {
@@ -249,14 +275,35 @@ func (s *Suite) profileRange(cpu *uarch.CPU, opts profiler.Options, recs []corpu
 			p.Cache = s.cfg.ProfileCache
 			p.Metrics = met
 			for i := range ch {
+				var rep *blocklint.Report
+				if lint != nil {
+					rep = lint.Analyze(recs[i].Block)
+					if s.cfg.Prescreen && rep.Rejected() {
+						out[i] = measurement{tp: 0, status: rep.Predicted}
+						met.RecordPrescreened(rep.Predicted)
+						continue
+					}
+				}
 				r := p.Profile(recs[i].Block)
 				out[i] = measurement{tp: r.Throughput, status: r.Status}
 				s.profileCalls.Add(1)
+				if s.cfg.Crosscheck && rep != nil && !rep.Agrees(r.Status) {
+					met.RecordCrosscheckMismatch()
+					if n := s.crossMismatches.Add(1); n <= maxMismatchLines {
+						hexStr, _ := recs[i].Block.Hex()
+						s.progressf("[%s] crosscheck mismatch: %s static=%s(exact=%v) dynamic=%s\n",
+							cpu.Name, hexStr, rep.PredictedName, rep.Exact, r.Status)
+					}
+				}
 			}
 		}()
 	}
 	wg.Wait()
 }
+
+// CrosscheckMismatches reports how many static/dynamic disagreements the
+// suite has seen (0 unless Config.Crosscheck).
+func (s *Suite) CrosscheckMismatches() uint64 { return s.crossMismatches.Load() }
 
 // profileAll profiles a record set in parallel under the given options
 // (unsharded: the ablation tables and Google corpora are small).

@@ -23,7 +23,7 @@ func TestMeasurementOrderIndependence(t *testing.T) {
 	} {
 		b := block(t, text)
 		seed := blockSeed(b.Insts)
-		lo, hi := p.unrollFactors(len(b.Insts))
+		lo, hi := p.Opts.UnrollFactors(len(b.Insts))
 
 		// Low factor alone, on a fresh machine.
 		scA := &scratch{}
@@ -93,10 +93,10 @@ func TestProfileCacheIdentity(t *testing.T) {
 	cached.Cache = pc
 
 	blocks := []string{
-		"add rax, rbx\nimul rcx, rdx",                 // ok
-		"vfmadd231pd ymm0, ymm1, ymm2",                // unsupported on IVB
-		"mov rax, qword ptr [0]\nadd rax, 1",          // crashes: null page
-		"mov rcx, qword ptr [rsp+8]\nadd rax, rcx",    // ok, memory
+		"add rax, rbx\nimul rcx, rdx",              // ok
+		"vfmadd231pd ymm0, ymm1, ymm2",             // unsupported on IVB
+		"mov rax, qword ptr [0]\nadd rax, 1",       // crashes: null page
+		"mov rcx, qword ptr [rsp+8]\nadd rax, rcx", // ok, memory
 	}
 	check := func(text string, got, want Result) {
 		t.Helper()

@@ -17,9 +17,11 @@ const NumStatus = len(statusNames)
 // progress lines are derived from Snapshot deltas. All counters are
 // atomic; a nil *Metrics is a valid no-op sink.
 type Metrics struct {
-	cacheHits atomic.Uint64
-	profiled  atomic.Uint64
-	status    [NumStatus]atomic.Uint64
+	cacheHits   atomic.Uint64
+	profiled    atomic.Uint64
+	prescreened atomic.Uint64
+	crossMism   atomic.Uint64
+	status      [NumStatus]atomic.Uint64
 }
 
 // record accounts one Profile call. hit reports whether the result came
@@ -38,6 +40,29 @@ func (m *Metrics) record(s Status, hit bool) {
 	}
 }
 
+// RecordPrescreened accounts one block that static analysis rejected
+// before profiling: the predicted status lands in the histogram like a
+// dynamic outcome, and the Prescreened counter records that no
+// measurement ran for it.
+func (m *Metrics) RecordPrescreened(s Status) {
+	if m == nil {
+		return
+	}
+	m.prescreened.Add(1)
+	if int(s) < NumStatus {
+		m.status[s].Add(1)
+	}
+}
+
+// RecordCrosscheckMismatch accounts one block whose dynamic status
+// disagreed with the static prediction outside the whitelisted cases.
+func (m *Metrics) RecordCrosscheckMismatch() {
+	if m == nil {
+		return
+	}
+	m.crossMism.Add(1)
+}
+
 // Snapshot is a point-in-time copy of the counters, suitable for delta
 // arithmetic between shards.
 type Snapshot struct {
@@ -45,9 +70,15 @@ type Snapshot struct {
 	CacheHits uint64
 	// Profiled counts blocks that went through the measurement protocol.
 	Profiled uint64
+	// Prescreened counts blocks skipped by static prescreening before any
+	// measurement ran (their predicted statuses are in ByStatus).
+	Prescreened uint64
+	// CrosscheckMismatch counts blocks whose dynamic status disagreed
+	// with the static prediction outside the whitelisted cases.
+	CrosscheckMismatch uint64
 	// ByStatus histograms the outcome of every Profile call, indexed by
 	// Status (cache hits included — a cached rejection is still a
-	// rejection).
+	// rejection; prescreened blocks contribute their predicted status).
 	ByStatus [NumStatus]uint64
 }
 
@@ -59,6 +90,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	s.CacheHits = m.cacheHits.Load()
 	s.Profiled = m.profiled.Load()
+	s.Prescreened = m.prescreened.Load()
+	s.CrosscheckMismatch = m.crossMism.Load()
 	for i := range s.ByStatus {
 		s.ByStatus[i] = m.status[i].Load()
 	}
@@ -68,8 +101,10 @@ func (m *Metrics) Snapshot() Snapshot {
 // Sub returns the counter deltas since prev (for per-shard reporting).
 func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	d := Snapshot{
-		CacheHits: s.CacheHits - prev.CacheHits,
-		Profiled:  s.Profiled - prev.Profiled,
+		CacheHits:          s.CacheHits - prev.CacheHits,
+		Profiled:           s.Profiled - prev.Profiled,
+		Prescreened:        s.Prescreened - prev.Prescreened,
+		CrosscheckMismatch: s.CrosscheckMismatch - prev.CrosscheckMismatch,
 	}
 	for i := range s.ByStatus {
 		d.ByStatus[i] = s.ByStatus[i] - prev.ByStatus[i]
@@ -77,8 +112,9 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	return d
 }
 
-// Total is the number of Profile calls covered by the snapshot.
-func (s Snapshot) Total() uint64 { return s.CacheHits + s.Profiled }
+// Total is the number of blocks covered by the snapshot, including the
+// statically prescreened ones that never reached the protocol.
+func (s Snapshot) Total() uint64 { return s.CacheHits + s.Profiled + s.Prescreened }
 
 // HitRate is the persistent-cache hit fraction (0 with no calls).
 func (s Snapshot) HitRate() float64 {
@@ -89,7 +125,8 @@ func (s Snapshot) HitRate() float64 {
 }
 
 // RejectHistogram renders the non-OK statuses as "crashed=3 unstable=1"
-// ("none" if every call succeeded).
+// ("none" if every call succeeded), with prescreen skips and cross-check
+// mismatches appended when present ("... prescreened=5 cross-mismatch=1").
 func (s Snapshot) RejectHistogram() string {
 	var sb strings.Builder
 	for i, n := range s.ByStatus {
@@ -100,6 +137,21 @@ func (s Snapshot) RejectHistogram() string {
 			sb.WriteByte(' ')
 		}
 		fmt.Fprintf(&sb, "%s=%d", Status(i), n)
+	}
+	if sb.Len() == 0 && s.Prescreened == 0 && s.CrosscheckMismatch == 0 {
+		return "none"
+	}
+	if s.Prescreened > 0 {
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "prescreened=%d", s.Prescreened)
+	}
+	if s.CrosscheckMismatch > 0 {
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "cross-mismatch=%d", s.CrosscheckMismatch)
 	}
 	if sb.Len() == 0 {
 		return "none"

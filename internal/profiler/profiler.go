@@ -310,12 +310,15 @@ func blockHex(insts []x86.Inst) string {
 	return hex.EncodeToString(buf)
 }
 
-// unrollFactors picks unroll factors large enough to reach steady state
-// while keeping the unrolled code compact (the point of the derived
-// method).
-func (p *Profiler) unrollFactors(n int) (lo, hi int) {
-	if !p.Opts.DerivedThroughput {
-		u := p.Opts.NaiveUnroll
+// UnrollFactors picks the unroll factors the protocol would use for a
+// block of n instructions: large enough to reach steady state while
+// keeping the unrolled code compact (the point of the derived method).
+// With DerivedThroughput off, lo is 0 and hi is the naive factor. It is
+// exported so static analyses (internal/blocklint) can replicate the
+// exact unrolled footprint the profiler will execute.
+func (o Options) UnrollFactors(n int) (lo, hi int) {
+	if !o.DerivedThroughput {
+		u := o.NaiveUnroll
 		if u <= 0 {
 			u = 100
 		}
@@ -357,7 +360,7 @@ func (p *Profiler) Profile(b *x86.Block) Result {
 
 // profile runs the measurement protocol, bypassing the persistent cache.
 func (p *Profiler) profile(b *x86.Block, seed int64) Result {
-	lo, hi := p.unrollFactors(len(b.Insts))
+	lo, hi := p.Opts.UnrollFactors(len(b.Insts))
 	res := Result{UnrollLo: lo, UnrollHi: hi}
 
 	sc := p.getScratch()

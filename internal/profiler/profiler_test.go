@@ -289,16 +289,16 @@ func TestEmptyBlockProfile(t *testing.T) {
 
 func TestUnrollFactorSelection(t *testing.T) {
 	p := New(uarch.Haswell(), DefaultOptions())
-	lo, hi := p.unrollFactors(1)
+	lo, hi := p.Opts.UnrollFactors(1)
 	if lo < 4 || hi != 2*lo || lo > 100 {
 		t.Fatalf("single-inst block: %d/%d", lo, hi)
 	}
-	lo, hi = p.unrollFactors(500)
+	lo, hi = p.Opts.UnrollFactors(500)
 	if lo != 4 || hi != 8 {
 		t.Fatalf("huge block must use the minimum: %d/%d", lo, hi)
 	}
 	naive := New(uarch.Haswell(), MappingOptions())
-	lo, hi = naive.unrollFactors(10)
+	lo, hi = naive.Opts.UnrollFactors(10)
 	if lo != 0 || hi != 100 {
 		t.Fatalf("naive mode: %d/%d", lo, hi)
 	}

@@ -41,13 +41,20 @@ func buildDecodeIndex() {
 }
 
 // DecodeErr describes a byte sequence that is not a valid instruction in the
-// supported subset.
+// supported subset. For block-level decoding, Offset is the byte position of
+// the failing instruction within the whole block and Index is how many
+// instructions decoded successfully before it (so the failure is "instruction
+// #Index at byte Offset"). Single-instruction Decode always reports Index 0.
 type DecodeErr struct {
 	Offset int
+	Index  int
 	Msg    string
 }
 
 func (e *DecodeErr) Error() string {
+	if e.Index > 0 {
+		return fmt.Sprintf("x86: decode error at offset %d (instruction %d): %s", e.Offset, e.Index, e.Msg)
+	}
 	return fmt.Sprintf("x86: decode error at offset %d: %s", e.Offset, e.Msg)
 }
 
@@ -71,6 +78,7 @@ func DecodeBlock(code []byte) ([]Inst, error) {
 		if err != nil {
 			if de, ok := err.(*DecodeErr); ok {
 				de.Offset += off
+				de.Index = len(out)
 			}
 			return nil, err
 		}

@@ -1,0 +1,165 @@
+package x86
+
+import (
+	"encoding/hex"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// corpusSeeds are machine-code blocks from the generated benchmark suite
+// (hardcoded: the corpus package imports x86, so this package cannot
+// import it back). They seed the round-trip fuzzer and pin the
+// deterministic round-trip test to realistic encodings.
+var corpusSeeds = []string{
+	"31d2f7f74c29d9",
+	"888c1bbf010000450f5ce949c1fb0e",
+	"4c0fafda66450fefc94d8b5550b86b020000488b00",
+	"4809c84d8bbdb00000004985d34d0f44db48b9000000000080ffff4c8b01",
+	"4d8d44245a4809ca4c8b7b304c8b84f398000000",
+	"4985c14d0f44c14983c771498d86b5000000498b4424204d01c94d8985c0010000",
+	"4983f0454d39f9f3480fb8c849c785b8010000200000004157415a488b86d801000085c0490f42c34983f031",
+	"4983cb494c8d46774183c72a4153415af3440f58c049c1fb054c85d84c0f42d2488b93a0010000f3450f105e68c442edb8ee",
+	"4931c84d29d1490fc84983ea27448b843bf0000000410f5bca4983c16b483b5768410f9cc0",
+	"4528cfc4e205bce04129d74d8bbe980100004501db448b96ac01000066410f62f24d31d9c4621db8e14c8b7b10",
+	"4d85f94129cb4d8bbee0010000",
+	"660fefd24c85d2490f4dd74d39fa488b442428",
+	"c5fdfec0c5f877", // vpaddd ymm; vzeroupper
+	"488b442408",     // rsp-relative load
+	"50415b",         // push rax; pop r11
+}
+
+// roundTrip decodes a block, re-encodes every instruction, decodes the
+// canonical bytes again, and requires the two instruction sequences to be
+// identical. Byte-level differences are allowed — the encoder picks one
+// canonical form among equivalent encodings (known-lossy: e.g. both
+// 0x88/8A-style direction-bit variants of mov decode to the same Inst and
+// re-encode to the canonical direction) — but semantic drift is not.
+func roundTrip(t *testing.T, raw []byte) {
+	t.Helper()
+	insts, err := DecodeBlock(raw)
+	if err != nil {
+		return // undecodable input is out of scope here
+	}
+	var code []byte
+	for i := range insts {
+		enc, err := Encode(insts[i])
+		if err != nil {
+			t.Fatalf("decoded %q from % x but cannot encode: %v", insts[i].String(), raw, err)
+		}
+		code = append(code, enc...)
+	}
+	again, err := DecodeBlock(code)
+	if err != nil {
+		t.Fatalf("canonical re-encoding % x of % x does not decode: %v", code, raw, err)
+	}
+	if len(again) != len(insts) {
+		t.Fatalf("round trip of % x yields %d instructions, want %d", raw, len(again), len(insts))
+	}
+	for i := range insts {
+		if !reflect.DeepEqual(insts[i], again[i]) {
+			t.Fatalf("round trip of % x changes inst %d: %q -> %q", raw, i, insts[i].String(), again[i].String())
+		}
+	}
+}
+
+// TestCorpusRoundTrip pins decode→encode→decode stability on realistic
+// corpus blocks.
+func TestCorpusRoundTrip(t *testing.T) {
+	for _, seed := range corpusSeeds {
+		raw, err := hex.DecodeString(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts, err := DecodeBlock(raw)
+		if err != nil {
+			t.Fatalf("corpus seed %s does not decode: %v", seed, err)
+		}
+		if len(insts) == 0 {
+			t.Fatalf("corpus seed %s decodes to nothing", seed)
+		}
+		roundTrip(t, raw)
+	}
+}
+
+// TestRandomRoundTrip extends the byte-soup fuzzing to the block-level
+// round-trip invariant.
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	buf := make([]byte, 24)
+	for i := 0; i < 50000; i++ {
+		n := 1 + rng.Intn(23)
+		for j := 0; j < n; j++ {
+			buf[j] = byte(rng.Intn(256))
+		}
+		roundTrip(t, buf[:n])
+	}
+}
+
+// FuzzDecodeEncodeDecode is the native-fuzzing entry for the round-trip
+// invariant: go test -fuzz=FuzzDecodeEncodeDecode ./internal/x86.
+func FuzzDecodeEncodeDecode(f *testing.F) {
+	for _, seed := range corpusSeeds {
+		raw, err := hex.DecodeString(seed)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		roundTrip(t, data)
+	})
+}
+
+// TestDecodeErrIndex checks the block-level decode error: it must locate
+// the failure by both byte offset and instruction index.
+func TestDecodeErrIndex(t *testing.T) {
+	// Two valid movs followed by a truncated instruction.
+	raw, _ := hex.DecodeString("4889c84889d9ff")
+	_, err := DecodeBlock(raw)
+	if err == nil {
+		t.Fatal("want decode error")
+	}
+	de, ok := err.(*DecodeErr)
+	if !ok {
+		t.Fatalf("want *DecodeErr, got %T", err)
+	}
+	if de.Index != 2 {
+		t.Errorf("index %d, want 2", de.Index)
+	}
+	if de.Offset < 6 {
+		t.Errorf("offset %d, want >= 6 (failure inside the third instruction)", de.Offset)
+	}
+	if s := de.Error(); s == "" || !containsAll(s, "offset", "instruction 2") {
+		t.Errorf("error text %q should carry offset and instruction index", s)
+	}
+
+	// A single-instruction decode failure keeps the terse format: no
+	// instruction clause when nothing decoded before it.
+	_, _, err = Decode([]byte{0xff})
+	if err == nil {
+		t.Fatal("want decode error")
+	}
+	if de, ok := err.(*DecodeErr); ok && de.Index != 0 {
+		t.Errorf("single-inst failure index %d, want 0", de.Index)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		found := false
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
