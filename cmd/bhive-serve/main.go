@@ -1,0 +1,128 @@
+// Command bhive-serve runs the evaluation service: a long-running HTTP
+// front end over the same sharded, checkpointed pipeline bhive-eval
+// drives. Jobs are submitted as corpora of hex blocks (or generation
+// requests), run through per-job fingerprint-bound checkpoint journals
+// and a shared profile cache, and stream per-shard progress to clients
+// over SSE. Killing the server mid-job loses nothing: the next start
+// over the same -data directory resumes every unfinished job from its
+// last completed shard and serves byte-identical results.
+//
+// Usage:
+//
+//	bhive-serve -addr :8421 -data /var/lib/bhive
+//	bhive-serve -data ./serve-data -profile-cache ./serve-data/profiles.json
+//
+//	curl -s localhost:8421/v1/evaluate -d '{"experiments":["table5"],"scale":0.002}'
+//	curl -s localhost:8421/v1/jobs/<id>
+//	curl -sN localhost:8421/v1/jobs/<id>/events
+//	curl -s localhost:8421/v1/jobs/<id>/result
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bhive/internal/profcache"
+	"bhive/internal/server"
+)
+
+func main() {
+	code := 0
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "bhive-serve:", err)
+		}
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// run is the whole command behind a single exit point: shutdown drains
+// running jobs to a durable shard boundary and flushes the shared profile
+// cache via defers, so the error paths clean up exactly like SIGTERM.
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("bhive-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":8421", "listen address")
+		dataDir = fs.String("data", "bhive-serve-data", "job state directory (requests, checkpoints, results)")
+		cacheF  = fs.String("profile-cache", "", "shared persistent profile cache file (created if absent)")
+		workers = fs.Int("workers", 0, "profiling workers per job (0 = GOMAXPROCS)")
+		maxJobs = fs.Int("max-jobs", 1, "jobs running concurrently (queued jobs wait)")
+		drain   = fs.Duration("drain-timeout", 5*time.Minute, "max wait for running jobs to reach a shard boundary on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var pc *profcache.Cache
+	if *cacheF != "" {
+		pc, err = profcache.Open(*cacheF)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if serr := pc.Save(); serr != nil && err == nil {
+				err = serr
+			}
+		}()
+	}
+
+	srv, err := server.New(server.Config{
+		DataDir: *dataDir,
+		Cache:   pc,
+		Workers: *workers,
+		MaxJobs: *maxJobs,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "bhive-serve: listening on %s (data: %s)\n", *addr, *dataDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	select {
+	case err := <-errCh:
+		// The listener died on its own (port clash, …): still drain jobs
+		// so their shards are checkpointed before exit.
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if serr := srv.Shutdown(ctx); serr != nil {
+			fmt.Fprintln(stderr, "bhive-serve: drain:", serr)
+		}
+		return err
+	case got := <-sig:
+		fmt.Fprintf(stdout, "bhive-serve: %v: draining jobs to a shard boundary\n", got)
+	}
+
+	// Drain order matters: stop the pipeline first (jobs checkpoint their
+	// in-flight shard and return to the queue; SSE streams get a terminal
+	// "interrupted" event), then close the listener so Shutdown isn't
+	// stuck behind the long-lived event streams.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if serr := srv.Shutdown(ctx); serr != nil {
+		fmt.Fprintln(stderr, "bhive-serve: drain:", serr)
+	}
+	httpCtx, httpCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer httpCancel()
+	if serr := httpSrv.Shutdown(httpCtx); serr != nil && !errors.Is(serr, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "bhive-serve:", serr)
+	}
+	fmt.Fprintln(stdout, "bhive-serve: drained; unfinished jobs resume on next start")
+	return nil
+}

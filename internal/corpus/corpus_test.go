@@ -1,6 +1,8 @@
 package corpus
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -225,5 +227,73 @@ func TestReadCSVErrors(t *testing.T) {
 	recs, err := ReadCSV(strings.NewReader("app,hex,freq\n\nfoo,90,5\n"))
 	if err != nil || len(recs) != 1 || recs[0].Freq != 5 {
 		t.Fatalf("blank lines and header must be tolerated: %v %v", recs, err)
+	}
+}
+
+// TestReadCSVErrorLineNumbers pins the structured diagnostics API-submitted
+// corpora depend on: every failure is a *ParseError naming the 1-based line
+// of the offending row.
+func TestReadCSVErrorLineNumbers(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		line  int
+	}{
+		{"bad hex", "app,hex,freq\nfoo,90,1\nfoo,zz,1\n", 3},
+		{"missing fields", "app,hex,freq\nfoo,90\n", 2},
+		{"bad frequency", "app,hex,freq\n\nfoo,90,notanumber\n", 3},
+		{"duplicate row", "app,hex,freq\nfoo,90,1\nbar,90,2\nfoo,90,9\n", 4},
+	}
+	for _, tc := range cases {
+		_, err := ReadCSV(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: want error", tc.name)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error %v is not a *ParseError", tc.name, err)
+			continue
+		}
+		if pe.Line != tc.line {
+			t.Errorf("%s: reported line %d, want %d (%v)", tc.name, pe.Line, tc.line, err)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("line %d", tc.line)) {
+			t.Errorf("%s: message %q does not name line %d", tc.name, err, tc.line)
+		}
+	}
+}
+
+func TestReadCSVRejectsDuplicates(t *testing.T) {
+	// Same hex under different apps is legitimate (distinct rows of the
+	// interchange format); the same (app, hex) pair is a duplicate even if
+	// the frequency differs, and the error names both lines.
+	if _, err := ReadCSV(strings.NewReader("app,hex,freq\na,90,1\nb,90,1\n")); err != nil {
+		t.Fatalf("same hex under different apps must be accepted: %v", err)
+	}
+	_, err := ReadCSV(strings.NewReader("app,hex,freq\na,90,1\na,90,7\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("duplicate (app,hex) must error naming the first occurrence, got %v", err)
+	}
+	// ReadCSVRaw applies the same rejection (hex case-insensitively).
+	_, err = ReadCSVRaw(strings.NewReader("app,hex,freq\na,4801D8,1\na,4801d8,7\n"))
+	var pe *ParseError
+	if err == nil || !errors.As(err, &pe) || pe.Line != 3 {
+		t.Fatalf("ReadCSVRaw duplicate must be a *ParseError at line 3, got %v", err)
+	}
+}
+
+// TestReadCSVScannerErrorHasLine: an over-long line fails inside
+// bufio.Scanner, which used to surface as a bare "token too long" with no
+// position at all.
+func TestReadCSVScannerErrorHasLine(t *testing.T) {
+	input := "app,hex,freq\nfoo,90,1\nbar," + strings.Repeat("90", 1<<20) + ",1\n"
+	_, err := ReadCSV(strings.NewReader(input))
+	var pe *ParseError
+	if err == nil || !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError for over-long line, got %v", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("over-long line reported at line %d, want 3", pe.Line)
 	}
 }

@@ -29,6 +29,18 @@ func WriteCSV(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
+// ParseError is a corpus CSV read failure attributed to one row. API
+// clients submit corpora over the evaluation service, so "which line is
+// bad" must survive as structured data, not just prose.
+type ParseError struct {
+	// Line is the 1-based CSV line of the offending row.
+	Line int
+	Err  error
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("corpus: line %d: %v", e.Line, e.Err) }
+func (e *ParseError) Unwrap() error { return e.Err }
+
 // RawRecord is one corpus CSV row before block decoding: what auditing
 // tools need so that undecodable hex is reported per row instead of
 // aborting the whole read.
@@ -40,14 +52,15 @@ type RawRecord struct {
 	Line int
 }
 
-// ReadCSVRaw loads corpus rows without decoding the hex. Malformed rows
-// (wrong field count, bad frequency) still fail the read; hex validity is
-// deliberately not checked — that is the auditor's job.
-func ReadCSVRaw(r io.Reader) ([]RawRecord, error) {
+// forEachRow drives the shared CSV row scan: header and blank lines are
+// skipped, field count and frequency are validated, duplicate (app, hex)
+// rows are rejected, and every error — including scanner failures such as
+// an over-long line — carries the offending line number as a *ParseError.
+func forEachRow(r io.Reader, row func(raw RawRecord) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	var out []RawRecord
 	line := 0
+	seen := make(map[string]int) // app\x00hex -> first line
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -56,48 +69,58 @@ func ReadCSVRaw(r io.Reader) ([]RawRecord, error) {
 		}
 		parts := strings.Split(text, ",")
 		if len(parts) != 3 {
-			return nil, fmt.Errorf("corpus: line %d: want 3 fields, got %d", line, len(parts))
+			return &ParseError{Line: line, Err: fmt.Errorf("want 3 fields, got %d", len(parts))}
 		}
 		freq, err := strconv.ParseUint(parts[2], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("corpus: line %d: bad frequency %q", line, parts[2])
+			return &ParseError{Line: line, Err: fmt.Errorf("bad frequency %q", parts[2])}
 		}
-		out = append(out, RawRecord{App: parts[0], Hex: parts[1], Freq: freq, Line: line})
+		key := parts[0] + "\x00" + strings.ToLower(parts[1])
+		if first, dup := seen[key]; dup {
+			return &ParseError{Line: line, Err: fmt.Errorf("duplicate block row (same app and hex as line %d)", first)}
+		}
+		seen[key] = line
+		if err := row(RawRecord{App: parts[0], Hex: parts[1], Freq: freq, Line: line}); err != nil {
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
+		// The scanner died reading the line after the last complete one.
+		return &ParseError{Line: line + 1, Err: err}
+	}
+	return nil
+}
+
+// ReadCSVRaw loads corpus rows without decoding the hex. Malformed rows
+// (wrong field count, bad frequency, duplicate app+hex) still fail the
+// read with a *ParseError naming the offending line; hex validity is
+// deliberately not checked — that is the auditor's job.
+func ReadCSVRaw(r io.Reader) ([]RawRecord, error) {
+	var out []RawRecord
+	err := forEachRow(r, func(raw RawRecord) error {
+		out = append(out, raw)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
 // ReadCSV loads records written by WriteCSV (or by cmd/bhive-collect),
-// decoding each block from its machine-code hex.
+// decoding each block from its machine-code hex. Every failure is a
+// *ParseError carrying the 1-based line of the offending row.
 func ReadCSV(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	var out []Record
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || (line == 1 && strings.HasPrefix(text, "app,")) {
-			continue
-		}
-		parts := strings.Split(text, ",")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("corpus: line %d: want 3 fields, got %d", line, len(parts))
-		}
-		block, err := x86.BlockFromHex(parts[1])
+	err := forEachRow(r, func(raw RawRecord) error {
+		block, err := x86.BlockFromHex(raw.Hex)
 		if err != nil {
-			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+			return &ParseError{Line: raw.Line, Err: err}
 		}
-		freq, err := strconv.ParseUint(parts[2], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("corpus: line %d: bad frequency %q", line, parts[2])
-		}
-		out = append(out, Record{App: parts[0], Block: block, Freq: freq})
-	}
-	if err := sc.Err(); err != nil {
+		out = append(out, Record{App: raw.App, Block: block, Freq: raw.Freq})
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -190,26 +190,27 @@ func (c *Checkpoint) load(raw []byte, fingerprint string, shardSize int) (ok boo
 	rest := raw[nl+1:]
 	for len(rest) > 0 {
 		nl = bytes.IndexByte(rest, '\n')
-		line := rest
-		consumed := len(rest)
-		if nl >= 0 {
-			line = rest[:nl]
-			consumed = nl + 1
+		if nl < 0 {
+			// Unterminated final line: an append died mid-write. The record
+			// and its newline are written and synced as one unit, so a line
+			// without a newline was never durably committed — even when the
+			// fragment happens to parse as complete JSON (a tear exactly at
+			// the closing brace). Applying such a fragment would also leave
+			// the next append to concatenate onto it, corrupting the
+			// journal for every later open. Keep everything before it and
+			// let Open truncate the rest.
+			return true, off, nil
 		}
+		line := rest[:nl]
 		if len(line) > 0 {
 			var l ckptLine
 			if uerr := json.Unmarshal(line, &l); uerr != nil {
-				if nl < 0 {
-					// No trailing newline: an append died mid-write. Keep
-					// everything before it and let Open truncate the rest.
-					return true, off, nil
-				}
 				return false, 0, fmt.Errorf("corrupt journal line: %w", uerr)
 			}
 			c.apply(&l)
 		}
-		off += int64(consumed)
-		rest = rest[consumed:]
+		off += int64(nl + 1)
+		rest = rest[nl+1:]
 	}
 	return true, off, nil
 }

@@ -161,6 +161,69 @@ func TestCheckpointTruncatedTrailingLine(t *testing.T) {
 	}
 }
 
+// TestCheckpointTornParseableTrailingLine covers the nastier crash shape:
+// the append tore exactly at the record's closing brace, so the fragment
+// parses as complete JSON but has no newline. The old loader applied it
+// and did not truncate, so the next append concatenated onto it —
+// `}{"Arch":…` on one line — and every later open choked on a "corrupt
+// journal line". An unterminated line is never durably committed (record
+// and newline are one synced write), so it must be dropped like any other
+// torn fragment.
+func TestCheckpointTornParseableTrailingLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck, err := OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.PutMeas("haswell", 0, []float64{1, 2}, []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Complete JSON, missing only the trailing newline.
+	if _, err := f.WriteString(`{"Arch":"haswell","Shard":1,"Stage":"meas","Tp":[9],"Status":[0]}`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck, err = OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatalf("torn trailing line must be tolerated: %v", err)
+	}
+	if ck.Shards() != 1 {
+		t.Fatalf("want 1 shard (the torn record was never committed), got %d", ck.Shards())
+	}
+	if _, ok := ck.Shard("haswell", 1); ok {
+		t.Fatal("uncommitted torn record resurrected")
+	}
+	// The shard in flight during the crash is recomputed and re-appended;
+	// the journal must stay line-clean through it.
+	if err := ck.PutMeas("haswell", 1, []float64{3, 4}, []int{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `}{`) {
+		t.Fatal("append landed on the torn fragment")
+	}
+	ck, err = OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatalf("journal corrupted by post-recovery append: %v", err)
+	}
+	defer ck.Close()
+	if ck.Shards() != 2 {
+		t.Fatalf("post-recovery append lost: %d", ck.Shards())
+	}
+}
+
 func TestCheckpointMidJournalCorruptionIsError(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 	ck, err := OpenCheckpoint(path, "fp", 4)

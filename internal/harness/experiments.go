@@ -578,84 +578,104 @@ func Names() []string {
 		"case-study", "fig-scheduling", "fig-google-blocks", "fig-length-err"}
 }
 
-// Run executes one experiment by id and returns its rendering. uarchName
-// applies to the per-µarch figures (empty = all three).
-func (s *Suite) Run(id, uarchName string) (string, error) {
+// RunResult is one experiment's structured output: the tables it built
+// (nil for the free-form figures) and the exact text rendering Run
+// returns. The evaluation server serializes Tables as the Table V/VI-
+// shaped JSON of its /result endpoint.
+type RunResult struct {
+	ID     string   `json:"id"`
+	Tables []*Table `json:"tables,omitempty"`
+	Text   string   `json:"text"`
+}
+
+// RunStructured executes one experiment by id and returns its structured
+// result. uarchName applies to the per-µarch figures (empty = all three).
+func (s *Suite) RunStructured(id, uarchName string) (*RunResult, error) {
 	cpus := uarch.All()
 	if uarchName != "" {
 		cpu, err := uarch.ByName(uarchName)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		cpus = []*uarch.CPU{cpu}
 	}
-	renderAll := func(f func(*uarch.CPU) (*Table, error)) (string, error) {
+	one := func(t *Table, err error) (*RunResult, error) {
+		if err != nil {
+			return nil, err
+		}
+		return &RunResult{ID: id, Tables: []*Table{t}, Text: t.Render()}, nil
+	}
+	perCPU := func(f func(*uarch.CPU) (*Table, error)) (*RunResult, error) {
+		rr := &RunResult{ID: id}
 		var sb strings.Builder
 		for _, cpu := range cpus {
 			t, err := f(cpu)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
+			rr.Tables = append(rr.Tables, t)
 			sb.WriteString(t.Render())
 		}
-		return sb.String(), nil
+		rr.Text = sb.String()
+		return rr, nil
 	}
 	switch id {
 	case "table1":
-		return s.Table1().Render(), nil
+		return one(s.Table1(), nil)
 	case "table2":
-		return s.Table2().Render(), nil
+		return one(s.Table2(), nil)
 	case "table3":
-		return s.Table3().Render(), nil
+		return one(s.Table3(), nil)
 	case "table4":
-		return s.Table4().Render(), nil
+		return one(s.Table4(), nil)
 	case "table5":
-		t, err := s.Table5()
-		if err != nil {
-			return "", err
-		}
-		return t.Render(), nil
+		return one(s.Table5())
 	case "table6":
-		t, err := s.Table6()
-		if err != nil {
-			return "", err
-		}
-		return t.Render(), nil
+		return one(s.Table6())
 	case "fig-examples":
-		return s.FigExamples(), nil
+		return &RunResult{ID: id, Text: s.FigExamples()}, nil
 	case "fig-apps-clusters":
-		return s.FigAppsVsClusters().Render(), nil
+		return one(s.FigAppsVsClusters(), nil)
 	case "fig-app-err":
-		return renderAll(s.FigAppErr)
+		return perCPU(s.FigAppErr)
 	case "fig-cluster-err":
-		return renderAll(s.FigClusterErr)
+		return perCPU(s.FigClusterErr)
 	case "fig-length-err":
-		return renderAll(s.FigLenErr)
+		return perCPU(s.FigLenErr)
 	case "case-study":
-		t, err := s.CaseStudy()
-		if err != nil {
-			return "", err
-		}
-		return t.Render(), nil
+		return one(s.CaseStudy())
 	case "fig-scheduling":
-		return s.FigScheduling()
-	case "fig-google-blocks":
-		t, err := s.FigGoogleBlocks()
+		text, err := s.FigScheduling()
 		if err != nil {
-			return "", err
+			return nil, err
 		}
-		return t.Render(), nil
+		return &RunResult{ID: id, Text: text}, nil
+	case "fig-google-blocks":
+		return one(s.FigGoogleBlocks())
 	case "all":
+		rr := &RunResult{ID: id}
 		var sb strings.Builder
 		for _, name := range Names() {
-			out, err := s.Run(name, uarchName)
+			sub, err := s.RunStructured(name, uarchName)
 			if err != nil {
-				return "", fmt.Errorf("%s: %w", name, err)
+				return nil, fmt.Errorf("%s: %w", name, err)
 			}
-			sb.WriteString(out)
+			rr.Tables = append(rr.Tables, sub.Tables...)
+			sb.WriteString(sub.Text)
 			sb.WriteByte('\n')
 		}
-		return sb.String(), nil
+		rr.Text = sb.String()
+		return rr, nil
 	}
-	return "", fmt.Errorf("harness: unknown experiment %q (have %v)", id, Names())
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Names())
+}
+
+// Run executes one experiment by id and returns its text rendering.
+// uarchName applies to the per-µarch figures (empty = all three).
+func (s *Suite) Run(id, uarchName string) (string, error) {
+	rr, err := s.RunStructured(id, uarchName)
+	if err != nil {
+		return "", err
+	}
+	return rr.Text, nil
 }

@@ -90,6 +90,17 @@ type Config struct {
 	// count). It bounds chunked batch jobs — "do N shards per invocation"
 	// — and simulates interruption in the resumability tests.
 	StopAfterShards int
+	// Interrupt, when non-nil, requests a graceful drain: the run finishes
+	// (and checkpoints) the shard in flight, then returns ErrInterrupted
+	// at the next shard boundary once the channel is closed. The
+	// evaluation server closes it on SIGTERM so in-flight jobs stop on a
+	// durable boundary and resume byte-identically after restart.
+	Interrupt <-chan struct{}
+	// Metrics, when non-nil, receives every profiling outcome of the run
+	// (all microarchitectures fold into it) instead of per-µarch private
+	// counters. Snapshots are safe to take from other goroutines while the
+	// run is in progress — the evaluation server polls it for job status.
+	Metrics *profiler.Metrics
 
 	// Prescreen runs the static block analyzer (internal/blocklint) over
 	// every record before profiling and skips statically rejected blocks:
@@ -227,10 +238,21 @@ func (s *Suite) progressf(format string, args ...any) {
 }
 
 // spendShard charges one computed shard against StopAfterShards and
-// reports whether the budget is now exhausted.
+// reports whether the run should stop — budget exhausted, or a graceful
+// interrupt (Config.Interrupt) requested. Either way the shard just
+// completed is already checkpointed, so stopping here is a durable
+// boundary.
 func (s *Suite) spendShard() bool {
 	n := s.computedShards.Add(1)
-	return s.cfg.StopAfterShards > 0 && n >= int64(s.cfg.StopAfterShards)
+	if s.cfg.StopAfterShards > 0 && n >= int64(s.cfg.StopAfterShards) {
+		return true
+	}
+	select {
+	case <-s.cfg.Interrupt:
+		return true
+	default: // nil channel: never ready, default always taken
+		return false
+	}
 }
 
 // numShards is the shard count covering n records.
@@ -373,7 +395,10 @@ func (s *Suite) computeArch(cpu *uarch.CPU) (*archData, error) {
 		overall: make(map[string]*stats.Running),
 		tau:     make(map[string]*stats.TauAcc),
 	}
-	met := new(profiler.Metrics)
+	met := s.cfg.Metrics
+	if met == nil {
+		met = new(profiler.Metrics)
+	}
 
 	// Pass 1: measurements, shard by shard.
 	for si := 0; si < num; si++ {

@@ -41,13 +41,22 @@ type fileFormat struct {
 	Entries map[string]Entry
 }
 
-// Cache is a thread-safe persistent profile cache.
+// Cache is a thread-safe persistent profile cache. Save snapshots the
+// entries under the lock but performs the disk write unlocked, so
+// long-running callers (the evaluation server flushes the shared cache
+// while other jobs keep profiling) never stall Get/Put behind I/O.
 type Cache struct {
 	path string
+
+	// saveMu serializes Save calls: two concurrent Saves would otherwise
+	// race their renames, and an older snapshot winning the rename would
+	// roll back entries the newer one had already persisted.
+	saveMu sync.Mutex
 
 	mu      sync.Mutex
 	entries map[string]Entry
 	dirty   bool
+	gen     uint64 // bumped by every mutating Put; gates clearing dirty
 }
 
 // Open loads the cache at path. A missing file or a version mismatch
@@ -102,6 +111,7 @@ func (c *Cache) Put(key string, e Entry) {
 	}
 	c.entries[key] = e
 	c.dirty = true
+	c.gen++
 }
 
 // Len returns the number of cached entries.
@@ -112,14 +122,28 @@ func (c *Cache) Len() int {
 }
 
 // Save writes the cache back to its path atomically (temp file + rename).
-// It is a no-op when nothing changed since Open/the last Save.
+// It is a no-op when nothing changed since Open/the last Save. The write
+// happens outside the entry lock, so concurrent Get/Put never block on
+// disk I/O; entries Put during the write window stay dirty (the snapshot
+// predates them) and are picked up by the next Save instead of being
+// silently dropped.
 func (c *Cache) Save() error {
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
+
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if !c.dirty {
+		c.mu.Unlock()
 		return nil
 	}
-	raw, err := json.Marshal(fileFormat{Version: Version, Entries: c.entries})
+	snap := make(map[string]Entry, len(c.entries))
+	for k, v := range c.entries {
+		snap[k] = v
+	}
+	genAtSnap := c.gen
+	c.mu.Unlock()
+
+	raw, err := json.Marshal(fileFormat{Version: Version, Entries: snap})
 	if err != nil {
 		return fmt.Errorf("profcache: %w", err)
 	}
@@ -145,6 +169,13 @@ func (c *Cache) Save() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("profcache: %w", err)
 	}
-	c.dirty = false
+	c.mu.Lock()
+	// Only what was in the snapshot is on disk. A Put that landed during
+	// the write bumped gen past genAtSnap; leaving dirty set then makes
+	// the next Save persist it.
+	if c.gen == genAtSnap {
+		c.dirty = false
+	}
+	c.mu.Unlock()
 	return nil
 }

@@ -2,8 +2,10 @@ package profcache
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"bhive/internal/pipeline"
@@ -70,6 +72,84 @@ func TestSaveIsNoOpWhenClean(t *testing.T) {
 	fi2, _ := os.Stat(path)
 	if !fi1.ModTime().Equal(fi2.ModTime()) {
 		t.Error("clean Save rewrote the file")
+	}
+}
+
+// TestConcurrentPutDuringSave hammers Put from several goroutines while
+// Save runs repeatedly. The old Save held the entry lock across the disk
+// write (stalling every Put behind I/O); the obvious fix — snapshotting
+// and writing unlocked — could clear the dirty flag for entries the
+// snapshot never saw, silently dropping them from disk forever. The
+// invariant: once all Puts have finished, one final Save persists every
+// entry. Run under -race (CI does) this also proves the snapshot itself
+// is data-race free.
+func TestConcurrentPutDuringSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Saver: flush continuously while writers are active.
+	var saverWg sync.WaitGroup
+	saverWg.Add(1)
+	go func() {
+		defer saverWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := c.Save(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := fmt.Sprintf("g%d-i%d", g, i)
+				c.Put(k, Entry{Throughput: float64(g*perG + i)})
+				if got, ok := c.Get(k); !ok || got.Throughput != float64(g*perG+i) {
+					t.Errorf("Get(%s) = %+v, %v", k, got, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	saverWg.Wait()
+
+	// All Puts are done: the final Save must persist every entry, even the
+	// ones that landed inside an earlier Save's snapshot/write window.
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c2.Len(), goroutines*perG; got != want {
+		t.Fatalf("reloaded cache has %d entries, want %d: entries Put during Save were dropped", got, want)
+	}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i++ {
+			k := fmt.Sprintf("g%d-i%d", g, i)
+			if _, ok := c2.Get(k); !ok {
+				t.Fatalf("entry %s lost", k)
+			}
+		}
 	}
 }
 
