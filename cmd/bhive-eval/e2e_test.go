@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bhive/internal/corpus"
+	"bhive/internal/x86"
+)
+
+// lintCorpus is the committed fixture corpus the bhive-lint golden audit
+// uses — a stable on-disk input, so the e2e output is pinnable.
+const lintCorpus = "../../internal/blocklint/testdata/example_corpus.csv"
+
+// filteredCorpus derives the decodable subset of the lint fixture into a
+// temp CSV. The fixture deliberately carries undecodable rows for the
+// auditor; the eval pipeline reads strictly, so the e2e input is the
+// fixture minus exactly those rows — a deterministic derivation, which
+// keeps the committed golden stable.
+func filteredCorpus(t *testing.T) string {
+	t.Helper()
+	f, err := os.Open(lintCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	raw, err := corpus.ReadCSVRaw(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []corpus.Record
+	for _, r := range raw {
+		b, err := x86.BlockFromHex(r.Hex)
+		if err != nil {
+			continue
+		}
+		recs = append(recs, corpus.Record{App: r.App, Block: b, Freq: r.Freq})
+	}
+	if len(recs) < 500 {
+		t.Fatalf("fixture corpus shrank to %d decodable rows; e2e input no longer meaningful", len(recs))
+	}
+	path := filepath.Join(t.TempDir(), "corpus.csv")
+	out, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.WriteCSV(out, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// buildEval compiles the real binary into a temp dir. The in-process
+// tests above cover run()'s logic; this covers what they cannot — flag
+// wiring through main, process exit codes, and the interrupt/resume
+// cycle across separate process lifetimes.
+func buildEval(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "bhive-eval")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestE2EInterruptResumeGolden drives the built binary over the lint
+// fixture corpus through a full interrupt/resume cycle: a shard-budgeted
+// run exits non-zero after checkpointing two shards, the re-run resumes
+// them from the journal, and the final stdout is byte-identical to the
+// committed golden.
+func TestE2EInterruptResumeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary (seconds)")
+	}
+	bin := buildEval(t)
+	ckpt := filepath.Join(t.TempDir(), "e2e.ckpt")
+	args := []string{
+		"-exp", "xval", "-backend", "sim,perturbed",
+		"-corpus", filteredCorpus(t),
+		"-shard-size", "256", "-checkpoint", ckpt,
+	}
+
+	// Interrupted run: the shard budget must stop it mid-corpus with a
+	// non-zero exit and the resume hint on stderr.
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, append(args, "-stop-after-shards", "2")...)
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatal("shard-budgeted run must exit non-zero")
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit: %v, want exit code 1", err)
+	}
+	if !strings.Contains(stderr.String(), "shard budget reached") {
+		t.Fatalf("interrupted run stderr missing resume hint:\n%s", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Fatalf("interrupted run wrote tables:\n%s", stdout.String())
+	}
+
+	// Resumed run: must pick up the checkpointed shards and complete.
+	stdout.Reset()
+	stderr.Reset()
+	cmd = exec.Command(bin, append(args, "-progress")...)
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("resumed run: %v\nstderr:\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "resumed from checkpoint") {
+		t.Fatalf("resumed run recomputed everything; progress:\n%s", stderr.String())
+	}
+
+	golden := "testdata/e2e_xval_lint_corpus.golden"
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Fatalf("e2e output diverged from the golden.\n--- got ---\n%s\n--- want ---\n%s",
+			stdout.Bytes(), want)
+	}
+
+	// A third run over the same journal resumes every shard and stays
+	// byte-identical — the determinism contract across process lifetimes.
+	var again bytes.Buffer
+	cmd = exec.Command(bin, args...)
+	cmd.Stdout = &again
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("third run: %v", err)
+	}
+	if !bytes.Equal(again.Bytes(), want) {
+		t.Fatal("fully-resumed third run diverged from the golden")
+	}
+}
+
+// TestE2ERecordReplay exercises the acceptance criterion end to end with
+// the built binary: record a sim trace over the fixture corpus, then
+// replay it and require byte-identical stdout.
+func TestE2ERecordReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary (seconds)")
+	}
+	bin := buildEval(t)
+	trace := filepath.Join(t.TempDir(), "sim.trace")
+	corpusCSV := filteredCorpus(t)
+
+	runEval := func(extra ...string) []byte {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(bin, append([]string{"-corpus", corpusCSV}, extra...)...)
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v: %v\nstderr:\n%s", extra, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+
+	recorded := runEval("-backend", "sim", "-record", trace)
+	replayed := runEval("-backend", "recorded:"+trace)
+	if !bytes.Equal(recorded, replayed) {
+		t.Fatalf("replay diverged from the recording run.\n--- recorded ---\n%s\n--- replayed ---\n%s",
+			recorded, replayed)
+	}
+}

@@ -10,6 +10,9 @@
 //	bhive-eval -exp all -scale 0.005 -ithemal
 //	bhive-eval -exp table5 -profile-cache /tmp/bhive.cache
 //	bhive-eval -exp table5 -scale 0.2 -checkpoint /tmp/run.ckpt -progress
+//	bhive-eval -backend sim,perturbed -scale 0.01
+//	bhive-eval -backend sim -record /tmp/sim.trace
+//	bhive-eval -backend recorded:/tmp/sim.trace
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"strings"
 	"syscall"
 
+	"bhive/internal/backend"
 	"bhive/internal/corpus"
 	"bhive/internal/harness"
 	"bhive/internal/profcache"
@@ -49,7 +53,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("bhive-eval", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp       = fs.String("exp", "all", "experiment id: "+strings.Join(harness.Names(), ", ")+", or all")
+		exp       = fs.String("exp", "all", "experiment id: "+strings.Join(harness.AllNames(), ", ")+", or all")
 		scale     = fs.Float64("scale", 0.01, "corpus scale (1.0 = the paper's 358,561 blocks)")
 		seed      = fs.Int64("seed", 7, "seed")
 		arch      = fs.String("uarch", "", "restrict per-µarch figures to one microarchitecture")
@@ -62,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		progress  = fs.Bool("progress", false, "print per-shard progress lines (blocks/s, cache-hit rate, rejects) to stderr")
 		prescreen = fs.Bool("prescreen", false, "statically reject blocks before profiling (skips counted as prescreened=N)")
 		crosschk  = fs.Bool("crosscheck", false, "validate dynamic reject statuses against static predictions (mismatches to -progress)")
+		backends  = fs.String("backend", "", "comma-separated measurement backends to cross-validate (sim, perturbed, recorded:<path>); implies -exp xval")
+		recordF   = fs.String("record", "", "record every measurement to a replayable trace at this path (requires exactly one -backend)")
+		stopAfter = fs.Int("stop-after-shards", 0, "stop with an error after computing this many shards (chunked batch runs; resume via -checkpoint)")
 		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -90,6 +97,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	cfg.CheckpointPath = *ckptF
 	cfg.Prescreen = *prescreen
 	cfg.Crosscheck = *crosschk
+	cfg.StopAfterShards = *stopAfter
 	if *progress {
 		cfg.Progress = stderr
 	}
@@ -117,6 +125,44 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 				err = serr
 			}
 		}()
+	}
+
+	// Backend selection (cross-validation runs). Backends are built after
+	// the profile cache opens (simulator backends share it) and before the
+	// suite, whose run fingerprint includes their identities.
+	runExp := *exp
+	if *backends != "" {
+		bes, berr := backend.ParseList(*backends, backend.Options{Cache: pc})
+		if berr != nil {
+			return berr
+		}
+		if *recordF != "" {
+			if len(bes) != 1 {
+				for _, be := range bes {
+					be.Close()
+				}
+				return fmt.Errorf("-record needs exactly one -backend, got %d", len(bes))
+			}
+			rec, rerr := backend.NewRecorder(bes[0], *recordF)
+			if rerr != nil {
+				bes[0].Close()
+				return rerr
+			}
+			bes = []backend.Backend{rec}
+		}
+		defer func() {
+			for _, be := range bes {
+				if cerr := be.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+		}()
+		cfg.Backends = bes
+		if runExp == "all" {
+			runExp = harness.XValID
+		}
+	} else if *recordF != "" {
+		return errors.New("-record requires -backend naming what to record")
 	}
 
 	s := harness.New(cfg)
@@ -148,7 +194,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 	}()
 
-	out, err := s.Run(*exp, *arch)
+	out, err := s.Run(runExp, *arch)
 	if err != nil {
 		if errors.Is(err, harness.ErrInterrupted) {
 			fmt.Fprintln(stderr, "bhive-eval: shard budget reached; re-run with the same -checkpoint to continue")

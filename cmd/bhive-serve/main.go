@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		workers = fs.Int("workers", 0, "profiling workers per job (0 = GOMAXPROCS)")
 		maxJobs = fs.Int("max-jobs", 1, "jobs running concurrently (queued jobs wait)")
 		drain   = fs.Duration("drain-timeout", 5*time.Minute, "max wait for running jobs to reach a shard boundary on shutdown")
+		jobTTL  = fs.Duration("job-ttl", 0, "delete finished job directories this long after completion (0 = keep forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +82,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		Cache:   pc,
 		Workers: *workers,
 		MaxJobs: *maxJobs,
+		JobTTL:  *jobTTL,
 	})
 	if err != nil {
 		return err

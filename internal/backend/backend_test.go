@@ -1,0 +1,191 @@
+package backend
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+func block(t *testing.T, text string) *x86.Block {
+	t.Helper()
+	b, err := x86.ParseBlock(text, x86.SyntaxAuto)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return b
+}
+
+func TestCheckSpec(t *testing.T) {
+	for _, ok := range []string{"sim", "perturbed", "recorded:/tmp/x.trace"} {
+		if err := CheckSpec(ok); err != nil {
+			t.Errorf("CheckSpec(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "hardware", "recorded", "recorded:", "SIM"} {
+		if err := CheckSpec(bad); err == nil {
+			t.Errorf("CheckSpec(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	bes, err := ParseList("sim, perturbed", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bes) != 2 || bes[0].Name() != "sim" || bes[1].Name() != "perturbed" {
+		t.Fatalf("got %d backends", len(bes))
+	}
+	if _, err := ParseList("sim,sim", Options{}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate spec: err = %v", err)
+	}
+	if _, err := ParseList("", Options{}); err == nil {
+		t.Fatal("empty list accepted")
+	}
+	if _, err := ParseList("recorded:/no/such/file", Options{}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}
+
+// TestSimVsPerturbed: the perturbed parameterization must produce a
+// different throughput on a latency-bound block but agree on the status
+// protocol — it is a recalibration, not a different acceptance policy.
+func TestSimVsPerturbed(t *testing.T) {
+	b := block(t, "addss xmm1, xmm0\naddss xmm2, xmm1\naddss xmm3, xmm2")
+	cpu := uarch.Haswell()
+	sim := NewSim(Options{})
+	per := NewPerturbedSim(Options{})
+	ms := sim.Measure(b, cpu)
+	mp := per.Measure(b, cpu)
+	if ms.Status != profiler.StatusOK || mp.Status != profiler.StatusOK {
+		t.Fatalf("statuses: sim=%v perturbed=%v", ms.Status, mp.Status)
+	}
+	if mp.Throughput <= ms.Throughput {
+		t.Fatalf("perturbed throughput %v not slower than sim %v (fp-add latency chain)",
+			mp.Throughput, ms.Throughput)
+	}
+	if sim.Fingerprint() == per.Fingerprint() {
+		t.Fatal("sim and perturbed share a fingerprint")
+	}
+}
+
+func TestRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sim.trace")
+	blocks := []*x86.Block{
+		block(t, "add rax, rbx"),
+		block(t, "imul rax, rbx\nadd rcx, rax"),
+		block(t, "addss xmm1, xmm0"),
+	}
+	cpu := uarch.Skylake()
+
+	rec, err := NewRecorder(NewSim(Options{}), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name() != "sim" {
+		t.Fatalf("recorder name %q, want inner backend's", rec.Name())
+	}
+	want := make([]Measurement, len(blocks))
+	for i, b := range blocks {
+		want[i] = rec.Measure(b, cpu)
+		rec.Measure(b, cpu) // re-measuring must dedup, not duplicate entries
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rb, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Name() != "sim" {
+		t.Fatalf("replay name %q, want %q (adopted from header)", rb.Name(), "sim")
+	}
+	if rb.Fingerprint() != NewSim(Options{}).Fingerprint() {
+		t.Fatal("replay did not adopt the recorded fingerprint")
+	}
+	if rb.Len() != len(blocks) {
+		t.Fatalf("trace holds %d entries, want %d (dedup)", rb.Len(), len(blocks))
+	}
+	for i, b := range blocks {
+		got := rb.Measure(b, cpu)
+		if got.Status != want[i].Status || got.Throughput != want[i].Throughput {
+			t.Errorf("block %d: replay (%v, %v) != recorded (%v, %v)",
+				i, got.Status, got.Throughput, want[i].Status, want[i].Throughput)
+		}
+		if got.Counters.Cycles != want[i].Counters.Cycles {
+			t.Errorf("block %d: replay cycles %d != recorded %d",
+				i, got.Counters.Cycles, want[i].Counters.Cycles)
+		}
+	}
+
+	// A block the trace never saw replays as a descriptive crash, and a
+	// different µarch misses too (the key is content-addressed per CPU).
+	miss := rb.Measure(block(t, "sub rax, rbx"), cpu)
+	if miss.Status != profiler.StatusCrashed || miss.Err == nil {
+		t.Fatalf("trace miss: (%v, %v), want crashed with error", miss.Status, miss.Err)
+	}
+	if m := rb.Measure(blocks[0], uarch.Haswell()); m.Status != profiler.StatusCrashed {
+		t.Fatalf("cross-µarch lookup: %v, want crashed (never recorded)", m.Status)
+	}
+}
+
+func TestOpenTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name, content, wantErr string
+	}{
+		{"nohdr", "", "missing header"},
+		{"badhdr", "not json\n", "bad header"},
+		{"badver", `{"Version":99,"Backend":"sim"}` + "\n", "version 99"},
+		{"noname", `{"Version":1,"Backend":""}` + "\n", "names no backend"},
+		{"torn", `{"Version":1,"Backend":"sim"}` + "\n" + `{"Key":"ab"`, "truncated"},
+		{"badline", `{"Version":1,"Backend":"sim"}` + "\n" + "garbage\n", "invalid character"},
+		{"conflict", `{"Version":1,"Backend":"sim"}` + "\n" +
+			`{"Key":"k1","CPU":"haswell","Status":0,"Tp":1}` + "\n" +
+			`{"Key":"k1","CPU":"haswell","Status":0,"Tp":2}` + "\n", "conflicting"},
+	}
+	for _, c := range cases {
+		_, err := OpenTrace(write(c.name, c.content))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+	if _, err := OpenTrace(filepath.Join(dir, "absent")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// TestPerturbedSharesCacheSafely: both parameterizations can share one
+// profile cache because the perturbed CPUs carry distinct names — a
+// cached sim profile must never satisfy a perturbed lookup.
+func TestPerturbedSharesCacheSafely(t *testing.T) {
+	b := block(t, "addss xmm1, xmm0\naddss xmm2, xmm1")
+	cpu := uarch.Haswell()
+	simNoCache := NewSim(Options{}).Measure(b, cpu)
+	perNoCache := NewPerturbedSim(Options{}).Measure(b, cpu)
+
+	met := new(profiler.Metrics)
+	opts := Options{Metrics: met}
+	sim := NewSim(opts)
+	per := NewPerturbedSim(opts)
+	if got := sim.Measure(b, cpu); got.Throughput != simNoCache.Throughput {
+		t.Fatalf("sim with shared metrics: %v, want %v", got.Throughput, simNoCache.Throughput)
+	}
+	if got := per.Measure(b, cpu); got.Throughput != perNoCache.Throughput {
+		t.Fatalf("perturbed under shared infra: %v, want %v", got.Throughput, perNoCache.Throughput)
+	}
+}

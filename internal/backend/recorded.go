@@ -1,0 +1,250 @@
+package backend
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bhive/internal/pipeline"
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+// TraceVersion tags the trace file format; a bump invalidates old traces
+// wholesale (they fail to open rather than replaying stale semantics).
+const TraceVersion = 1
+
+// A measurement trace is a JSONL file:
+//
+//	line 1:  {"Version":1,"Backend":"sim","Fingerprint":"sim|{...}"}
+//	line 2+: {"Key":"5f0c…","CPU":"haswell","Status":0,"Tp":1.25,"Counters":{…}}
+//
+// Entries are content-addressed: Key = sha256(cpu name | block machine
+// code), so a trace is a pure function of what was measured — re-running
+// the same corpus in any order or sharding produces the same entry set,
+// and replay needs no positional bookkeeping. The header records which
+// backend produced the trace; replay adopts that identity (name and
+// fingerprint), which is what makes a replayed report byte-identical to
+// the originating backend's.
+type traceHeader struct {
+	Version     int
+	Backend     string
+	Fingerprint string
+}
+
+type traceEntry struct {
+	Key      string
+	CPU      string
+	Status   int
+	Tp       float64
+	Counters pipeline.Counters
+}
+
+// traceKey content-addresses one (cpu, block) measurement.
+func traceKey(cpuName string, b *x86.Block) (string, error) {
+	hexStr, err := b.Hex()
+	if err != nil {
+		return "", fmt.Errorf("backend: trace key: %w", err)
+	}
+	sum := sha256.Sum256([]byte(cpuName + "|" + hexStr))
+	return hex.EncodeToString(sum[:16]), nil
+}
+
+// Recorder wraps another backend and appends every measurement it
+// produces to a trace file, deduplicated by content address. It is
+// transparent: Name and Fingerprint are the inner backend's, so a
+// recording run reports exactly what the inner backend would alone.
+type Recorder struct {
+	inner Backend
+
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	seen map[string]bool
+	err  error // first write error, surfaced by Close
+}
+
+// NewRecorder creates (truncating) a trace at path and returns a backend
+// that measures through inner while recording. Close flushes and syncs
+// the trace.
+func NewRecorder(inner Backend, path string) (*Recorder, error) {
+	if dir := filepath.Dir(path); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("backend: trace: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("backend: trace: %w", err)
+	}
+	r := &Recorder{inner: inner, f: f, w: bufio.NewWriter(f), seen: make(map[string]bool)}
+	hdr, err := json.Marshal(traceHeader{
+		Version: TraceVersion, Backend: inner.Name(), Fingerprint: inner.Fingerprint(),
+	})
+	if err == nil {
+		_, err = r.w.Write(append(hdr, '\n'))
+	}
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("backend: trace: %w", err)
+	}
+	return r, nil
+}
+
+func (r *Recorder) Name() string        { return r.inner.Name() }
+func (r *Recorder) Fingerprint() string { return r.inner.Fingerprint() }
+
+func (r *Recorder) Measure(b *x86.Block, cpu *uarch.CPU) Measurement {
+	m := r.inner.Measure(b, cpu)
+	key, err := traceKey(cpu.Name, b)
+	if err != nil {
+		r.noteErr(err)
+		return m
+	}
+	raw, err := json.Marshal(traceEntry{
+		Key: key, CPU: cpu.Name, Status: int(m.Status), Tp: m.Throughput, Counters: m.Counters,
+	})
+	if err != nil {
+		r.noteErr(err)
+		return m
+	}
+	r.mu.Lock()
+	if !r.seen[key] && r.err == nil && r.w != nil {
+		r.seen[key] = true
+		if _, werr := r.w.Write(append(raw, '\n')); werr != nil {
+			r.err = werr
+		}
+	}
+	r.mu.Unlock()
+	return m
+}
+
+func (r *Recorder) noteErr(err error) {
+	r.mu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.mu.Unlock()
+}
+
+// Close flushes and syncs the trace, closes the inner backend, and
+// surfaces the first error from anywhere in the recording.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	err := r.err
+	if r.w != nil {
+		if ferr := r.w.Flush(); err == nil {
+			err = ferr
+		}
+		r.w = nil
+	}
+	if r.f != nil {
+		if serr := r.f.Sync(); err == nil {
+			err = serr
+		}
+		if cerr := r.f.Close(); err == nil {
+			err = cerr
+		}
+		r.f = nil
+	}
+	r.mu.Unlock()
+	if ierr := r.inner.Close(); err == nil {
+		err = ierr
+	}
+	if err != nil {
+		return fmt.Errorf("backend: trace: %w", err)
+	}
+	return nil
+}
+
+// RecordedBackend replays a measurement trace deterministically: every
+// Measure is a content-addressed lookup, no simulation runs. It adopts
+// the identity (name, fingerprint) of the backend that produced the
+// trace, so a replayed report is byte-identical to the original run's.
+// A block the trace never measured replays as StatusCrashed with a
+// descriptive error — hermetic by construction, never silently wrong.
+type RecordedBackend struct {
+	name        string
+	fingerprint string
+	path        string
+	entries     map[string]traceEntry
+}
+
+// OpenTrace loads a trace written by a Recorder. The whole file is
+// validated eagerly: version mismatches, corrupt lines, and duplicate
+// keys with conflicting payloads all fail here rather than mid-run.
+func OpenTrace(path string) (*RecordedBackend, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("backend: trace: %w", err)
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("backend: trace: %s: missing header", path)
+	}
+	var hdr traceHeader
+	if err := json.Unmarshal(raw[:nl], &hdr); err != nil {
+		return nil, fmt.Errorf("backend: trace: %s: bad header: %w", path, err)
+	}
+	if hdr.Version != TraceVersion {
+		return nil, fmt.Errorf("backend: trace: %s: version %d, want %d", path, hdr.Version, TraceVersion)
+	}
+	if hdr.Backend == "" {
+		return nil, fmt.Errorf("backend: trace: %s: header names no backend", path)
+	}
+	rb := &RecordedBackend{
+		name:        hdr.Backend,
+		fingerprint: hdr.Fingerprint,
+		path:        path,
+		entries:     make(map[string]traceEntry),
+	}
+	line := 1
+	rest := raw[nl+1:]
+	for len(rest) > 0 {
+		line++
+		nl = bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("backend: trace: %s:%d: truncated entry", path, line)
+		}
+		var e traceEntry
+		if err := json.Unmarshal(rest[:nl], &e); err != nil {
+			return nil, fmt.Errorf("backend: trace: %s:%d: %w", path, line, err)
+		}
+		if prev, dup := rb.entries[e.Key]; dup && (prev.Status != e.Status || prev.Tp != e.Tp) {
+			return nil, fmt.Errorf("backend: trace: %s:%d: key %s recorded twice with conflicting payloads", path, line, e.Key)
+		}
+		rb.entries[e.Key] = e
+		rest = rest[nl+1:]
+	}
+	return rb, nil
+}
+
+func (rb *RecordedBackend) Name() string        { return rb.name }
+func (rb *RecordedBackend) Fingerprint() string { return rb.fingerprint }
+
+// Len reports how many distinct (cpu, block) measurements the trace holds.
+func (rb *RecordedBackend) Len() int { return len(rb.entries) }
+
+func (rb *RecordedBackend) Measure(b *x86.Block, cpu *uarch.CPU) Measurement {
+	key, err := traceKey(cpu.Name, b)
+	if err != nil {
+		return Measurement{Status: profiler.StatusCrashed, Err: err}
+	}
+	e, ok := rb.entries[key]
+	if !ok {
+		return Measurement{
+			Status: profiler.StatusCrashed,
+			Err:    fmt.Errorf("backend: trace %s has no measurement for this block on %s", rb.path, cpu.Name),
+		}
+	}
+	return Measurement{Status: profiler.Status(e.Status), Throughput: e.Tp, Counters: e.Counters}
+}
+
+func (rb *RecordedBackend) Close() error { return nil }

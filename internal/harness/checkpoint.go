@@ -322,6 +322,12 @@ func runFingerprint(cfg Config, recs []corpus.Record) string {
 		CheckpointVersion, cfg.Seed, cfg.Scale,
 		cfg.TrainIthemal, cfg.IthemalEpochs, cfg.IthemalTrainCap,
 		profiler.DefaultOptions().Fingerprint(), profcache.Version, cfg.Prescreen, len(recs))
+	// Backend identity (cross-validation runs): a trace replay adopts the
+	// fingerprint of the backend that produced it, so a replayed run
+	// deliberately shares the originating run's checkpoints.
+	for _, be := range cfg.Backends {
+		fmt.Fprintf(h, "backend=%s\n", be.Fingerprint())
+	}
 	var buf []byte
 	for i := range recs {
 		fmt.Fprintf(h, "%s|%d|", recs[i].App, recs[i].Freq)

@@ -652,6 +652,18 @@ func (s *Suite) RunStructured(id, uarchName string) (*RunResult, error) {
 		return &RunResult{ID: id, Text: text}, nil
 	case "fig-google-blocks":
 		return one(s.FigGoogleBlocks())
+	case XValID:
+		tables, err := s.CrossValidation(cpus)
+		if err != nil {
+			return nil, err
+		}
+		rr := &RunResult{ID: id, Tables: tables}
+		var sb strings.Builder
+		for _, t := range tables {
+			sb.WriteString(t.Render())
+		}
+		rr.Text = sb.String()
+		return rr, nil
 	case "all":
 		rr := &RunResult{ID: id}
 		var sb strings.Builder
@@ -667,7 +679,7 @@ func (s *Suite) RunStructured(id, uarchName string) (*RunResult, error) {
 		rr.Text = sb.String()
 		return rr, nil
 	}
-	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, Names())
+	return nil, fmt.Errorf("harness: unknown experiment %q (have %v)", id, AllNames())
 }
 
 // Run executes one experiment by id and returns its text rendering.

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bhive/internal/backend"
 	"bhive/internal/blocklint"
 	"bhive/internal/classify"
 	"bhive/internal/corpus"
@@ -115,6 +116,14 @@ type Config struct {
 	// (see blocklint.Report.Agrees). Disagreements are surfaced in the
 	// progress stream and in the metrics ("cross-mismatch=N").
 	Crosscheck bool
+
+	// Backends supplies the measurement backends the cross-validation
+	// experiment (XValID) compares; empty means a single stock-simulator
+	// backend wired to ProfileCache and Metrics. The suite does not own
+	// them: the caller Closes them after the run (traces flush there).
+	// Their fingerprints are part of the run fingerprint, so checkpoints
+	// written under one backend set never resume another.
+	Backends []backend.Backend
 }
 
 // DefaultConfig is sized for interactive runs.
@@ -161,13 +170,15 @@ type Suite struct {
 	recs []corpus.Record
 	fp   string // run fingerprint binding checkpoints to this configuration
 
-	mu       sync.Mutex
-	arch     map[string]*archOnce
-	cls      *classify.Classifier
-	learn    map[string]*ithemal.Model
-	ckpt     *Checkpoint
-	ckptErr  error
-	ckptOpen bool
+	mu        sync.Mutex
+	arch      map[string]*archOnce
+	bmeas     map[string]*bmeasOnce // per-(µarch, backend) xval measurements
+	defaultBE backend.Backend       // lazily built when Config.Backends is empty
+	cls       *classify.Classifier
+	learn     map[string]*ithemal.Model
+	ckpt      *Checkpoint
+	ckptErr   error
+	ckptOpen  bool
 
 	computedShards  atomic.Int64  // shards computed (not resumed) this run
 	profileCalls    atomic.Uint64 // Profile invocations (resumed shards skip these)

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// gcLoop periodically collects expired finished jobs until Shutdown. The
+// sweep period is a fraction of the TTL (bounded below so a tiny TTL
+// doesn't busy-loop), so a job outlives its TTL by at most one period.
+func (s *Server) gcLoop() {
+	defer s.wg.Done()
+	period := s.cfg.JobTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.interrupt:
+			return
+		case <-t.C:
+			s.CollectJobs(time.Now())
+		}
+	}
+}
+
+// CollectJobs deletes every job that reached a terminal state (done or
+// failed) more than JobTTL before now: registry entry and on-disk
+// directory both. Queued and running jobs are never candidates — their
+// checkpoint journals are exactly the state a restart resumes from — so
+// an in-flight job cannot be collected no matter how old it is. Returns
+// how many jobs were collected.
+func (s *Server) CollectJobs(now time.Time) int {
+	if s.cfg.JobTTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.cfg.JobTTL)
+
+	// Select under the lock, delete directories outside it: RemoveAll on a
+	// large checkpoint journal must not stall submissions.
+	s.mu.Lock()
+	var expired []*Job
+	for id, j := range s.jobs {
+		state, _ := j.State()
+		if state != stateDone && state != stateFailed {
+			continue
+		}
+		fin := j.finishedAt()
+		if fin.IsZero() || fin.After(cutoff) {
+			continue
+		}
+		delete(s.jobs, id)
+		expired = append(expired, j)
+	}
+	s.mu.Unlock()
+
+	for _, j := range expired {
+		if err := os.RemoveAll(j.dir); err != nil {
+			// The registry entry is already gone; surface the leak rather
+			// than resurrecting the job. The next sweep of a fresh server
+			// will retry via scanJobs.
+			fmt.Fprintf(os.Stderr, "server: gc: %s: %v\n", j.ID, err)
+		}
+	}
+	return len(expired)
+}

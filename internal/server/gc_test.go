@@ -1,0 +1,206 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// registerJob fabricates a job directly in the registry (bypassing the
+// queue, so no worker touches it) with a real on-disk directory.
+func registerJob(t *testing.T, s *Server, id, state string, finished time.Time) *Job {
+	t.Helper()
+	dir := filepath.Join(s.jobsDir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "marker"), []byte(id), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := newJob(id, dir, Request{})
+	j.mu.Lock()
+	j.state = state
+	j.finished = finished
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.mu.Unlock()
+	return j
+}
+
+func hasJob(s *Server, id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.jobs[id]
+	return ok
+}
+
+// TestCollectJobs pins the collection policy: only terminal jobs whose
+// completion predates the TTL are collected — registry entry and job
+// directory both — and a job that is still queued or running is never a
+// candidate, no matter what timestamps it carries.
+func TestCollectJobs(t *testing.T) {
+	s, err := New(Config{DataDir: t.TempDir(), JobTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+
+	now := time.Now()
+	old := now.Add(-2 * time.Hour)
+	cases := []struct {
+		id, state string
+		finished  time.Time
+		collected bool
+	}{
+		{"done-expired", stateDone, old, true},
+		{"failed-expired", stateFailed, old, true},
+		{"done-fresh", stateDone, now, false},
+		{"done-unfinished", stateDone, time.Time{}, false}, // no timestamp: never expires
+		{"queued-ancient", stateQueued, old, false},        // in-flight, whatever the clock says
+		{"running-ancient", stateRunning, old, false},      // in-flight, whatever the clock says
+	}
+	for _, c := range cases {
+		registerJob(t, s, c.id, c.state, c.finished)
+	}
+
+	if n := s.CollectJobs(now); n != 2 {
+		t.Fatalf("CollectJobs = %d, want 2", n)
+	}
+	for _, c := range cases {
+		gone := !hasJob(s, c.id)
+		if gone != c.collected {
+			t.Errorf("%s (%s): collected = %v, want %v", c.id, c.state, gone, c.collected)
+		}
+		_, err := os.Stat(filepath.Join(s.jobsDir, c.id))
+		if dirGone := os.IsNotExist(err); dirGone != c.collected {
+			t.Errorf("%s: directory removed = %v, want %v", c.id, dirGone, c.collected)
+		}
+	}
+
+	// A second sweep finds nothing left to do.
+	if n := s.CollectJobs(now); n != 0 {
+		t.Fatalf("second sweep collected %d jobs", n)
+	}
+}
+
+// TestCollectJobsDisabled: TTL zero means keep forever.
+func TestCollectJobsDisabled(t *testing.T) {
+	s, err := New(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	registerJob(t, s, "done-ancient", stateDone, time.Now().Add(-1000*time.Hour))
+	if n := s.CollectJobs(time.Now()); n != 0 {
+		t.Fatalf("TTL-disabled server collected %d jobs", n)
+	}
+	if !hasJob(s, "done-ancient") {
+		t.Fatal("TTL-disabled server dropped a job")
+	}
+}
+
+// seedJobDir writes a restorable job directory (request.json plus an
+// optional terminal file) and backdates every mtime, simulating a job
+// that finished long before this server process started.
+func seedJobDir(t *testing.T, dataDir, id, terminalFile string, mtime time.Time) {
+	t.Helper()
+	req := Request{CorpusCSV: "app,hex,freq\n" + id + ",4889c8,1\n"}
+	if err := req.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.MarshalIndent(req, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(dataDir, "jobs", id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "request.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{terminalFile} {
+		if name == "" {
+			continue
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(filepath.Join(dir, name), mtime, mtime); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGCAtStartup: a restarted server must apply the TTL to jobs that
+// finished under a previous process — expiry is dated by the terminal
+// file's mtime (the backfill), not by when this process first saw the
+// job. Unfinished jobs survive startup collection: their checkpoints are
+// the state a resume needs.
+func TestGCAtStartup(t *testing.T) {
+	dataDir := t.TempDir()
+	old := time.Now().Add(-2 * time.Hour)
+	seedJobDir(t, dataDir, "expired-done", "result.json", old)
+	seedJobDir(t, dataDir, "expired-failed", "error.json", old)
+	seedJobDir(t, dataDir, "fresh-done", "result.json", time.Now())
+	seedJobDir(t, dataDir, "interrupted", "", old) // no terminal file: still pending
+
+	s, err := New(Config{DataDir: dataDir, JobTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{"expired-done", "expired-failed"} {
+		if hasJob(s, id) {
+			t.Errorf("%s survived startup collection", id)
+		}
+		if _, err := os.Stat(filepath.Join(dataDir, "jobs", id)); !os.IsNotExist(err) {
+			t.Errorf("%s directory survived startup collection", id)
+		}
+	}
+	if !hasJob(s, "fresh-done") {
+		t.Error("fresh-done was collected before its TTL")
+	}
+	// The pending job was re-queued (and may be running, or even finished
+	// — its one-block corpus is tiny — by the time we look); collection
+	// must not have touched it, and its directory must survive shutdown.
+	if !hasJob(s, "interrupted") {
+		t.Error("pending job was collected at startup")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "jobs", "interrupted")); err != nil {
+		t.Errorf("pending job directory: %v", err)
+	}
+}
+
+// TestGCTimer: with a tiny TTL the background sweep (period is clamped
+// to one second) collects an expired job without any further API calls.
+func TestGCTimer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out a one-second GC sweep")
+	}
+	s, err := New(Config{DataDir: t.TempDir(), JobTTL: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	registerJob(t, s, "expired", stateDone, time.Now().Add(-time.Minute))
+	registerJob(t, s, "running", stateRunning, time.Now().Add(-time.Minute))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for hasJob(s, "expired") {
+		if time.Now().After(deadline) {
+			t.Fatal("timer sweep never collected the expired job")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !hasJob(s, "running") {
+		t.Fatal("timer sweep collected an in-flight job")
+	}
+}

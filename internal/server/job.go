@@ -95,6 +95,22 @@ func (j *Job) setBlocks(n int) {
 	j.blocks = n
 }
 
+// finishedAt returns when the job reached a terminal state (zero if it
+// hasn't). For jobs restored by scanJobs the restore path backfills it
+// from the result/error file mtime, so TTL expiry survives restarts
+// instead of resetting on each one.
+func (j *Job) finishedAt() time.Time {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.finished
+}
+
+func (j *Job) setFinished(t time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = t
+}
+
 // State returns the current state and its human-readable detail.
 func (j *Job) State() (state, detail string) {
 	j.mu.Lock()

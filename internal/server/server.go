@@ -32,7 +32,9 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
+	"bhive/internal/backend"
 	"bhive/internal/corpus"
 	"bhive/internal/harness"
 	"bhive/internal/profcache"
@@ -59,6 +61,11 @@ type Config struct {
 	// computed shards and the job returns to the queue. It exists for the
 	// restart-resume tests and for chunked batch operation.
 	StopAfterShards int
+	// JobTTL, when positive, garbage-collects finished (done or failed)
+	// job directories that terminated longer than JobTTL ago — at startup
+	// and then periodically. Queued and running jobs are never collected:
+	// their checkpoints are the resume state. Zero disables GC.
+	JobTTL time.Duration
 }
 
 // maxRequestBytes bounds /v1/evaluate bodies (inline corpora included).
@@ -104,6 +111,11 @@ func New(cfg Config) (*Server, error) {
 	if err := s.scanJobs(); err != nil {
 		return nil, err
 	}
+	if cfg.JobTTL > 0 {
+		s.CollectJobs(time.Now())
+		s.wg.Add(1)
+		go s.gcLoop()
+	}
 	for w := 0; w < cfg.MaxJobs; w++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -138,6 +150,7 @@ func (s *Server) scanJobs() error {
 		switch {
 		case fileExists(filepath.Join(dir, "result.json")):
 			j.setState(stateDone, "")
+			backfillFinished(j, filepath.Join(dir, "result.json"))
 		case fileExists(filepath.Join(dir, "error.json")):
 			msg := "failed"
 			if raw, err := os.ReadFile(filepath.Join(dir, "error.json")); err == nil {
@@ -147,6 +160,7 @@ func (s *Server) scanJobs() error {
 				}
 			}
 			j.setState(stateFailed, msg)
+			backfillFinished(j, filepath.Join(dir, "error.json"))
 		default:
 			s.queue <- j
 		}
@@ -158,6 +172,15 @@ func (s *Server) scanJobs() error {
 func fileExists(path string) bool {
 	_, err := os.Stat(path)
 	return err == nil
+}
+
+// backfillFinished dates a restored terminal job by its terminal file's
+// mtime, so job TTLs measure time since completion, not time since the
+// last server restart.
+func backfillFinished(j *Job, terminalFile string) {
+	if fi, err := os.Stat(terminalFile); err == nil {
+		j.setFinished(fi.ModTime())
+	}
 }
 
 // Handler returns the service's HTTP routes.
@@ -410,6 +433,11 @@ type Request struct {
 	// ShardSize is the checkpointing granularity (default
 	// harness.DefaultShardSize).
 	ShardSize int `json:"shard_size,omitempty"`
+	// Backends are measurement-backend specs ("sim", "perturbed",
+	// "recorded:<path>") for the cross-validation experiment. When set and
+	// Experiments is omitted, the job defaults to ["xval"]. Trace paths
+	// resolve on the server's filesystem.
+	Backends []string `json:"backends,omitempty"`
 }
 
 // normalize applies defaults and validates. It runs both at submission
@@ -417,16 +445,30 @@ type Request struct {
 // server rebuilds the exact same harness configuration.
 func (r *Request) normalize() error {
 	if len(r.Experiments) == 0 {
-		r.Experiments = []string{"table5"}
+		if len(r.Backends) > 0 {
+			r.Experiments = []string{harness.XValID}
+		} else {
+			r.Experiments = []string{"table5"}
+		}
 	}
 	valid := map[string]bool{"all": true}
-	for _, n := range harness.Names() {
+	for _, n := range harness.AllNames() {
 		valid[n] = true
 	}
 	for _, e := range r.Experiments {
 		if !valid[e] {
-			return fmt.Errorf("unknown experiment %q (have %s, all)", e, strings.Join(harness.Names(), ", "))
+			return fmt.Errorf("unknown experiment %q (have %s, all)", e, strings.Join(harness.AllNames(), ", "))
 		}
+	}
+	seen := map[string]bool{}
+	for _, spec := range r.Backends {
+		if err := backend.CheckSpec(spec); err != nil {
+			return err
+		}
+		if seen[spec] {
+			return fmt.Errorf("duplicate backend spec %q", spec)
+		}
+		seen[spec] = true
 	}
 	if r.Uarch != "" {
 		if _, err := uarch.ByName(r.Uarch); err != nil {
@@ -531,10 +573,25 @@ func (s *Server) runJob(j *Job) {
 }
 
 // executeJob drives the harness for one job and renders the result bytes.
-func (s *Server) executeJob(j *Job) ([]byte, error) {
+func (s *Server) executeJob(j *Job) (_ []byte, err error) {
 	cfg, err := s.harnessConfig(j)
 	if err != nil {
 		return nil, err
+	}
+	if len(j.req.Backends) > 0 {
+		bes, berr := backend.ParseList(strings.Join(j.req.Backends, ","),
+			backend.Options{Cache: s.cfg.Cache, Metrics: j.metrics})
+		if berr != nil {
+			return nil, berr
+		}
+		defer func() {
+			for _, be := range bes {
+				if cerr := be.Close(); cerr != nil && err == nil {
+					err = cerr
+				}
+			}
+		}()
+		cfg.Backends = bes
 	}
 	suite := harness.New(cfg)
 	defer suite.Close()

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"bhive/internal/corpus"
+	"bhive/internal/harness"
 	"bhive/internal/profcache"
 )
 
@@ -260,6 +261,9 @@ func TestSubmitValidation(t *testing.T) {
 		{"unknown uarch", `{"uarch":"zen4"}`, "zen4"},
 		{"bad corpus row", `{"corpus_csv":"app,hex,freq\nfoo,90,1\nfoo,zz,1\n"}`, "line 3"},
 		{"duplicate corpus row", `{"corpus_csv":"app,hex,freq\nfoo,90,1\nfoo,90,2\n"}`, "duplicate block row"},
+		{"unknown backend", `{"backends":["hardware"]}`, "unknown spec"},
+		{"bare recorded backend", `{"backends":["recorded"]}`, "recorded needs a trace path"},
+		{"duplicate backend", `{"backends":["sim","sim"]}`, "duplicate backend spec"},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(tc.body))
@@ -320,5 +324,17 @@ func TestRequestIDNormalization(t *testing.T) {
 	}
 	if idc == ida {
 		t.Fatal("different seeds share a job id")
+	}
+}
+
+// TestBackendsDefaultExperiment: submitting backends without naming an
+// experiment means cross-validation — that's what backends are for.
+func TestBackendsDefaultExperiment(t *testing.T) {
+	r := Request{Backends: []string{"sim", "perturbed"}}
+	if err := r.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Experiments) != 1 || r.Experiments[0] != harness.XValID {
+		t.Fatalf("experiments = %v, want [%s]", r.Experiments, harness.XValID)
 	}
 }

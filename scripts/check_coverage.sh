@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Coverage gate: total statement coverage over ./internal/... must not
+# drop below the committed baseline (scripts/coverage_baseline.txt).
+#
+# The baseline is a floor, not a target — raise it when a PR durably
+# lifts coverage (run this script and copy the printed total), never
+# lower it to make a PR pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=$(cat scripts/coverage_baseline.txt)
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -count=1 -coverprofile="$profile" ./internal/...
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+
+echo "total coverage: ${total}% (baseline: ${baseline}%)"
+if awk -v t="$total" -v b="$baseline" 'BEGIN { exit !(t < b) }'; then
+  echo "FAIL: coverage ${total}% fell below the baseline ${baseline}%" >&2
+  exit 1
+fi
