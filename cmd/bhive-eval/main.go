@@ -63,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		cacheF    = fs.String("profile-cache", "", "persistent profile cache file (created if absent; reruns skip profiling)")
 		shardSize = fs.Int("shard-size", harness.DefaultShardSize, "corpus records per evaluation shard (the unit of checkpointing)")
 		ckptF     = fs.String("checkpoint", "", "shard checkpoint journal (created if absent; an interrupted run resumes from it)")
+		fsyncN    = fs.Int("fsync-every", 1, "fsync the checkpoint once per N shards (group commit; a crash loses at most the last N-1 shards)")
 		progress  = fs.Bool("progress", false, "print per-shard progress lines (blocks/s, cache-hit rate, rejects) to stderr")
 		prescreen = fs.Bool("prescreen", false, "statically reject blocks before profiling (skips counted as prescreened=N)")
 		crosschk  = fs.Bool("crosscheck", false, "validate dynamic reject statuses against static predictions (mismatches to -progress)")
@@ -95,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	cfg.IthemalEpochs = *epochs
 	cfg.ShardSize = *shardSize
 	cfg.CheckpointPath = *ckptF
+	cfg.FsyncEvery = *fsyncN
 	cfg.Prescreen = *prescreen
 	cfg.Crosscheck = *crosschk
 	cfg.StopAfterShards = *stopAfter

@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		workers = fs.Int("workers", 0, "profiling workers per job (0 = GOMAXPROCS)")
 		maxJobs = fs.Int("max-jobs", 1, "jobs running concurrently (queued jobs wait)")
 		drain   = fs.Duration("drain-timeout", 5*time.Minute, "max wait for running jobs to reach a shard boundary on shutdown")
+		fsyncN  = fs.Int("fsync-every", 1, "fsync job checkpoints once per N shards (group commit; a hard kill recomputes at most the last N-1 shards)")
 		jobTTL  = fs.Duration("job-ttl", 0, "delete finished job directories this long after completion (0 = keep forever)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -78,11 +79,12 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 
 	srv, err := server.New(server.Config{
-		DataDir: *dataDir,
-		Cache:   pc,
-		Workers: *workers,
-		MaxJobs: *maxJobs,
-		JobTTL:  *jobTTL,
+		DataDir:    *dataDir,
+		Cache:      pc,
+		Workers:    *workers,
+		MaxJobs:    *maxJobs,
+		FsyncEvery: *fsyncN,
+		JobTTL:     *jobTTL,
 	})
 	if err != nil {
 		return err

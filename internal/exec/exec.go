@@ -43,6 +43,14 @@ type Runner struct {
 	Record bool
 	Trace  []Step
 
+	// Acc is the arena backing the Load/Store records of traced steps, so
+	// a run performs no per-access heap allocation. Run reserves enough
+	// free capacity up front that appends never reallocate — entries stay
+	// address-stable for the lifetime of the trace that points into them.
+	// Callers recycling a runner's buffers must recycle Trace and Acc
+	// together: a step and its accesses share one validity window.
+	Acc []MemAccess
+
 	// OnFault, when non-nil, is invoked for every page fault. Returning
 	// true means the handler repaired the fault (e.g. mapped the page) and
 	// the access is retried in place; returning false propagates the fault
@@ -62,6 +70,13 @@ func NewRunner(as *vm.AddressSpace) *Runner {
 // instruction's virtual address plus a final entry for the end address
 // (used for RIP-relative addressing).
 func (r *Runner) Run(insts []x86.Inst, addrs []uint64) error {
+	// Reserve arena headroom so newAccess never reallocates mid-run: at
+	// most one load and one store per instruction. A prior Run's entries
+	// are kept live by the steps pointing at the old backing array, so a
+	// full arena is replaced, not grown in place.
+	if free := cap(r.Acc) - len(r.Acc); free < 2*len(insts) {
+		r.Acc = make([]MemAccess, 0, 2*len(insts))
+	}
 	for i := range insts {
 		if addrs != nil {
 			r.State.RIP = addrs[i+1] // RIP-relative is next-instruction based
@@ -105,8 +120,21 @@ func (r *Runner) loadBytes(addr uint64, buf []byte, step *Step) error {
 		return err
 	}
 	_, phys, _ := r.AS.Translate(addr)
-	step.Load = &MemAccess{Addr: addr, Phys: phys, Size: uint8(len(buf))}
+	step.Load = r.newAccess(MemAccess{Addr: addr, Phys: phys, Size: uint8(len(buf))})
 	return nil
+}
+
+// newAccess places an access record in the arena and returns its stable
+// address. The fallback allocation is unreachable under Run's reservation
+// (≤2 accesses per instruction) but keeps pointer stability unconditional.
+func (r *Runner) newAccess(a MemAccess) *MemAccess {
+	if len(r.Acc) < cap(r.Acc) {
+		r.Acc = append(r.Acc, a)
+		return &r.Acc[len(r.Acc)-1]
+	}
+	p := new(MemAccess)
+	*p = a
+	return p
 }
 
 func (r *Runner) storeBytes(addr uint64, buf []byte, step *Step) error {
@@ -121,7 +149,7 @@ func (r *Runner) storeBytes(addr uint64, buf []byte, step *Step) error {
 		return err
 	}
 	_, phys, _ := r.AS.Translate(addr)
-	step.Store = &MemAccess{Addr: addr, Phys: phys, Size: uint8(len(buf)), Write: true}
+	step.Store = r.newAccess(MemAccess{Addr: addr, Phys: phys, Size: uint8(len(buf)), Write: true})
 	return nil
 }
 

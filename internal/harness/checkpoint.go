@@ -30,9 +30,13 @@ const CheckpointVersion = 1
 //	line 2+: {"Arch":"haswell","Shard":0,"Stage":"meas","Tp":[…],"Status":[…]}
 //	         {"Arch":"haswell","Shard":0,"Stage":"pred","Preds":{"IACA":[…],…}}
 //
-// Each completed shard appends (and syncs) exactly one line, so the
-// journal is durable shard-by-shard and O(1) per shard regardless of run
-// length; a crash can lose at most the shard in flight. The fingerprint
+// Each completed shard appends exactly one line, so the journal is O(1)
+// per shard regardless of run length. By default every append also syncs,
+// making the journal durable shard-by-shard: a crash can lose at most the
+// shard in flight. SetGroupCommit relaxes that to one sync per N appends
+// (group commit) — small, fast shards then stop paying a device flush
+// each; a crash can lose up to the last unsynced group, which a resume
+// simply recomputes. Close and Flush always sync the tail. The fingerprint
 // binds the journal to one run identity — corpus content, seed, scale,
 // profiling options, and model configuration (the same key space
 // profcache uses, lifted to whole runs) — so a journal written by a
@@ -48,6 +52,13 @@ type Checkpoint struct {
 	mu     sync.Mutex
 	f      *os.File
 	shards map[shardKey]*ShardEntry
+
+	// Group-commit state: sync once per groupEvery appends (<=1: every
+	// append). pending counts appends written since the last sync; syncs
+	// counts Sync calls (observed by tests to pin the batching behavior).
+	groupEvery int
+	pending    int
+	syncs      int
 }
 
 type shardKey struct {
@@ -258,13 +269,14 @@ func (c *Checkpoint) Shards() int {
 	return len(c.shards)
 }
 
-// PutMeas persists one shard's measurements and syncs the journal.
+// PutMeas persists one shard's measurements (synced per the group-commit
+// policy).
 func (c *Checkpoint) PutMeas(arch string, idx int, tp []float64, status []int) error {
 	return c.append(&ckptLine{Arch: arch, Shard: idx, Stage: "meas", Tp: tp, Status: status})
 }
 
-// PutPreds persists one shard's per-model predictions and syncs the
-// journal.
+// PutPreds persists one shard's per-model predictions (synced per the
+// group-commit policy).
 func (c *Checkpoint) PutPreds(arch string, idx int, preds map[string][]float64) error {
 	l := &ckptLine{Arch: arch, Shard: idx, Stage: "pred",
 		Preds: make(map[string][]nanFloat, len(preds))}
@@ -276,6 +288,18 @@ func (c *Checkpoint) PutPreds(arch string, idx int, preds map[string][]float64) 
 		l.Preds[name] = ns
 	}
 	return c.append(l)
+}
+
+// SetGroupCommit makes the journal sync once per n appends instead of on
+// every append (n <= 1 restores per-append durability). Each record and
+// its newline are still written as one unit, so the torn-tail recovery
+// contract is unchanged; what group commit trades away is durability of
+// the lines written since the last sync — after a crash (not a clean
+// Close, which always flushes) those shards are recomputed on resume.
+func (c *Checkpoint) SetGroupCommit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.groupEvery = n
 }
 
 func (c *Checkpoint) append(l *ckptLine) error {
@@ -291,22 +315,53 @@ func (c *Checkpoint) append(l *ckptLine) error {
 	if _, err := c.f.Write(append(raw, '\n')); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := c.f.Sync(); err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+	c.pending++
+	if c.pending >= c.groupEvery || c.groupEvery <= 1 {
+		if err := c.sync(); err != nil {
+			return err
+		}
 	}
 	c.apply(l)
 	return nil
 }
 
-// Close releases the journal's append handle. Completed shards are
-// already durable; Close only stops further appends.
+// sync flushes pending appends to stable storage. Callers hold c.mu.
+func (c *Checkpoint) sync() error {
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	c.syncs++
+	c.pending = 0
+	return nil
+}
+
+// Flush syncs any appends the group-commit window is still holding. It is
+// the durable boundary for graceful interrupts: after Flush returns, every
+// persisted shard survives a crash.
+func (c *Checkpoint) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil || c.pending == 0 {
+		return nil
+	}
+	return c.sync()
+}
+
+// Close flushes the group-commit tail and releases the journal's append
+// handle; after a clean Close every persisted shard is durable.
 func (c *Checkpoint) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.f == nil {
 		return nil
 	}
-	err := c.f.Close()
+	var err error
+	if c.pending > 0 {
+		err = c.sync()
+	}
+	if cerr := c.f.Close(); err == nil {
+		err = cerr
+	}
 	c.f = nil
 	return err
 }

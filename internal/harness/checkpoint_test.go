@@ -353,3 +353,104 @@ func TestResumeMatchesGolden(t *testing.T) {
 		t.Fatalf("resumed Table V diverged from the golden output.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
+
+// TestCheckpointGroupCommit pins the group-commit batching: N appends
+// share one Sync, Flush drains a partial group, and every line written
+// (synced or not) replays after a clean Close.
+func TestCheckpointGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck, err := OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.SetGroupCommit(3)
+	for i := 0; i < 7; i++ {
+		if err := ck.PutMeas("haswell", i, []float64{float64(i)}, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ck.syncs; got != 2 {
+		t.Fatalf("7 appends at group size 3 took %d syncs, want 2", got)
+	}
+	if err := ck.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ck.syncs; got != 3 {
+		t.Fatalf("Flush did not sync the partial group: %d syncs, want 3", got)
+	}
+	if err := ck.Flush(); err != nil { // nothing pending: must not sync again
+		t.Fatal(err)
+	}
+	if got := ck.syncs; got != 3 {
+		t.Fatalf("empty Flush synced: %d syncs, want 3", got)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err = OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if ck.Shards() != 7 {
+		t.Fatalf("replay lost group-committed shards: %d, want 7", ck.Shards())
+	}
+}
+
+// TestCheckpointCrashMidGroup simulates a hard kill inside a group-commit
+// window: several whole lines were written but not synced, and the line in
+// flight tore mid-record. Recovery must keep every complete line — whether
+// or not its group ever synced — and drop only the torn tail.
+func TestCheckpointCrashMidGroup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	ck, err := OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.SetGroupCommit(8)
+	for i := 0; i < 5; i++ {
+		if err := ck.PutMeas("haswell", i, []float64{float64(i)}, []int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ck.syncs != 0 {
+		t.Fatalf("group of 8 synced after 5 appends: %d syncs", ck.syncs)
+	}
+	// Crash: drop the handle without Flush/Close, then tear the tail the
+	// way an interrupted append would.
+	ck.f.Close()
+	ck.f = nil
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"Arch":"haswell","Shard":5,"Stage":"meas","Tp":[`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck, err = OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatalf("crash mid-group must be recoverable: %v", err)
+	}
+	if ck.Shards() != 5 {
+		t.Fatalf("complete unsynced lines lost: %d shards, want 5", ck.Shards())
+	}
+	if _, ok := ck.Shard("haswell", 5); ok {
+		t.Fatal("torn in-flight record resurrected")
+	}
+	// The recomputed shard appends cleanly onto the truncated boundary.
+	if err := ck.PutMeas("haswell", 5, []float64{5}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+	ck, err = OpenCheckpoint(path, "fp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if ck.Shards() != 6 {
+		t.Fatalf("post-recovery append lost: %d shards, want 6", ck.Shards())
+	}
+}

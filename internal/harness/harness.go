@@ -81,6 +81,12 @@ type Config struct {
 	// resumes from the last completed shard. See Checkpoint for the file
 	// format.
 	CheckpointPath string
+	// FsyncEvery relaxes checkpoint durability to one fsync per N
+	// completed shards (group commit); 0 or 1 syncs every shard. A crash
+	// can lose at most the last N-1 persisted shards, which the next run
+	// recomputes — graceful stops (Close, Interrupt, StopAfterShards)
+	// always flush, so only a hard kill pays that price.
+	FsyncEvery int
 	// Progress, when non-nil, receives one line per completed shard
 	// (blocks/s, cache-hit rate, reject-status histogram) and a per-µarch
 	// summary line. It must be distinct from the stream the rendered
@@ -216,9 +222,9 @@ func New(cfg Config) *Suite {
 // Records exposes the generated corpus.
 func (s *Suite) Records() []corpus.Record { return s.recs }
 
-// Close releases the checkpoint journal, if one was opened. The journal
-// is durable after every shard, so Close loses nothing; it only stops
-// further appends.
+// Close releases the checkpoint journal, if one was opened, flushing any
+// shards a group-commit window (Config.FsyncEvery) was still holding.
+// After Close every persisted shard is durable.
 func (s *Suite) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -238,6 +244,9 @@ func (s *Suite) checkpoint() (*Checkpoint, error) {
 	if !s.ckptOpen {
 		s.ckpt, s.ckptErr = OpenCheckpoint(s.cfg.CheckpointPath, s.fp, s.cfg.ShardSize)
 		s.ckptOpen = true
+		if s.ckpt != nil && s.cfg.FsyncEvery > 1 {
+			s.ckpt.SetGroupCommit(s.cfg.FsyncEvery)
+		}
 	}
 	return s.ckpt, s.ckptErr
 }
@@ -264,6 +273,38 @@ func (s *Suite) spendShard() bool {
 	default: // nil channel: never ready, default always taken
 		return false
 	}
+}
+
+// resumedRecords counts the records of one measurement pass whose shards
+// the checkpoint already holds — the work a resume skips, excluded from
+// the planned total behind the progress ETA.
+func (s *Suite) resumedRecords(ck *Checkpoint, arch string) int {
+	if ck == nil {
+		return 0
+	}
+	n := len(s.recs)
+	resumed := 0
+	for si := 0; si < s.numShards(n); si++ {
+		lo, hi := s.shardBounds(si, n)
+		if sh, ok := ck.Shard(arch, si); ok && sh.MeasDone && len(sh.Tp) == hi-lo {
+			resumed += hi - lo
+		}
+	}
+	return resumed
+}
+
+// etaSuffix renders the overall-rate/ETA segment of a progress line
+// ("  overall 1234 blocks/s  eta 2m5s"), or "" before any outcome lands.
+func etaSuffix(met *profiler.Metrics) string {
+	rate, eta, ok := met.Throughput()
+	if !ok {
+		return ""
+	}
+	out := fmt.Sprintf("  overall %.0f blocks/s", rate)
+	if eta > 0 {
+		out += fmt.Sprintf("  eta %s", eta.Round(time.Second))
+	}
+	return out
 }
 
 // numShards is the shard count covering n records.
@@ -411,6 +452,10 @@ func (s *Suite) computeArch(cpu *uarch.CPU) (*archData, error) {
 		met = new(profiler.Metrics)
 	}
 
+	// Register this pass's non-resumed work up front so the per-shard
+	// progress lines can carry an overall rate and time-to-finish.
+	met.AddPlanned(n - s.resumedRecords(ck, cpu.Name))
+
 	// Pass 1: measurements, shard by shard.
 	for si := 0; si < num; si++ {
 		lo, hi := s.shardBounds(si, n)
@@ -439,9 +484,9 @@ func (s *Suite) computeArch(cpu *uarch.CPU) (*archData, error) {
 			}
 		}
 		delta := met.Snapshot().Sub(before)
-		s.progressf("[%s] meas shard %d/%d: %d blocks  %.0f blocks/s  cache-hit %.1f%%  reject: %s\n",
+		s.progressf("[%s] meas shard %d/%d: %d blocks  %.0f blocks/s%s  cache-hit %.1f%%  reject: %s\n",
 			cpu.Name, si+1, num, hi-lo,
-			float64(hi-lo)/time.Since(start).Seconds(),
+			float64(hi-lo)/time.Since(start).Seconds(), etaSuffix(met),
 			100*delta.HitRate(), delta.RejectHistogram())
 		if s.spendShard() {
 			return nil, ErrInterrupted

@@ -89,6 +89,12 @@ func (s *Suite) computeBackendArch(be backend.Backend, cpu *uarch.CPU) ([]measur
 	num := s.numShards(n)
 	meas := make([]measurement, n)
 
+	// Backends that share Config.Metrics (the evaluation server wires its
+	// job metrics into both) get the same overall-rate/ETA reporting as
+	// the stock measurement pass; AddPlanned is a no-op on a nil sink.
+	met := s.cfg.Metrics
+	met.AddPlanned(n - s.resumedRecords(ck, key))
+
 	for si := 0; si < num; si++ {
 		lo, hi := s.shardBounds(si, n)
 		if ck != nil {
@@ -114,8 +120,8 @@ func (s *Suite) computeBackendArch(be backend.Backend, cpu *uarch.CPU) ([]measur
 				return nil, err
 			}
 		}
-		s.progressf("[%s] meas shard %d/%d: %d blocks  %.0f blocks/s\n",
-			key, si+1, num, hi-lo, float64(hi-lo)/time.Since(start).Seconds())
+		s.progressf("[%s] meas shard %d/%d: %d blocks  %.0f blocks/s%s\n",
+			key, si+1, num, hi-lo, float64(hi-lo)/time.Since(start).Seconds(), etaSuffix(met))
 		if s.spendShard() {
 			return nil, ErrInterrupted
 		}

@@ -1,0 +1,276 @@
+package machine
+
+import (
+	"testing"
+
+	"bhive/internal/exec"
+	"bhive/internal/pipeline"
+	"bhive/internal/uarch"
+	"bhive/internal/vm"
+	"bhive/internal/x86"
+)
+
+// The differential harness for the two pipeline schedulers: the retained
+// cycle-by-cycle reference loop (Config.Reference) and the default
+// event-driven one. They are required to be bit-identical — same Counters
+// on every run, including cache-state evolution across runs and the
+// context-switch RNG draw sequence. The deterministic tests sweep curated
+// scenarios; FuzzSimulateEquivalence explores random block compositions.
+
+// equivPool is the instruction vocabulary fuzz inputs select from. It is
+// chosen to reach every scheduler feature: dependence chains, zero idioms,
+// eliminated moves, loads, stores (full and partial overlap for
+// forwarding/commit stalls), line splits, pointer chases, the non-pipelined
+// divider, FP and FMA work, and multi-µop RMW memory ops.
+var equivPool = []string{
+	"add rax, rbx",
+	"add rbx, 1",
+	"imul rcx, rdx",
+	"xor edx, edx",  // zero idiom
+	"mov rax, rbx",  // eliminated move
+	"mov rcx, qword ptr [rsp+8]",
+	"mov qword ptr [rsp+8], rcx",
+	"mov qword ptr [rsp+12], rax", // partially overlaps the qword at +8
+	"mov rdx, qword ptr [rsp+12]",
+	"mov al, byte ptr [rsp+8]", // contained in the store above: forwardable
+	"mov rax, qword ptr [rax]", // pointer chase
+	"xor rdx, qword ptr [rax+0x3c]",
+	"movzx eax, al",
+	"addss xmm0, xmm1",
+	"mulsd xmm2, xmm3",
+	"vfmadd231ps ymm0, ymm1, ymm2", // unsupported on Ivy Bridge
+	"div ecx",
+	"nop",
+	"cmp rcx, rdi",
+	"shr rdx, 8",
+	"lea rax, [rbx+rcx*2]",
+}
+
+var equivCPUs = []func() *uarch.CPU{uarch.Haswell, uarch.Skylake, uarch.IvyBridge}
+
+// equivCounters runs the full measurement motion — prepare, fault-driven
+// page mapping, functional execution, then three timing runs (cold, warm,
+// and a third that advances any switch RNG) — on a fresh machine with the
+// chosen scheduler, and returns the counters of every run. ok is false if
+// the input cannot be prepared or executed; that decision is taken before
+// any timing happens, so it cannot differ between schedulers.
+func equivCounters(cpu *uarch.CPU, insts []x86.Inst, switchRate float64, switchCost uint64, reference bool) (out [3]pipeline.Counters, ok bool) {
+	m := New(cpu, 42)
+	p, err := m.Prepare(insts)
+	if err != nil {
+		return out, false
+	}
+	frame := m.AS.NewPhysPage()
+	frame.Fill(0x12345600)
+	newState := func() *exec.State {
+		st := &exec.State{FTZ: true, DAZ: true}
+		st.InitRegisters(0x12345600)
+		return st
+	}
+	mapped := false
+	for tries := 0; tries < 64; tries++ {
+		if _, err := m.Execute(p, newState()); err == nil {
+			mapped = true
+			break
+		} else if f, isFault := err.(*vm.Fault); isFault {
+			m.AS.Map(f.Addr, frame)
+		} else {
+			return out, false
+		}
+	}
+	if !mapped {
+		return out, false
+	}
+	steps, err := m.Execute(p, newState())
+	if err != nil {
+		return out, false
+	}
+	cfg := Config{SwitchRate: switchRate, SwitchCost: switchCost, Reference: reference}
+	for i := range out {
+		out[i] = m.Time(p, steps, cfg)
+	}
+	return out, true
+}
+
+// checkEquivalence drives one block through both schedulers and fails the
+// test on any counter divergence.
+func checkEquivalence(t *testing.T, label string, cpu *uarch.CPU, insts []x86.Inst, switchRate float64, switchCost uint64) {
+	t.Helper()
+	ref, okRef := equivCounters(cpu, insts, switchRate, switchCost, true)
+	evt, okEvt := equivCounters(cpu, insts, switchRate, switchCost, false)
+	if okRef != okEvt {
+		t.Fatalf("%s: schedulers disagree on runnability: reference=%v event=%v", label, okRef, okEvt)
+	}
+	if !okRef {
+		return
+	}
+	for i := range ref {
+		if ref[i] != evt[i] {
+			t.Errorf("%s: run %d diverges:\n  reference %+v\n  event     %+v", label, i, ref[i], evt[i])
+		}
+	}
+}
+
+func unrollInsts(block []x86.Inst, unroll int) []x86.Inst {
+	insts := make([]x86.Inst, 0, len(block)*unroll)
+	for i := 0; i < unroll; i++ {
+		insts = append(insts, block...)
+	}
+	return insts
+}
+
+// TestSimulateEquivalenceCorpus pins the scheduler equivalence on curated
+// scenarios so plain `go test` (no fuzzing) still exercises the
+// differential check: every pool instruction alone, classic interaction
+// pairs, an I-cache-overflowing unroll, and context-switch injection.
+func TestSimulateEquivalenceCorpus(t *testing.T) {
+	for ci, mk := range equivCPUs {
+		cpu := mk()
+		for pi, text := range equivPool {
+			block, err := x86.Parse(text, x86.SyntaxAuto)
+			if err != nil {
+				t.Fatalf("parse %q: %v", text, err)
+			}
+			checkEquivalence(t, cpu.Name+"/"+text, cpu, unrollInsts(block, 24), 0, 0)
+			if ci == 0 && pi%3 == 0 {
+				checkEquivalence(t, cpu.Name+"/"+text+"/switchy", cpu,
+					unrollInsts(block, 24), 0.02, 700)
+			}
+		}
+	}
+
+	cpu := uarch.Haswell()
+	scenarios := []string{
+		// Store→load forwarding and partial-overlap commit stalls.
+		"mov qword ptr [rsp+8], rcx\nmov al, byte ptr [rsp+8]\nmov rdx, qword ptr [rsp+12]",
+		// Divider occupancy against independent ALU work.
+		"xor edx, edx\ndiv ecx\nadd rbx, 1\nadd rdi, 1",
+		// The paper's CRC case study shape: chain through a table load.
+		"add rdi, 1\nmov eax, edx\nshr rdx, 8\nmovzx eax, al\nxor rdx, qword ptr [rax*8+0x4110a]\ncmp rcx, rdi",
+		// Zero idiom + eliminated move breaking a chain.
+		"imul rcx, rdx\nxor edx, edx\nmov rdx, rcx\nadd rdx, 1",
+	}
+	for _, text := range scenarios {
+		block, err := x86.Parse(text, x86.SyntaxAuto)
+		if err != nil {
+			t.Fatalf("parse %q: %v", text, err)
+		}
+		for _, unroll := range []int{1, 7, 40} {
+			checkEquivalence(t, text, cpu, unrollInsts(block, unroll), 0, 0)
+		}
+		checkEquivalence(t, text+"/switchy", cpu, unrollInsts(block, 40), 0.005, 2000)
+	}
+
+	// Large unroll overflowing the L1I: fetch stalls and steady-state
+	// I-cache misses under both schedulers.
+	var big string
+	for i := 0; i < 30; i++ {
+		big += "vfmadd231ps ymm0, ymm1, ymm2\nvaddps ymm6, ymm4, ymm5\nadd rax, 1\n"
+	}
+	block, err := x86.Parse(big, x86.SyntaxAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, "icache-overflow", cpu, unrollInsts(block, 100), 0, 0)
+}
+
+// TestTimeGraphMatchesTime pins the prepare-once graph path: timing through
+// PrepareGraph/TimeGraph — including prefix slices, as the profiler's
+// hi→lo derivation uses them — must equal the item-based Time path.
+func TestTimeGraphMatchesTime(t *testing.T) {
+	cpu := uarch.Haswell()
+	text := "add rdi, 1\nmov eax, edx\nshr rdx, 8\nmovzx eax, al\nxor rdx, qword ptr [rax*8+0x4110a]\ncmp rcx, rdi"
+	block, err := x86.Parse(text, x86.SyntaxAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(block)
+
+	setup := func() (*Machine, *Program, []exec.Step) {
+		m := New(cpu, 17)
+		p, err := m.Prepare(unrollInsts(block, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := m.AS.NewPhysPage()
+		frame.Fill(0x12345600)
+		newState := func() *exec.State {
+			st := &exec.State{FTZ: true, DAZ: true}
+			st.InitRegisters(0x12345600)
+			return st
+		}
+		for tries := 0; tries < 64; tries++ {
+			_, err := m.Execute(p, newState())
+			if err == nil {
+				break
+			}
+			f, isFault := err.(*vm.Fault)
+			if !isFault {
+				t.Fatal(err)
+			}
+			m.AS.Map(f.Addr, frame)
+		}
+		steps, err := m.Execute(p, newState())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, p, steps
+	}
+
+	for _, slice := range []int{16 * n, 5 * n} {
+		mA, pA, stepsA := setup()
+		want := [2]pipeline.Counters{
+			mA.Time(pA.Slice(slice), stepsA[:slice], Config{}),
+			mA.Time(pA.Slice(slice), stepsA[:slice], Config{}),
+		}
+		mB, pB, stepsB := setup()
+		g := mB.PrepareGraph(pB, stepsB).Slice(slice)
+		got := [2]pipeline.Counters{
+			mB.TimeGraph(g, Config{}),
+			mB.TimeGraph(g, Config{}),
+		}
+		if got != want {
+			t.Errorf("slice %d: TimeGraph %+v != Time %+v", slice, got, want)
+		}
+	}
+}
+
+// FuzzSimulateEquivalence drives randomly composed, corpus-flavored blocks
+// through the reference and event-driven schedulers and requires identical
+// Counters on every run. Zero divergences is a merge requirement for any
+// scheduler change.
+func FuzzSimulateEquivalence(f *testing.F) {
+	f.Add([]byte{0, 5, 6, 9}, uint8(16), uint8(0))
+	f.Add([]byte{16, 3, 1, 1}, uint8(8), uint8(4))
+	f.Add([]byte{6, 7, 8, 9, 10}, uint8(24), uint8(2))
+	f.Add([]byte{13, 14, 15, 2}, uint8(12), uint8(7))
+	f.Add([]byte{10, 10, 11}, uint8(30), uint8(5))
+	f.Fuzz(func(t *testing.T, sel []byte, unrollByte, mode uint8) {
+		if len(sel) == 0 || len(sel) > 12 {
+			return
+		}
+		cpu := equivCPUs[int(mode)%len(equivCPUs)]()
+		var switchRate float64
+		var switchCost uint64
+		switch (int(mode) / len(equivCPUs)) % 3 {
+		case 1:
+			switchRate, switchCost = 0.01, 500
+		case 2:
+			switchRate, switchCost = 0.0004, 12000
+		}
+		var block []x86.Inst
+		for _, b := range sel {
+			insts, err := x86.Parse(equivPool[int(b)%len(equivPool)], x86.SyntaxAuto)
+			if err != nil {
+				t.Fatalf("pool parse: %v", err)
+			}
+			block = append(block, insts...)
+		}
+		unroll := 1 + int(unrollByte)%32
+		insts := unrollInsts(block, unroll)
+		if len(insts) > 384 {
+			insts = insts[:384]
+		}
+		checkEquivalence(t, "fuzz", cpu, insts, switchRate, switchCost)
+	})
+}

@@ -33,8 +33,12 @@ type Machine struct {
 
 	// Scratch buffers recycled across Prepare/Execute/Time calls.
 	trace []exec.Step
+	acc   []exec.MemAccess
 	items []pipeline.Item
 	code  []byte
+	graph pipeline.Graph
+	prog  Program
+	pis   []*memo.PreparedInst
 }
 
 // New builds a machine for the given microarchitecture.
@@ -153,54 +157,54 @@ func (m *Machine) Prepare(insts []x86.Inst) (*Program, error) {
 
 // PrepareUnrolled is Prepare for a program that repeats its first n
 // instructions (an unrolled basic block): encoding, description and
-// register-set lookups run once per distinct instruction and the results
-// are replicated across the copies, so preparing a 50× unroll costs the
-// same lookups as preparing the block itself.
+// register-set lookups run once per distinct instruction — a single
+// combined memo hit each — and the results are replicated across the
+// copies, so preparing a 50× unroll costs the same lookups as preparing
+// the block itself.
+//
+// The returned Program and its arrays are owned by the machine and remain
+// valid until the next Prepare/PrepareUnrolled call on it (prefix views
+// from Program.Slice share the same lifetime). Every caller in this
+// repository prepares and consumes one program at a time.
 func (m *Machine) PrepareUnrolled(insts []x86.Inst, n int) (*Program, error) {
 	total := len(insts)
 	if n <= 0 || n > total {
 		n = total
 	}
-	p := &Program{Insts: insts}
-	p.Addrs = make([]uint64, 0, total+1)
-	p.Lens = make([]int, 0, total)
-	p.Descs = make([]uarch.Desc, 0, total)
-	p.AddrReads = make([][]uint8, 0, total)
-	p.DataReads = make([][]uint8, 0, total)
-	p.Writes = make([][]uint8, 0, total)
 
 	// Resolve the n distinct instructions once.
-	raws := make([][]byte, n)
-	descs := make([]uarch.Desc, n)
-	ars := make([][]uint8, n)
-	drs := make([][]uint8, n)
-	ws := make([][]uint8, n)
+	pis := m.pis[:0]
 	for i := 0; i < n; i++ {
-		raw, err := memo.Encode(&insts[i])
-		if err != nil {
-			return nil, err
+		pi := memo.Prepared(m.CPU, &insts[i])
+		if pi.Err != nil {
+			m.pis = pis
+			return nil, pi.Err
 		}
-		d, err := memo.Describe(m.CPU, &insts[i])
-		if err != nil {
-			return nil, err
-		}
-		raws[i] = raw
-		descs[i] = d
-		ars[i], drs[i], ws[i] = memo.RegSets(&insts[i])
+		pis = append(pis, pi)
 	}
+	m.pis = pis
+
+	p := &m.prog
+	p.Insts = insts
+	p.Addrs = p.Addrs[:0]
+	p.Lens = p.Lens[:0]
+	p.Descs = p.Descs[:0]
+	p.AddrReads = p.AddrReads[:0]
+	p.DataReads = p.DataReads[:0]
+	p.Writes = p.Writes[:0]
 
 	addr := uint64(CodeBase)
 	code := m.code[:0]
 	for i := 0; i < total; i++ {
-		j := i % n
+		pi := pis[i%n]
 		p.Addrs = append(p.Addrs, addr)
-		p.Lens = append(p.Lens, len(raws[j]))
-		p.Descs = append(p.Descs, descs[j])
-		p.AddrReads = append(p.AddrReads, ars[j])
-		p.DataReads = append(p.DataReads, drs[j])
-		p.Writes = append(p.Writes, ws[j])
-		addr += uint64(len(raws[j]))
-		code = append(code, raws[j]...)
+		p.Lens = append(p.Lens, len(pi.Raw))
+		p.Descs = append(p.Descs, pi.Desc)
+		p.AddrReads = append(p.AddrReads, pi.Addr)
+		p.DataReads = append(p.DataReads, pi.Data)
+		p.Writes = append(p.Writes, pi.Writes)
+		addr += uint64(len(pi.Raw))
+		code = append(code, pi.Raw...)
 	}
 	p.Addrs = append(p.Addrs, addr)
 	m.code = code
@@ -247,9 +251,10 @@ func (m *Machine) ExecuteMonitored(p *Program, st *exec.State, onFault func(f *v
 	if m.trace == nil {
 		m.trace = make([]exec.Step, 0, len(p.Insts))
 	}
-	r := &exec.Runner{State: st, AS: m.AS, Record: true, Trace: m.trace[:0], OnFault: onFault}
+	r := &exec.Runner{State: st, AS: m.AS, Record: true, Trace: m.trace[:0], Acc: m.acc[:0], OnFault: onFault}
 	err := r.Run(p.Insts, p.Addrs)
-	m.trace = r.Trace[:0] // keep the (possibly grown) buffer
+	m.trace = r.Trace[:0] // keep the (possibly grown) buffers
+	m.acc = r.Acc
 	if err != nil {
 		return r.Trace, err
 	}
@@ -262,6 +267,21 @@ type Config struct {
 	SwitchRate float64
 	// SwitchCost is the cycle cost of one context switch.
 	SwitchCost uint64
+	// Reference selects the pipeline's retained cycle-by-cycle scheduler
+	// instead of the event-driven one (differential testing only).
+	Reference bool
+}
+
+func (m *Machine) pipelineConfig(cfg Config) pipeline.Config {
+	pcfg := pipeline.Config{
+		SwitchRate: cfg.SwitchRate,
+		SwitchCost: cfg.SwitchCost,
+		Reference:  cfg.Reference,
+	}
+	if cfg.SwitchRate > 0 {
+		pcfg.Rand = m.Rand
+	}
+	return pcfg
 }
 
 // Time runs the cycle-level model over a completed trace and returns the
@@ -269,12 +289,26 @@ type Config struct {
 // runs deliberately, as the measurement protocol does.
 func (m *Machine) Time(p *Program, steps []exec.Step, cfg Config) pipeline.Counters {
 	items := m.buildItems(p, steps)
-	pcfg := pipeline.Config{SwitchRate: cfg.SwitchRate, SwitchCost: cfg.SwitchCost}
-	if cfg.SwitchRate > 0 {
-		pcfg.Rand = m.Rand
-	}
-	ctr := pipeline.Simulate(m.CPU, items, m.L1I, m.L1D, pcfg)
-	return ctr
+	return pipeline.Simulate(m.CPU, items, m.L1I, m.L1D, m.pipelineConfig(cfg))
+}
+
+// PrepareGraph builds the µop dependence graph for a completed trace once,
+// for reuse across many TimeGraph calls. The graph is owned by the machine
+// and valid until the next PrepareGraph call; prefix views for sliced
+// programs come from Graph.Slice. The trace itself may be released after
+// this returns — the graph copies what timing needs.
+func (m *Machine) PrepareGraph(p *Program, steps []exec.Step) *pipeline.Graph {
+	items := m.buildItems(p, steps)
+	m.graph.Build(m.CPU, items)
+	return &m.graph
+}
+
+// TimeGraph is Time over a prebuilt dependence graph: the per-run cost is
+// the scheduling loop alone. Cache state persists across calls exactly as
+// with Time. Reference is not honored here — the reference scheduler
+// consumes items, not graphs; differential tests go through Time.
+func (m *Machine) TimeGraph(g *pipeline.Graph, cfg Config) pipeline.Counters {
+	return pipeline.SimulateGraph(m.CPU, g, m.L1I, m.L1D, m.pipelineConfig(cfg))
 }
 
 // buildItems converts the functional trace into timed pipeline items. The

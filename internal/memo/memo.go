@@ -68,7 +68,49 @@ var (
 	descs sync.Map // descKey -> descEntry
 	encs  sync.Map // instKey -> encEntry
 	regs  sync.Map // instKey -> regEntry
+	preps sync.Map // descKey -> *PreparedInst
 )
+
+// PreparedInst bundles every per-instruction derivation program
+// preparation needs — encoding, µop description and register-use sets —
+// resolved together so the hot path pays one memo lookup (one key hash)
+// per instruction instead of three. Entries are immutable and shared:
+// callers must not mutate any field.
+type PreparedInst struct {
+	Raw                []byte
+	Desc               uarch.Desc
+	Addr, Data, Writes []uint8
+	// Err is the first error of encoding then description; the successful
+	// derivations are still populated.
+	Err error
+}
+
+// Prepared returns the combined memo entry for (instruction, µarch).
+func Prepared(cpu *uarch.CPU, in *x86.Inst) *PreparedInst {
+	ik, ok := keyOf(in)
+	if !ok {
+		return preparedDirect(cpu, in)
+	}
+	k := descKey{cpu: cpu.Name, ik: ik}
+	if v, hit := preps.Load(k); hit {
+		return v.(*PreparedInst)
+	}
+	p := preparedDirect(cpu, in)
+	preps.Store(k, p)
+	return p
+}
+
+func preparedDirect(cpu *uarch.CPU, in *x86.Inst) *PreparedInst {
+	p := new(PreparedInst)
+	p.Raw, p.Err = Encode(in)
+	if d, err := Describe(cpu, in); p.Err == nil {
+		p.Desc, p.Err = d, err
+	} else {
+		p.Desc = d
+	}
+	p.Addr, p.Data, p.Writes = RegSets(in)
+	return p
+}
 
 // Describe is cpu.Describe memoized by (instruction, µarch).
 func Describe(cpu *uarch.CPU, in *x86.Inst) (uarch.Desc, error) {

@@ -1,0 +1,286 @@
+package pipeline
+
+import (
+	"bhive/internal/uarch"
+)
+
+// loadSpec is the immutable description of one item's load access.
+type loadSpec struct {
+	addr uint64
+	phys uint64
+	size int32
+}
+
+// storeSpec is the immutable description of one item's store: its address
+// for forwarding checks, its physical address for retirement commit, and
+// the µop that produces the store data (-1 if none).
+type storeSpec struct {
+	item    int32
+	addr    uint64
+	phys    uint64
+	size    int32
+	dataUop int32
+}
+
+// Graph is the prepare-once µop dependence graph of an item sequence: the
+// rename-time analysis (zero idioms, move elimination, register dependence
+// edges, store/load records, subnormal penalties) performed once and
+// shared by every Simulate call over the same prepared program. It is
+// immutable after Build; all per-simulation state lives in the scheduler's
+// scratch. A Graph obtained from Slice shares the arenas of its parent —
+// neither may be mutated while the other is in use.
+//
+// The graph mirrors the dependence construction of the reference
+// cycle-by-cycle loop ((*SimScratch).simulate) exactly; the two builds are
+// deliberately independent so FuzzSimulateEquivalence cross-checks them.
+type Graph struct {
+	numItems  int
+	numUops   int // µops in scope (a prefix slice trims this)
+	numStores int // stores in scope
+
+	// Per-µop arrays. deps is the forward dependence-edge arena indexed by
+	// depLo/depHi; cons is the reverse (consumer) arena indexed by
+	// consLo/consHi. Consumer edges may point past numUops on a prefix
+	// slice and must be ignored there.
+	uopItem []int32
+	uopSpec []uarch.Uop
+	depLo   []int32
+	depHi   []int32
+	deps    []int32
+	consLo  []int32
+	consHi  []int32
+	cons    []int32
+
+	// Per-item arrays (itemFirstUop and storePrefix carry one sentinel).
+	itemFirstUop []int32
+	itemFused    []int32
+	itemLoad     []int32 // index into loads, -1 if none
+	itemStore    []int32 // index into stores, -1 if none
+	storePrefix  []int32 // stores among items [0, i)
+	codePhys     []uint64
+	codeLen      []int32
+
+	loads  []loadSpec
+	stores []storeSpec
+}
+
+// NumItems returns the number of items in scope.
+func (g *Graph) NumItems() int { return g.numItems }
+
+// Slice returns a prefix view of the first n items, sharing every arena
+// with g. The profiler uses this to derive the low-unroll graph from the
+// high-unroll one: the low-factor program is a prefix of the same prepared
+// code, so its dependence graph is a prefix of the same prepared graph.
+func (g *Graph) Slice(n int) *Graph {
+	if n < 0 || n > g.numItems {
+		n = g.numItems
+	}
+	out := *g
+	out.numItems = n
+	out.numUops = int(g.itemFirstUop[n])
+	out.numStores = int(g.storePrefix[n])
+	return out.shrink()
+}
+
+// shrink returns g with the per-item and per-µop slice headers trimmed to
+// the in-scope lengths, so range loops stay in bounds without per-element
+// scope checks. The consumer arena is left full-length: reverse edges are
+// indexed per-µop and filtered against numUops at use.
+func (g *Graph) shrink() *Graph {
+	n, u := g.numItems, g.numUops
+	out := *g
+	out.uopItem = g.uopItem[:u]
+	out.uopSpec = g.uopSpec[:u]
+	out.depLo = g.depLo[:u]
+	out.depHi = g.depHi[:u]
+	out.consLo = g.consLo[:u]
+	out.consHi = g.consHi[:u]
+	out.itemFirstUop = g.itemFirstUop[:n+1]
+	out.itemFused = g.itemFused[:n]
+	out.itemLoad = g.itemLoad[:n]
+	out.itemStore = g.itemStore[:n]
+	out.storePrefix = g.storePrefix[:n+1]
+	out.codePhys = g.codePhys[:n]
+	out.codeLen = g.codeLen[:n]
+	out.stores = g.stores[:g.numStores]
+	return &out
+}
+
+// Build populates g from the item sequence, reusing g's arenas. The
+// dependence construction is the same rename-time pass the reference
+// scheduler performs inline: zero idioms break dependences and issue no
+// µops, eliminated moves alias the destination to the source's producer,
+// loads feed address generation into computation, stores split into
+// address and data µops, and subnormal FP work takes the microcode-assist
+// penalty on both latency and port occupancy.
+func (g *Graph) Build(cpu *uarch.CPU, items []Item) {
+	n := len(items)
+	g.numItems = n
+	g.uopItem = g.uopItem[:0]
+	g.uopSpec = g.uopSpec[:0]
+	g.depLo = g.depLo[:0]
+	g.depHi = g.depHi[:0]
+	g.deps = g.deps[:0]
+	g.loads = g.loads[:0]
+	g.stores = g.stores[:0]
+	g.itemFirstUop = grow(g.itemFirstUop, n+1)
+	g.itemFused = grow(g.itemFused, n)
+	g.itemLoad = grow(g.itemLoad, n)
+	g.itemStore = grow(g.itemStore, n)
+	g.storePrefix = grow(g.storePrefix, n+1)
+	g.codePhys = grow(g.codePhys, n)
+	g.codeLen = grow(g.codeLen, n)
+
+	var lastWriter [NumRegs]int32
+	for i := range lastWriter {
+		lastWriter[i] = -1
+	}
+
+	for i := range items {
+		it := &items[i]
+		g.itemFirstUop[i] = int32(len(g.uopSpec))
+		g.storePrefix[i] = int32(len(g.stores))
+		g.itemFused[i] = int32(it.Desc.FusedUops)
+		g.codePhys[i] = it.CodePhys
+		g.codeLen[i] = int32(it.CodeLen)
+		g.itemLoad[i] = -1
+		g.itemStore[i] = -1
+		if it.Load != nil {
+			g.itemLoad[i] = int32(len(g.loads))
+			g.loads = append(g.loads, loadSpec{
+				addr: it.Load.Addr, phys: it.Load.Phys, size: int32(it.Load.Size),
+			})
+		}
+
+		if it.Desc.ZeroIdiom {
+			for _, w := range it.Writes {
+				lastWriter[w] = -1 // dependency-breaking
+			}
+			continue
+		}
+		if it.Desc.EliminatedMove {
+			src := int32(-1)
+			if len(it.DataReads) > 0 {
+				src = lastWriter[it.DataReads[0]]
+			}
+			for _, w := range it.Writes {
+				lastWriter[w] = src
+			}
+			continue
+		}
+
+		addrDeps := func() {
+			for _, r := range it.AddrReads {
+				if p := lastWriter[r]; p >= 0 {
+					g.deps = append(g.deps, p)
+				}
+			}
+		}
+		dataDeps := func() {
+			for _, r := range it.DataReads {
+				if p := lastWriter[r]; p >= 0 {
+					g.deps = append(g.deps, p)
+				}
+			}
+		}
+
+		var loadUop, lastCompute int32 = -1, -1
+		for k := range it.Desc.Uops {
+			spec := it.Desc.Uops[k]
+			id := int32(len(g.uopSpec))
+			depLo := int32(len(g.deps))
+			switch spec.Class {
+			case uarch.ClassLoad:
+				addrDeps()
+				loadUop = id
+			case uarch.ClassStoreAddr:
+				addrDeps()
+			case uarch.ClassStoreData:
+				if lastCompute >= 0 {
+					g.deps = append(g.deps, lastCompute)
+				} else {
+					dataDeps()
+					if loadUop >= 0 {
+						g.deps = append(g.deps, loadUop)
+					}
+				}
+			default: // computation
+				dataDeps()
+				if loadUop >= 0 {
+					g.deps = append(g.deps, loadUop)
+				}
+				if lastCompute >= 0 {
+					// Multi-µop instructions chain internally.
+					g.deps = append(g.deps, lastCompute)
+				}
+				if it.Subnormal && it.Desc.FP {
+					pen := uint8(min(250, cpu.SubnormalPenalty))
+					spec.Lat += pen
+					if spec.Occupancy < pen {
+						spec.Occupancy = pen
+					}
+				}
+				lastCompute = id
+			}
+			g.uopItem = append(g.uopItem, int32(i))
+			g.uopSpec = append(g.uopSpec, spec)
+			g.depLo = append(g.depLo, depLo)
+			g.depHi = append(g.depHi, int32(len(g.deps)))
+		}
+
+		producer := lastCompute
+		if producer < 0 {
+			producer = loadUop
+		}
+		for _, w := range it.Writes {
+			lastWriter[w] = producer
+		}
+
+		if it.Store != nil {
+			var dataUop int32 = -1
+			for k := range it.Desc.Uops {
+				if it.Desc.Uops[k].Class == uarch.ClassStoreData {
+					dataUop = g.itemFirstUop[i] + int32(k)
+				}
+			}
+			g.itemStore[i] = int32(len(g.stores))
+			g.stores = append(g.stores, storeSpec{
+				item: int32(i), addr: it.Store.Addr, phys: it.Store.Phys,
+				size: int32(it.Store.Size), dataUop: dataUop,
+			})
+		}
+	}
+	g.itemFirstUop[n] = int32(len(g.uopSpec))
+	g.storePrefix[n] = int32(len(g.stores))
+	g.numUops = len(g.uopSpec)
+	g.numStores = len(g.stores)
+
+	g.buildConsumers()
+}
+
+// buildConsumers derives the reverse (producer → consumers) adjacency from
+// the forward edges with a counting sort over the deps arena.
+func (g *Graph) buildConsumers() {
+	nu := g.numUops
+	g.consLo = grow(g.consLo, nu)
+	g.consHi = grow(g.consHi, nu)
+	g.cons = grow(g.cons, len(g.deps))
+	for u := 0; u < nu; u++ {
+		g.consHi[u] = 0
+	}
+	for _, d := range g.deps {
+		g.consHi[d]++
+	}
+	off := int32(0)
+	for u := 0; u < nu; u++ {
+		g.consLo[u] = off
+		off += g.consHi[u]
+		g.consHi[u] = g.consLo[u]
+	}
+	for u := 0; u < nu; u++ {
+		for _, d := range g.deps[g.depLo[u]:g.depHi[u]] {
+			g.cons[g.consHi[d]] = int32(u)
+			g.consHi[d]++
+		}
+	}
+}

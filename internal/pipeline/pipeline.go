@@ -58,6 +58,11 @@ type Config struct {
 	SwitchCost uint64
 	// Rand drives context-switch arrival times; nil disables switches.
 	Rand *rand.Rand
+	// Reference selects the retained cycle-by-cycle scheduler instead of
+	// the default event-driven one. The two are bit-identical — same
+	// Counters, same RNG draw sequence (see FuzzSimulateEquivalence); the
+	// reference loop is the oracle the fast path is checked against.
+	Reference bool
 }
 
 // Counters are the hardware performance counters the profiler reads.
@@ -134,11 +139,19 @@ func grow[T any](s []T, n int) []T {
 // Scratch memory is drawn from an internal pool, making the steady-state
 // path allocation-free (see TestSimulateAllocs).
 func Simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) Counters {
-	s := scratchPool.Get().(*SimScratch)
-	ctr := s.simulate(cpu, items, l1i, l1d, cfg)
-	scratchPool.Put(s)
-	return ctr
+	if cfg.Reference {
+		s := scratchPool.Get().(*SimScratch)
+		// Deferred so a panic mid-simulation cannot leak the arena.
+		defer scratchPool.Put(s)
+		return s.simulate(cpu, items, l1i, l1d, cfg)
+	}
+	g := graphPool.Get().(*Graph)
+	defer graphPool.Put(g)
+	g.Build(cpu, items)
+	return SimulateGraph(cpu, g, l1i, l1d, cfg)
 }
+
+var graphPool = sync.Pool{New: func() any { return new(Graph) }}
 
 func (s *SimScratch) simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cache, cfg Config) Counters {
 	var ctr Counters

@@ -4,10 +4,33 @@ import (
 	"path/filepath"
 	"testing"
 
+	"bhive/internal/exec"
+	"bhive/internal/machine"
+	"bhive/internal/pipeline"
 	"bhive/internal/profcache"
 	"bhive/internal/uarch"
 	"bhive/internal/vm"
 )
+
+// mapAndTrace replicates profile's monitored pass for tests that drive
+// measureOn directly: map every faulting page, return the trace and graph.
+func mapAndTrace(t *testing.T, p *Profiler, sc *scratch, m *machine.Machine, prog *machine.Program) ([]exec.Step, *pipeline.Graph) {
+	t.Helper()
+	var thePage *vm.PhysPage
+	mapped := 0
+	steps, err := m.ExecuteMonitored(prog, p.resetState(&sc.st), func(f *vm.Fault) bool {
+		if !p.Opts.MapPages || !vm.ValidUserAddress(f.Addr) || mapped >= p.Opts.MaxFaults {
+			return false
+		}
+		m.AS.Map(f.Addr, p.pageFor(m, &thePage))
+		mapped++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("monitored execute: %v", err)
+	}
+	return steps, m.PrepareGraph(prog, steps)
+}
 
 // TestMeasurementOrderIndependence pins down the two equivalences the hot
 // path relies on: each unroll factor's measurement draws its RNG stream
@@ -24,6 +47,7 @@ func TestMeasurementOrderIndependence(t *testing.T) {
 		b := block(t, text)
 		seed := blockSeed(b.Insts)
 		lo, hi := p.Opts.UnrollFactors(len(b.Insts))
+		nLo := len(b.Insts) * lo
 
 		// Low factor alone, on a fresh machine.
 		scA := &scratch{}
@@ -32,8 +56,8 @@ func TestMeasurementOrderIndependence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var pageA *vm.PhysPage
-		cA, rA := p.measureOn(scA, mA, progA, lo, seed, &pageA)
+		stepsA, gA := mapAndTrace(t, p, scA, mA, progA)
+		cA, rA := p.measureOn(mA, progA, gA, stepsA, lo, seed)
 		if rA.Status != StatusOK {
 			t.Fatalf("%q: lo-alone status = %v", text, rA.Status)
 		}
@@ -45,11 +69,11 @@ func TestMeasurementOrderIndependence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var pageB *vm.PhysPage
-		if _, rHi := p.measureOn(scB, mB, progB, hi, seed, &pageB); rHi.Status != StatusOK {
+		stepsB, gB := mapAndTrace(t, p, scB, mB, progB)
+		if _, rHi := p.measureOn(mB, progB, gB, stepsB, hi, seed); rHi.Status != StatusOK {
 			t.Fatalf("%q: hi status = %v", text, rHi.Status)
 		}
-		cB, rB := p.measureOn(scB, mB, progB.Slice(len(b.Insts)*lo), lo, seed, &pageB)
+		cB, rB := p.measureOn(mB, progB.Slice(nLo), gB.Slice(nLo), stepsB[:nLo], lo, seed)
 		if rB.Status != StatusOK {
 			t.Fatalf("%q: lo-after-hi status = %v", text, rB.Status)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // NumStatus is the number of distinct profiling statuses; ByStatus arrays
@@ -22,6 +23,54 @@ type Metrics struct {
 	prescreened atomic.Uint64
 	crossMism   atomic.Uint64
 	status      [NumStatus]atomic.Uint64
+
+	// planned is the number of block outcomes registered as upcoming work
+	// (AddPlanned); startNanos is the wall time of the first recorded
+	// outcome (0 = none yet). Together they drive Throughput's ETA.
+	planned    atomic.Uint64
+	startNanos atomic.Int64
+}
+
+// markStart stamps the first recorded outcome's wall time exactly once.
+func (m *Metrics) markStart() {
+	if m.startNanos.Load() == 0 {
+		m.startNanos.CompareAndSwap(0, time.Now().UnixNano())
+	}
+}
+
+// AddPlanned registers n upcoming block outcomes, letting Throughput
+// estimate time remaining. Callers register each pass's non-resumed work
+// just before computing it, so the ETA covers the work known so far (later
+// passes extend it as they start). Safe on a nil receiver.
+func (m *Metrics) AddPlanned(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.planned.Add(uint64(n))
+}
+
+// Throughput reports the overall processing rate since the first recorded
+// outcome and, from the planned-work registrations, the estimated time to
+// finish the remainder. ok is false until an outcome has landed (and on a
+// nil receiver); eta is 0 when no planned work remains.
+func (m *Metrics) Throughput() (blocksPerSec float64, eta time.Duration, ok bool) {
+	if m == nil {
+		return 0, 0, false
+	}
+	start := m.startNanos.Load()
+	if start == 0 {
+		return 0, 0, false
+	}
+	done := m.Snapshot().Total()
+	elapsed := time.Since(time.Unix(0, start))
+	if done == 0 || elapsed <= 0 {
+		return 0, 0, false
+	}
+	blocksPerSec = float64(done) / elapsed.Seconds()
+	if planned := m.planned.Load(); planned > done {
+		eta = time.Duration(float64(planned-done) / blocksPerSec * float64(time.Second))
+	}
+	return blocksPerSec, eta, true
 }
 
 // record accounts one Profile call. hit reports whether the result came
@@ -30,6 +79,7 @@ func (m *Metrics) record(s Status, hit bool) {
 	if m == nil {
 		return
 	}
+	m.markStart()
 	if hit {
 		m.cacheHits.Add(1)
 	} else {
@@ -48,6 +98,7 @@ func (m *Metrics) RecordPrescreened(s Status) {
 	if m == nil {
 		return
 	}
+	m.markStart()
 	m.prescreened.Add(1)
 	if int(s) < NumStatus {
 		m.status[s].Add(1)

@@ -103,3 +103,39 @@ func TestMetricsPrescreenAndCrosscheck(t *testing.T) {
 		t.Fatalf("prescreen-only histogram %q", h)
 	}
 }
+
+func TestMetricsThroughput(t *testing.T) {
+	var nilM *Metrics
+	nilM.AddPlanned(10) // must not panic
+	if _, _, ok := nilM.Throughput(); ok {
+		t.Fatal("nil metrics reported a throughput")
+	}
+
+	m := new(Metrics)
+	if _, _, ok := m.Throughput(); ok {
+		t.Fatal("throughput available before any outcome")
+	}
+	m.AddPlanned(100)
+	if _, _, ok := m.Throughput(); ok {
+		t.Fatal("planned work alone must not start the clock")
+	}
+	for i := 0; i < 4; i++ {
+		m.record(StatusOK, i%2 == 0)
+	}
+	rate, eta, ok := m.Throughput()
+	if !ok || rate <= 0 {
+		t.Fatalf("throughput after 4 outcomes: rate=%v ok=%v", rate, ok)
+	}
+	if eta <= 0 {
+		t.Fatalf("96 planned blocks remain but eta=%v", eta)
+	}
+
+	// With the plan exhausted (or never registered) the ETA drops to zero
+	// while the rate survives.
+	done := new(Metrics)
+	done.record(StatusOK, false)
+	rate, eta, ok = done.Throughput()
+	if !ok || rate <= 0 || eta != 0 {
+		t.Fatalf("unplanned run: rate=%v eta=%v ok=%v", rate, eta, ok)
+	}
+}

@@ -377,11 +377,34 @@ func (p *Profiler) profile(b *x86.Block, seed int64) Result {
 		return Result{Status: StatusCrashed, Err: err, UnrollLo: lo, UnrollHi: hi}
 	}
 
-	// The chosen physical page is shared by both measurements, exactly as
-	// the page mapping itself is.
+	// One monitored functional pass at the high factor maps every page the
+	// block touches and yields the dynamic trace. The monitor repairs each
+	// fault and resumes in place, so this trace is identical to a clean
+	// run's; execution of a straight-line block is deterministic, so the
+	// low factor's trace is its prefix. One pass therefore serves the
+	// warm-ups and every timing of both factors. The chosen physical page
+	// is shared by both, exactly as the page mapping itself is.
 	var thePage *vm.PhysPage
+	pagesMapped := 0
+	onFault := func(f *vm.Fault) bool {
+		if !p.Opts.MapPages || !vm.ValidUserAddress(f.Addr) || pagesMapped >= p.Opts.MaxFaults {
+			return false
+		}
+		m.AS.Map(f.Addr, p.pageFor(m, &thePage))
+		pagesMapped++
+		return true
+	}
+	steps, err := m.ExecuteMonitored(prog, p.resetState(&sc.st), onFault)
+	if err != nil {
+		return Result{Status: StatusCrashed, Err: err, UnrollLo: lo, UnrollHi: hi}
+	}
 
-	cHi, r := p.measureOn(sc, m, prog, hi, seed, &thePage)
+	// The µop dependence graph is likewise built once; the low factor's
+	// graph is a prefix view of it.
+	g := m.PrepareGraph(prog, steps)
+
+	cHi, r := p.measureOn(m, prog, g, steps, hi, seed)
+	r.PagesMapped = pagesMapped
 	if r.Status != StatusOK {
 		r.UnrollLo, r.UnrollHi = lo, hi
 		return r
@@ -399,12 +422,11 @@ func (p *Profiler) profile(b *x86.Block, seed int64) Result {
 	// subset of the high run's (same code prefix, same initial state), so
 	// the mapping is already in place and the warm-up run re-establishes
 	// the cache state the protocol requires.
-	cLo, r2 := p.measureOn(sc, m, prog.Slice(len(b.Insts)*lo), lo, seed, &thePage)
+	nLo := len(b.Insts) * lo
+	cLo, r2 := p.measureOn(m, prog.Slice(nLo), g.Slice(nLo), steps[:nLo], lo, seed)
 	if r2.Status != StatusOK {
 		r2.UnrollLo, r2.UnrollHi = lo, hi
-		if r2.PagesMapped == 0 {
-			r2.PagesMapped = res.PagesMapped
-		}
+		r2.PagesMapped = pagesMapped
 		return r2
 	}
 	if cHi <= cLo {
@@ -434,9 +456,12 @@ func (p *Profiler) pageFor(m *machine.Machine, thePage **vm.PhysPage) *vm.PhysPa
 	return f
 }
 
-// measureOn runs the monitor/measure protocol for one unrolled program on
-// an already-prepared machine and returns the accepted cycle count.
-func (p *Profiler) measureOn(sc *scratch, m *machine.Machine, prog *machine.Program, unroll int, seed int64, thePage **vm.PhysPage) (uint64, Result) {
+// measureOn runs the measurement protocol for one unrolled program whose
+// pages are already mapped (profile's monitored pass), whose trace is
+// already known (deterministic execution — the trace doubles as the timed
+// run's), and whose dependence graph is already built. The per-factor cost
+// is the warm-up walk plus scheduling runs.
+func (p *Profiler) measureOn(m *machine.Machine, prog *machine.Program, g *pipeline.Graph, steps []exec.Step, unroll int, seed int64) (uint64, Result) {
 	var res Result
 	o := &p.Opts
 
@@ -447,36 +472,14 @@ func (p *Profiler) measureOn(sc *scratch, m *machine.Machine, prog *machine.Prog
 		m.Rand = rand.New(rand.NewSource(int64(rng.next())))
 	}
 
-	// Batched monitor (the paper's monitor protocol, minus the restarts):
-	// the single mapping pass faults once per untouched page, the handler
-	// installs the mapping, and execution resumes in place. Deterministic
-	// execution makes the resulting trace identical to the one the
-	// restart loop converges to.
-	onFault := func(f *vm.Fault) bool {
-		if !o.MapPages || !vm.ValidUserAddress(f.Addr) || res.PagesMapped >= o.MaxFaults {
-			return false
-		}
-		m.AS.Map(f.Addr, p.pageFor(m, thePage))
-		res.PagesMapped++
-		return true
-	}
-	steps, err := m.ExecuteMonitored(prog, p.resetState(&sc.st), onFault)
-	if err != nil {
-		return 0, Result{Status: StatusCrashed, Err: err}
-	}
-
-	// Warm-up: after this point, all memory accesses made by the basic
-	// block are legal and (with the single-page mapping) hit L1. Only the
-	// cache resident set matters here, so the warm-up touches lines
-	// directly rather than paying for a full pipeline simulation.
+	// Warm-up: all memory accesses made by the basic block are legal and
+	// (with the single-page mapping) hit L1. Only the cache resident set
+	// matters here, so the warm-up touches lines directly rather than
+	// paying for a full pipeline simulation.
 	m.WarmCaches(prog, steps)
 
 	// Timed run.
-	steps, err = m.Execute(prog, p.resetState(&sc.st))
-	if err != nil {
-		return 0, Result{Status: StatusCrashed, Err: err}
-	}
-	ctr := m.Time(prog, steps, machine.Config{})
+	ctr := m.TimeGraph(g, machine.Config{})
 	res.Counters = ctr
 
 	// Sample acceptance. The paper times each unrolled block 16 times and
@@ -489,14 +492,12 @@ func (p *Profiler) measureOn(sc *scratch, m *machine.Machine, prog *machine.Prog
 	if o.RealSampleNoise {
 		// Fully faithful: every sample is a separate timing run with
 		// interrupt injection; clean samples are those with no context
-		// switch, and they must agree on the cycle count.
+		// switch, and they must agree on the cycle count. The functional
+		// re-execution per sample is gone — the trace is deterministic, so
+		// each sample is the scheduling loop over the prepared graph.
 		counts := make(map[uint64]int)
 		for s := 0; s < samples; s++ {
-			st, err := m.Execute(prog, p.resetState(&sc.st))
-			if err != nil {
-				return 0, Result{Status: StatusCrashed, Err: err}
-			}
-			c := m.Time(prog, st, machine.Config{
+			c := m.TimeGraph(g, machine.Config{
 				SwitchRate: o.SwitchRate, SwitchCost: o.SwitchCost,
 			})
 			if c.ContextSwitches == 0 {
@@ -576,12 +577,9 @@ func (p *Profiler) MeasureRaw(b *x86.Block, unroll int) (pipeline.Counters, erro
 	if err != nil {
 		return pipeline.Counters{}, err
 	}
-	m.Time(prog, steps, machine.Config{})
-	steps, err = m.Execute(prog, p.resetState(&sc.st))
-	if err != nil {
-		return pipeline.Counters{}, err
-	}
-	return m.Time(prog, steps, machine.Config{}), nil
+	g := m.PrepareGraph(prog, steps)
+	m.TimeGraph(g, machine.Config{}) // warm-up
+	return m.TimeGraph(g, machine.Config{}), nil
 }
 
 // entryFromResult converts a Result for persistence. The error is stored

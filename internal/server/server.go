@@ -61,6 +61,11 @@ type Config struct {
 	// computed shards and the job returns to the queue. It exists for the
 	// restart-resume tests and for chunked batch operation.
 	StopAfterShards int
+	// FsyncEvery is threaded into every job's harness config: the
+	// checkpoint journal fsyncs once per N completed shards (group
+	// commit) instead of every shard. Graceful drains still flush, so
+	// only a hard kill can lose (and then recompute) up to N-1 shards.
+	FsyncEvery int
 	// JobTTL, when positive, garbage-collects finished (done or failed)
 	// job directories that terminated longer than JobTTL ago — at startup
 	// and then periodically. Queued and running jobs are never collected:
@@ -515,6 +520,7 @@ func (s *Server) harnessConfig(j *Job) (harness.Config, error) {
 	cfg.ShardSize = j.req.ShardSize
 	cfg.Workers = s.cfg.Workers
 	cfg.CheckpointPath = filepath.Join(j.dir, "checkpoint.jsonl")
+	cfg.FsyncEvery = s.cfg.FsyncEvery
 	cfg.ProfileCache = s.cfg.Cache
 	cfg.Progress = &progressWriter{j: j}
 	cfg.Interrupt = s.interrupt
@@ -653,6 +659,11 @@ type MetricsStatus struct {
 	Prescreened        uint64            `json:"prescreened,omitempty"`
 	CrosscheckMismatch uint64            `json:"crosscheck_mismatch,omitempty"`
 	ByStatus           map[string]uint64 `json:"by_status,omitempty"`
+	// BlocksPerSec is the job's overall processing rate since its first
+	// block outcome; EtaSeconds estimates the time left for the work the
+	// run has planned so far. Both are omitted until a block completes.
+	BlocksPerSec float64 `json:"blocks_per_sec,omitempty"`
+	EtaSeconds   float64 `json:"eta_seconds,omitempty"`
 }
 
 func metricsStatus(m *profiler.Metrics) *MetricsStatus {
@@ -662,6 +673,10 @@ func metricsStatus(m *profiler.Metrics) *MetricsStatus {
 		Profiled:           snap.Profiled,
 		Prescreened:        snap.Prescreened,
 		CrosscheckMismatch: snap.CrosscheckMismatch,
+	}
+	if rate, eta, ok := m.Throughput(); ok {
+		ms.BlocksPerSec = rate
+		ms.EtaSeconds = eta.Seconds()
 	}
 	for i, n := range snap.ByStatus {
 		if n == 0 {

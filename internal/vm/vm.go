@@ -33,6 +33,11 @@ type PhysPage struct {
 	// ID is the frame number; physical addresses are ID*PageSize+offset.
 	ID   uint64
 	Data [PageSize]byte
+
+	// inFree guards against a frame entering the free list twice when the
+	// page table maps it under many virtual pages (the single-phys-page
+	// technique makes that the common case).
+	inFree bool
 }
 
 // Fill sets every 4-byte word of the page to the given pattern. BHive fills
@@ -51,6 +56,7 @@ func (p *PhysPage) Fill(pattern uint32) {
 type AddressSpace struct {
 	pages     map[uint64]*PhysPage // virtual page base -> frame
 	nextFrame uint64
+	free      []*PhysPage // frames recycled by Reset, reused by NewPhysPage
 }
 
 // New returns an empty address space.
@@ -58,9 +64,20 @@ func New() *AddressSpace {
 	return &AddressSpace{pages: make(map[uint64]*PhysPage), nextFrame: 1}
 }
 
-// NewPhysPage allocates a fresh physical frame.
+// NewPhysPage allocates a fresh physical frame, reusing one recycled by
+// Reset when available. A recycled frame is zeroed and renumbered, so it
+// is indistinguishable from a newly allocated one.
 func (as *AddressSpace) NewPhysPage() *PhysPage {
-	p := &PhysPage{ID: as.nextFrame}
+	var p *PhysPage
+	if n := len(as.free); n > 0 {
+		p = as.free[n-1]
+		as.free = as.free[:n-1]
+		p.inFree = false
+		p.Data = [PageSize]byte{}
+	} else {
+		p = new(PhysPage)
+	}
+	p.ID = as.nextFrame
 	as.nextFrame++
 	return p
 }
@@ -89,7 +106,19 @@ func (as *AddressSpace) UnmapAll() {
 // allocation. Physical addresses (frame ID × PageSize) are therefore
 // identical to a fresh New, which is what keeps cache set indexing, and
 // hence measurements, byte-identical when address spaces are recycled.
+//
+// The frames the table referenced are recycled into NewPhysPage's free
+// list (zeroed and renumbered on reuse), so the 4KB page bodies — by far
+// the largest allocation of a measurement — survive across resets.
+// Callers must therefore drop any frame pointers they kept once they
+// Reset the address space that issued them.
 func (as *AddressSpace) Reset() {
+	for _, f := range as.pages {
+		if !f.inFree {
+			f.inFree = true
+			as.free = append(as.free, f)
+		}
+	}
 	clear(as.pages)
 	as.nextFrame = 1
 }

@@ -1,16 +1,34 @@
 #!/bin/sh
-# Runs the profiling hot-path micro-benchmark and emits BENCH_profiler.json
-# with per-block cost (the benchmark profiles blocksPerOp blocks per op).
+# Profiling hot-path micro-benchmark driver (the benchmark profiles
+# blocksPerOp blocks per op; all numbers below are per block).
 #
-# Usage: scripts/bench_profiler.sh [output.json]
+# Usage:
+#   scripts/bench_profiler.sh [output.json]
+#       Refresh mode: run the benchmark and rewrite output.json (default
+#       BENCH_profiler.json). The previous committed entry is preserved in
+#       the new file as "previous", so the committed history forms a chain
+#       back to the seed baseline.
+#   scripts/bench_profiler.sh check
+#       Check mode (CI perf smoke): run the benchmark and fail when
+#       ns_per_block regresses more than MAX_REGRESSION_PCT (default 15)
+#       over the committed BENCH_profiler.json. Nothing is written.
 set -eu
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_profiler.json}"
+
+mode=refresh
+out="BENCH_profiler.json"
+case "${1:-}" in
+check) mode=check ;;
+"") ;;
+*) out="$1" ;;
+esac
+max_pct="${MAX_REGRESSION_PCT:-15}"
 
 raw="$(go test -bench BenchmarkProfileHotPath -benchmem -run '^$' -benchtime 2s . | tee /dev/stderr)"
 
-echo "$raw" | awk -v out="$out" '
+# Per-block cost of this run.
+set -- $(echo "$raw" | awk '
 /^BenchmarkProfileHotPath/ {
     ns = ""; allocs = ""; blocks = 1
     for (i = 1; i <= NF; i++) {
@@ -18,15 +36,36 @@ echo "$raw" | awk -v out="$out" '
         if ($(i+1) == "allocs/op")   allocs = $i
         if ($(i+1) == "blocksPerOp") blocks = $i
     }
+    printf "%.0f %.1f %d\n", ns / blocks, allocs / blocks, blocks
+}')
+ns_block="$1"; allocs_block="$2"; blocks="$3"
+
+committed_ns="$(awk -F'[:,]' '/"ns_per_block"/ { gsub(/ /, "", $2); print $2; exit }' BENCH_profiler.json)"
+committed_allocs="$(awk -F'[:,]' '/"allocs_per_block"/ { gsub(/ /, "", $2); print $2; exit }' BENCH_profiler.json)"
+
+if [ "$mode" = "check" ]; then
+    awk -v now="$ns_block" -v base="$committed_ns" -v max="$max_pct" 'BEGIN {
+        pct = 100 * (now - base) / base
+        printf "perf check: %d ns/block vs committed %d (%+.1f%%, limit +%d%%)\n", now, base, pct, max
+        exit pct > max ? 1 : 0
+    }' || {
+        echo "perf check FAILED: ns/block regressed more than ${max_pct}% over BENCH_profiler.json" >&2
+        exit 1
+    }
+    exit 0
+fi
+
+awk -v ns="$ns_block" -v allocs="$allocs_block" -v blocks="$blocks" \
+    -v prev_ns="$committed_ns" -v prev_allocs="$committed_allocs" -v out="$out" 'BEGIN {
     printf "{\n" > out
     printf "  \"benchmark\": \"BenchmarkProfileHotPath\",\n" >> out
-    printf "  \"ns_per_block\": %.0f,\n", ns / blocks >> out
-    printf "  \"allocs_per_block\": %.1f,\n", allocs / blocks >> out
+    printf "  \"ns_per_block\": %d,\n", ns >> out
+    printf "  \"allocs_per_block\": %.1f,\n", allocs >> out
     printf "  \"blocks_per_op\": %d,\n", blocks >> out
+    printf "  \"previous\": {\"ns_per_block\": %d, \"allocs_per_block\": %.1f},\n", prev_ns, prev_allocs >> out
     printf "  \"seed_baseline\": {\"ns_per_block\": 470958, \"allocs_per_block\": 4704.5},\n" >> out
-    printf "  \"speedup_vs_seed\": %.2f,\n", 470958 / (ns / blocks) >> out
-    printf "  \"alloc_reduction_vs_seed\": %.1f\n", 4704.5 / (allocs / blocks) >> out
+    printf "  \"speedup_vs_seed\": %.2f,\n", 470958 / ns >> out
+    printf "  \"alloc_reduction_vs_seed\": %.1f\n", 4704.5 / allocs >> out
     printf "}\n" >> out
-}
-'
+}'
 cat "$out"
