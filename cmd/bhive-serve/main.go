@@ -16,6 +16,12 @@
 //	curl -s localhost:8421/v1/jobs/<id>
 //	curl -sN localhost:8421/v1/jobs/<id>/events
 //	curl -s localhost:8421/v1/jobs/<id>/result
+//
+// With -dist the server also acts as a distributed-evaluation
+// coordinator: eligible jobs lease their corpus shards to bhive-worker
+// processes over /v1/dist, and the merged result is byte-identical to a
+// single-node run (worker payloads land in the job's checkpoint journal
+// and replay through the normal pipeline).
 package main
 
 import (
@@ -60,6 +66,12 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		drain   = fs.Duration("drain-timeout", 5*time.Minute, "max wait for running jobs to reach a shard boundary on shutdown")
 		fsyncN  = fs.Int("fsync-every", 1, "fsync job checkpoints once per N shards (group commit; a hard kill recomputes at most the last N-1 shards)")
 		jobTTL  = fs.Duration("job-ttl", 0, "delete finished job directories this long after completion (0 = keep forever)")
+
+		distOn    = fs.Bool("dist", false, "coordinator mode: lease corpus shards to bhive-worker processes over /v1/dist")
+		distToken = fs.String("dist-token", "", "bearer token non-loopback workers must present (empty = /v1/dist is loopback-only)")
+		leaseTTL  = fs.Duration("dist-lease-ttl", 0, "re-issue a worker's shards if unfinished after this long (0 = 2m)")
+		leaseN    = fs.Int("dist-shards-per-lease", 0, "shards granted per lease (0 = 1)")
+		inflight  = fs.Int("dist-max-inflight", 0, "max outstanding leases before 503 backpressure (0 = 64)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,12 +91,17 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	}
 
 	srv, err := server.New(server.Config{
-		DataDir:    *dataDir,
-		Cache:      pc,
-		Workers:    *workers,
-		MaxJobs:    *maxJobs,
-		FsyncEvery: *fsyncN,
-		JobTTL:     *jobTTL,
+		DataDir:            *dataDir,
+		Cache:              pc,
+		Workers:            *workers,
+		MaxJobs:            *maxJobs,
+		FsyncEvery:         *fsyncN,
+		JobTTL:             *jobTTL,
+		Dist:               *distOn,
+		DistToken:          *distToken,
+		DistLeaseTTL:       *leaseTTL,
+		DistShardsPerLease: *leaseN,
+		DistMaxInflight:    *inflight,
 	})
 	if err != nil {
 		return err

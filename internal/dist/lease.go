@@ -1,0 +1,386 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sentinel errors the coordinator's HTTP layer maps onto status codes.
+var (
+	// ErrNoWork: no job has pending shards right now (HTTP 204).
+	ErrNoWork = errors.New("dist: no work available")
+	// ErrSaturated: the in-flight lease cap is reached — backpressure,
+	// not failure (HTTP 503 + Retry-After).
+	ErrSaturated = errors.New("dist: lease table saturated")
+	// ErrUnknownJob: the result or spec lookup names a job the manager is
+	// not (or no longer) filling (HTTP 409 / 404).
+	ErrUnknownJob = errors.New("dist: unknown job")
+)
+
+// ManagerConfig tunes the lease table. The zero value is usable: every
+// field has a default applied by NewManager.
+type ManagerConfig struct {
+	// LeaseTTL is how long a worker holds a lease before its unfinished
+	// shards are re-issued. Default 2 minutes.
+	LeaseTTL time.Duration
+	// ShardsPerLease caps how many shards one lease grants. Default 1 —
+	// smallest re-issue blast radius; raise it to amortize HTTP overhead
+	// on fast shards.
+	ShardsPerLease int
+	// MaxInflight bounds concurrently outstanding leases across all jobs
+	// (coordinator backpressure). Default 64.
+	MaxInflight int
+	// Now is the clock, injectable for tests. Default time.Now.
+	Now func() time.Time
+}
+
+func (c *ManagerConfig) applyDefaults() {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 2 * time.Minute
+	}
+	if c.ShardsPerLease <= 0 {
+		c.ShardsPerLease = 1
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Sink receives one accepted shard result. The manager calls it with its
+// lock released, one call at a time per job is NOT guaranteed — the
+// callback must be safe for concurrent use (the server's journal fill
+// serializes internally). A sink error fails the whole job: the fill
+// cannot proceed with a hole in it.
+type Sink func(res *ShardResult) error
+
+// jobState is one job being filled.
+type jobState struct {
+	spec    JobSpec
+	sink    Sink
+	pending []ShardRef          // not leased, not done (FIFO re-issue order)
+	leased  map[ShardRef]string // shard -> lease id
+	done    map[ShardRef]bool
+	total   int
+	doneCh  chan struct{} // closed once filled or failed
+}
+
+// leaseState is one outstanding grant.
+type leaseState struct {
+	id       string
+	jobID    string
+	worker   string
+	shards   []ShardRef
+	deadline time.Time
+}
+
+// Manager is the coordinator-side lease table: it tracks which shards of
+// which jobs are pending, leased, or done; grants leases with deadlines;
+// lazily expires and re-issues leases whose workers went quiet; and
+// routes accepted results to per-job sinks. All methods are safe for
+// concurrent use.
+type Manager struct {
+	cfg ManagerConfig
+
+	mu        sync.Mutex
+	jobs      map[string]*jobState
+	leases    map[string]*leaseState
+	jobOrder  []string // FIFO across jobs so older jobs drain first
+	failed    map[string]error
+	nextLease uint64
+	reissued  uint64 // shards returned to pending by expiry (observability)
+}
+
+// NewManager builds a lease table with defaults applied.
+func NewManager(cfg ManagerConfig) *Manager {
+	cfg.applyDefaults()
+	return &Manager{
+		cfg:    cfg,
+		jobs:   map[string]*jobState{},
+		leases: map[string]*leaseState{},
+		failed: map[string]error{},
+	}
+}
+
+// AddJob registers a job's missing shards for distribution. The returned
+// channel closes when every shard has been accepted (or the job failed —
+// check Err afterwards). Shards already journaled locally are simply not
+// passed in. Registering an id twice is an error.
+func (m *Manager) AddJob(spec JobSpec, shards []ShardRef, sink Sink) (<-chan struct{}, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("dist: AddJob %s: no shards to distribute", spec.ID)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.jobs[spec.ID]; ok {
+		return nil, fmt.Errorf("dist: AddJob: job %s already registered", spec.ID)
+	}
+	j := &jobState{
+		spec:    spec,
+		sink:    sink,
+		pending: append([]ShardRef(nil), shards...),
+		leased:  map[ShardRef]string{},
+		done:    map[ShardRef]bool{},
+		total:   len(shards),
+		doneCh:  make(chan struct{}),
+	}
+	m.jobs[spec.ID] = j
+	m.jobOrder = append(m.jobOrder, spec.ID)
+	return j.doneCh, nil
+}
+
+// RemoveJob withdraws a job (fill aborted — e.g. the server is
+// interrupted). Its leases are dropped; in-flight workers get 409 on
+// their next result post and move on. No-op for unknown ids.
+func (m *Manager) RemoveJob(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return
+	}
+	m.dropJobLocked(id)
+	m.failed[id] = fmt.Errorf("dist: job %s withdrawn", id)
+	close(j.doneCh)
+}
+
+// dropJobLocked removes the job and all its leases from the tables.
+func (m *Manager) dropJobLocked(id string) {
+	delete(m.jobs, id)
+	for lid, l := range m.leases {
+		if l.jobID == id {
+			delete(m.leases, lid)
+		}
+	}
+	for i, jid := range m.jobOrder {
+		if jid == id {
+			m.jobOrder = append(m.jobOrder[:i], m.jobOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// Spec returns the worker-facing spec of a registered job.
+func (m *Manager) Spec(id string) (JobSpec, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobSpec{}, ErrUnknownJob
+	}
+	return j.spec, nil
+}
+
+// Lease grants the next batch of pending shards to a worker, oldest job
+// first. Returns ErrNoWork when nothing is pending (expired leases are
+// swept first, so work abandoned by a dead worker becomes grantable
+// here) and ErrSaturated when the in-flight cap is reached.
+func (m *Manager) Lease(worker string) (*Lease, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked()
+	if len(m.leases) >= m.cfg.MaxInflight {
+		return nil, ErrSaturated
+	}
+	for _, id := range m.jobOrder {
+		j := m.jobs[id]
+		if len(j.pending) == 0 {
+			continue
+		}
+		take := m.cfg.ShardsPerLease
+		if take > len(j.pending) {
+			take = len(j.pending)
+		}
+		shards := append([]ShardRef(nil), j.pending[:take]...)
+		j.pending = j.pending[take:]
+
+		m.nextLease++
+		l := &leaseState{
+			id:       fmt.Sprintf("l-%d", m.nextLease),
+			jobID:    id,
+			worker:   worker,
+			shards:   shards,
+			deadline: m.cfg.Now().Add(m.cfg.LeaseTTL),
+		}
+		m.leases[l.id] = l
+		for _, ref := range shards {
+			j.leased[ref] = l.id
+		}
+		return &Lease{
+			ID:          l.id,
+			JobID:       id,
+			Fingerprint: j.spec.Fingerprint,
+			Shards:      shards,
+			Deadline:    l.deadline,
+		}, nil
+	}
+	return nil, ErrNoWork
+}
+
+// expireLocked sweeps leases past their deadline, returning their
+// unfinished shards to the front of the pending queue (they were oldest
+// work; re-issue them first).
+func (m *Manager) expireLocked() {
+	now := m.cfg.Now()
+	for lid, l := range m.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		delete(m.leases, lid)
+		j, ok := m.jobs[l.jobID]
+		if !ok {
+			continue
+		}
+		var back []ShardRef
+		for _, ref := range l.shards {
+			if j.done[ref] || j.leased[ref] != lid {
+				continue
+			}
+			delete(j.leased, ref)
+			back = append(back, ref)
+		}
+		if len(back) > 0 {
+			j.pending = append(back, j.pending...)
+			m.reissued += uint64(len(back))
+		}
+	}
+}
+
+// Complete accepts one shard result. Duplicate results (a re-issued
+// shard's original worker finishing late) are acknowledged but dropped —
+// first write wins, both are byte-identical by construction. On a sink
+// error the job is failed and its channel closed; Err reports why.
+func (m *Manager) Complete(res *ShardResult) (ResultAck, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[res.JobID]
+	if !ok {
+		m.mu.Unlock()
+		return ResultAck{}, ErrUnknownJob
+	}
+	ref := res.Ref
+	if j.done[ref] {
+		ack := ResultAck{Accepted: false, JobDone: len(j.done) == j.total}
+		m.mu.Unlock()
+		return ack, nil
+	}
+	known := j.leased[ref] != ""
+	if !known {
+		for _, p := range j.pending {
+			if p == ref {
+				known = true
+				break
+			}
+		}
+	}
+	if !known {
+		m.mu.Unlock()
+		return ResultAck{}, fmt.Errorf("dist: job %s: result for unknown shard %s/%d", res.JobID, ref.Arch, ref.Shard)
+	}
+	sink := j.sink
+	m.mu.Unlock()
+
+	// Sink with the lock released: the journal write does I/O. The shard
+	// stays leased/pending meanwhile, so a concurrent duplicate for the
+	// same shard either sees done=false here too (both sink — the journal
+	// layer tolerates identical rewrites) or arrives after and is dropped.
+	if err := sink(res); err != nil {
+		m.failJob(res.JobID, fmt.Errorf("dist: job %s: shard %s/%d sink: %w", res.JobID, ref.Arch, ref.Shard, err))
+		return ResultAck{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok = m.jobs[res.JobID]
+	if !ok {
+		// Failed or withdrawn while sinking.
+		return ResultAck{}, ErrUnknownJob
+	}
+	if !j.done[ref] {
+		j.done[ref] = true
+		if lid, ok := j.leased[ref]; ok {
+			delete(j.leased, ref)
+			if l := m.leases[lid]; l != nil {
+				// Fresh slice, not in-place compaction: l.shards aliases
+				// the Shards slice handed to the lease holder.
+				var rest []ShardRef
+				for _, s := range l.shards {
+					if s != ref {
+						rest = append(rest, s)
+					}
+				}
+				l.shards = rest
+				if len(l.shards) == 0 {
+					delete(m.leases, lid)
+				}
+			}
+		} else {
+			// The shard had been returned to pending by expiry but the
+			// original worker delivered anyway: remove it from the queue.
+			for i, p := range j.pending {
+				if p == ref {
+					j.pending = append(j.pending[:i], j.pending[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	jobDone := len(j.done) == j.total
+	if jobDone {
+		m.dropJobLocked(res.JobID)
+		close(j.doneCh)
+	}
+	return ResultAck{Accepted: true, JobDone: jobDone}, nil
+}
+
+// failJob marks a job failed and releases its channel.
+func (m *Manager) failJob(id string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return
+	}
+	m.dropJobLocked(id)
+	close(j.doneCh)
+	// Keep the failure reachable for Err after the jobs-table entry is
+	// gone — the fill goroutine reads it once doneCh closes.
+	m.failed[id] = err
+}
+
+// Err returns why a job's fill failed (nil for success or unknown ids).
+// The error is consumed: a second call returns nil.
+func (m *Manager) Err(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err := m.failed[id]
+	delete(m.failed, id)
+	return err
+}
+
+// Status is a point-in-time snapshot for observability.
+type Status struct {
+	Jobs     int    `json:"jobs"`
+	Pending  int    `json:"pending_shards"`
+	Leased   int    `json:"leased_shards"`
+	Done     int    `json:"done_shards"`
+	Inflight int    `json:"inflight_leases"`
+	Reissued uint64 `json:"reissued_shards"`
+}
+
+// Snapshot reports current lease-table totals.
+func (m *Manager) Snapshot() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expireLocked()
+	st := Status{Jobs: len(m.jobs), Inflight: len(m.leases), Reissued: m.reissued}
+	for _, j := range m.jobs {
+		st.Pending += len(j.pending)
+		st.Leased += len(j.leased)
+		st.Done += len(j.done)
+	}
+	return st
+}

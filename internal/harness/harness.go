@@ -295,14 +295,16 @@ func (s *Suite) resumedRecords(ck *Checkpoint, arch string) int {
 
 // etaSuffix renders the overall-rate/ETA segment of a progress line
 // ("  overall 1234 blocks/s  eta 2m5s"), or "" before any outcome lands.
+// The ETA comes from the measured-only rate (see profiler.Rate), so a
+// warm-cache resume doesn't promise the cold remainder at cache speed.
 func etaSuffix(met *profiler.Metrics) string {
-	rate, eta, ok := met.Throughput()
+	r, ok := met.Throughput()
 	if !ok {
 		return ""
 	}
-	out := fmt.Sprintf("  overall %.0f blocks/s", rate)
-	if eta > 0 {
-		out += fmt.Sprintf("  eta %s", eta.Round(time.Second))
+	out := fmt.Sprintf("  overall %.0f blocks/s", r.BlocksPerSec)
+	if r.Eta > 0 {
+		out += fmt.Sprintf("  eta %s", r.Eta.Round(time.Second))
 	}
 	return out
 }

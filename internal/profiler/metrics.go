@@ -27,14 +27,29 @@ type Metrics struct {
 	// planned is the number of block outcomes registered as upcoming work
 	// (AddPlanned); startNanos is the wall time of the first recorded
 	// outcome (0 = none yet). Together they drive Throughput's ETA.
-	planned    atomic.Uint64
-	startNanos atomic.Int64
+	// measStartNanos is the wall time of the first *measured* outcome —
+	// cache hits and prescreens are near-instant, so the ETA for work that
+	// still has to be measured must come from the measured rate alone, not
+	// the hit-inflated overall rate.
+	planned        atomic.Uint64
+	startNanos     atomic.Int64
+	measStartNanos atomic.Int64
 }
+
+// timeNow is swapped by tests to drive the rate clocks deterministically.
+var timeNow = time.Now
 
 // markStart stamps the first recorded outcome's wall time exactly once.
 func (m *Metrics) markStart() {
 	if m.startNanos.Load() == 0 {
-		m.startNanos.CompareAndSwap(0, time.Now().UnixNano())
+		m.startNanos.CompareAndSwap(0, timeNow().UnixNano())
+	}
+}
+
+// markMeasStart stamps the first measured outcome's wall time exactly once.
+func (m *Metrics) markMeasStart() {
+	if m.measStartNanos.Load() == 0 {
+		m.measStartNanos.CompareAndSwap(0, timeNow().UnixNano())
 	}
 }
 
@@ -49,28 +64,61 @@ func (m *Metrics) AddPlanned(n int) {
 	m.planned.Add(uint64(n))
 }
 
-// Throughput reports the overall processing rate since the first recorded
+// Rate is a Throughput report: the overall processing rate (every
+// outcome, cache hits and prescreens included), the measured-only rate
+// (zero until a block is actually measured), and the ETA for the planned
+// work remaining.
+type Rate struct {
+	// BlocksPerSec is the overall rate since the first recorded outcome.
+	BlocksPerSec float64
+	// MeasuredPerSec is the rate of measured (cache-miss) outcomes since
+	// the first one; 0 while everything has come from the cache.
+	MeasuredPerSec float64
+	// Eta estimates the time to finish the registered remaining work
+	// (0 when none remains).
+	Eta time.Duration
+}
+
+// Throughput reports the processing rates since the first recorded
 // outcome and, from the planned-work registrations, the estimated time to
 // finish the remainder. ok is false until an outcome has landed (and on a
-// nil receiver); eta is 0 when no planned work remains.
-func (m *Metrics) Throughput() (blocksPerSec float64, eta time.Duration, ok bool) {
+// nil receiver).
+//
+// The ETA is derived from the measured-only rate once any block has been
+// measured: cache hits and prescreens complete in microseconds, so a
+// warm-cache resume that replays thousands of hits would otherwise report
+// a wildly optimistic ETA for the cold blocks still waiting on the
+// measurement protocol. Only when the run has measured nothing (fully
+// warm so far) does the overall rate drive the ETA — then the hits *are*
+// the workload.
+func (m *Metrics) Throughput() (r Rate, ok bool) {
 	if m == nil {
-		return 0, 0, false
+		return Rate{}, false
 	}
 	start := m.startNanos.Load()
 	if start == 0 {
-		return 0, 0, false
+		return Rate{}, false
 	}
-	done := m.Snapshot().Total()
-	elapsed := time.Since(time.Unix(0, start))
+	snap := m.Snapshot()
+	done := snap.Total()
+	elapsed := timeNow().Sub(time.Unix(0, start))
 	if done == 0 || elapsed <= 0 {
-		return 0, 0, false
+		return Rate{}, false
 	}
-	blocksPerSec = float64(done) / elapsed.Seconds()
+	r.BlocksPerSec = float64(done) / elapsed.Seconds()
+	if ms := m.measStartNanos.Load(); ms != 0 && snap.Profiled > 0 {
+		if me := timeNow().Sub(time.Unix(0, ms)); me > 0 {
+			r.MeasuredPerSec = float64(snap.Profiled) / me.Seconds()
+		}
+	}
 	if planned := m.planned.Load(); planned > done {
-		eta = time.Duration(float64(planned-done) / blocksPerSec * float64(time.Second))
+		etaRate := r.BlocksPerSec
+		if r.MeasuredPerSec > 0 {
+			etaRate = r.MeasuredPerSec
+		}
+		r.Eta = time.Duration(float64(planned-done) / etaRate * float64(time.Second))
 	}
-	return blocksPerSec, eta, true
+	return r, true
 }
 
 // record accounts one Profile call. hit reports whether the result came
@@ -83,6 +131,7 @@ func (m *Metrics) record(s Status, hit bool) {
 	if hit {
 		m.cacheHits.Add(1)
 	} else {
+		m.markMeasStart()
 		m.profiled.Add(1)
 	}
 	if int(s) < NumStatus {

@@ -4,6 +4,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"bhive/internal/profcache"
 	"bhive/internal/uarch"
@@ -107,35 +108,95 @@ func TestMetricsPrescreenAndCrosscheck(t *testing.T) {
 func TestMetricsThroughput(t *testing.T) {
 	var nilM *Metrics
 	nilM.AddPlanned(10) // must not panic
-	if _, _, ok := nilM.Throughput(); ok {
+	if _, ok := nilM.Throughput(); ok {
 		t.Fatal("nil metrics reported a throughput")
 	}
 
 	m := new(Metrics)
-	if _, _, ok := m.Throughput(); ok {
+	if _, ok := m.Throughput(); ok {
 		t.Fatal("throughput available before any outcome")
 	}
 	m.AddPlanned(100)
-	if _, _, ok := m.Throughput(); ok {
+	if _, ok := m.Throughput(); ok {
 		t.Fatal("planned work alone must not start the clock")
 	}
 	for i := 0; i < 4; i++ {
 		m.record(StatusOK, i%2 == 0)
 	}
-	rate, eta, ok := m.Throughput()
-	if !ok || rate <= 0 {
-		t.Fatalf("throughput after 4 outcomes: rate=%v ok=%v", rate, ok)
+	r, ok := m.Throughput()
+	if !ok || r.BlocksPerSec <= 0 {
+		t.Fatalf("throughput after 4 outcomes: %+v ok=%v", r, ok)
 	}
-	if eta <= 0 {
-		t.Fatalf("96 planned blocks remain but eta=%v", eta)
+	if r.Eta <= 0 {
+		t.Fatalf("96 planned blocks remain but eta=%v", r.Eta)
 	}
 
 	// With the plan exhausted (or never registered) the ETA drops to zero
 	// while the rate survives.
 	done := new(Metrics)
 	done.record(StatusOK, false)
-	rate, eta, ok = done.Throughput()
-	if !ok || rate <= 0 || eta != 0 {
-		t.Fatalf("unplanned run: rate=%v eta=%v ok=%v", rate, eta, ok)
+	r, ok = done.Throughput()
+	if !ok || r.BlocksPerSec <= 0 || r.Eta != 0 {
+		t.Fatalf("unplanned run: %+v ok=%v", r, ok)
+	}
+}
+
+// TestMetricsWarmResumeETA is the regression test for the optimistic-ETA
+// bug: a warm-cache resume replays thousands of cache hits in
+// milliseconds, and an ETA derived from the overall rate then promises
+// the remaining *measured* work at cache speed. The ETA must instead
+// track the measured-only rate once any block has actually been measured.
+func TestMetricsWarmResumeETA(t *testing.T) {
+	base := time.Unix(1000, 0)
+	now := base
+	timeNow = func() time.Time { return now }
+	defer func() { timeNow = time.Now }()
+
+	m := new(Metrics)
+	m.AddPlanned(1000)
+
+	// 500 cache hits land in 100ms — a warm resume replaying old work.
+	for i := 0; i < 500; i++ {
+		m.record(StatusOK, true)
+	}
+	now = base.Add(100 * time.Millisecond)
+
+	// One cold block takes a full second to measure.
+	m.record(StatusOK, false)
+	now = base.Add(1100 * time.Millisecond)
+
+	r, ok := m.Throughput()
+	if !ok {
+		t.Fatal("no throughput after 501 outcomes")
+	}
+	// Overall rate is hit-dominated (~455 blocks/s) — fine for display.
+	if r.BlocksPerSec < 100 {
+		t.Fatalf("overall rate %v, want hit-dominated (>100/s)", r.BlocksPerSec)
+	}
+	// Measured rate is 1 block/s: that is what the remaining 499 blocks
+	// will cost if they miss. The old ETA (remaining/overall) would have
+	// been ~1.1s; the fixed ETA must be ~499s.
+	if r.MeasuredPerSec <= 0.5 || r.MeasuredPerSec > 1.5 {
+		t.Fatalf("measured rate %v, want ~1/s", r.MeasuredPerSec)
+	}
+	if r.Eta < 300*time.Second {
+		t.Fatalf("eta %v still optimistic: want ~499s from the measured rate", r.Eta)
+	}
+
+	// A fully warm run (no measurements at all) falls back to the overall
+	// rate — there the hits are the workload.
+	warm := new(Metrics)
+	warm.AddPlanned(100)
+	now = base
+	for i := 0; i < 50; i++ {
+		warm.record(StatusOK, true)
+	}
+	now = base.Add(time.Second)
+	r, ok = warm.Throughput()
+	if !ok || r.MeasuredPerSec != 0 {
+		t.Fatalf("warm run: %+v ok=%v, want measured rate 0", r, ok)
+	}
+	if r.Eta <= 0 || r.Eta > 10*time.Second {
+		t.Fatalf("warm run eta %v, want ~1s from the overall rate", r.Eta)
 	}
 }

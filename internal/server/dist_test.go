@@ -1,0 +1,305 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"bhive/internal/dist"
+	"bhive/internal/harness"
+)
+
+// distTestBody is a table5 job over the deterministic test corpus, with
+// a small shard size so the distributed run has plenty of leases.
+func distTestBody(t *testing.T) string {
+	t.Helper()
+	return fmt.Sprintf(`{"experiments":["table5"],"corpus_csv":%s,"shard_size":32}`,
+		strconv.Quote(testCorpusCSV(t)))
+}
+
+func distWorkerConfig(ts *httptest.Server, name string) dist.WorkerConfig {
+	return dist.WorkerConfig{
+		Coordinator:  ts.URL,
+		Name:         name,
+		PollInterval: 10 * time.Millisecond,
+		BackoffBase:  5 * time.Millisecond,
+		BuildSuite: func(request []byte, shardSize int) (*harness.Suite, error) {
+			cfg, err := WorkerHarnessConfig(request, shardSize)
+			if err != nil {
+				return nil, err
+			}
+			return harness.New(cfg), nil
+		},
+	}
+}
+
+// TestDistributedGoldenByteIdentical is the tentpole end-to-end
+// property: a coordinator plus two workers — one killed mid-lease —
+// must produce result bytes identical to a single-node run, with every
+// measurement done remotely and the dead worker's undelivered shards
+// re-issued to the survivor rather than recomputed from scratch.
+func TestDistributedGoldenByteIdentical(t *testing.T) {
+	body := distTestBody(t)
+
+	// Reference: single-node server, no distribution.
+	refSrv, err := New(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTS := httptest.NewServer(refSrv.Handler())
+	refID := postJob(t, refTS, body).ID
+	waitFor(t, refTS, refID, "single-node done", func(st JobStatus) bool { return st.State == stateDone })
+	ref := getResult(t, refTS, refID)
+	refTS.Close()
+	if err := refSrv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Distributed: coordinator with a short lease TTL (the killed
+	// worker's lease must re-issue within the test) and two shards per
+	// lease (so the kill strands a half-delivered lease).
+	srv, err := New(Config{
+		DataDir:            t.TempDir(),
+		Dist:               true,
+		DistLeaseTTL:       1500 * time.Millisecond,
+		DistShardsPerLease: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	id := postJob(t, ts, body).ID
+	if id != refID {
+		t.Fatalf("content-derived ids diverged: %s vs %s", id, refID)
+	}
+
+	// Worker A delivers one shard, then dies mid-lease.
+	wa, err := dist.NewWorker(distWorkerConfig(ts, "wa"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxA, cancelA := context.WithCancel(context.Background())
+	aDone := make(chan struct{})
+	go func() { defer close(aDone); wa.Run(ctxA) }()
+	for deadline := time.Now().Add(2 * time.Minute); wa.ShardsDone() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("worker A never delivered a shard")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancelA()
+	<-aDone
+
+	// Worker B finishes the job, including A's re-issued shards.
+	wb, err := dist.NewWorker(distWorkerConfig(ts, "wb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxB, cancelB := context.WithCancel(context.Background())
+	defer cancelB()
+	go wb.Run(ctxB)
+
+	st := waitFor(t, ts, id, "distributed done", func(st JobStatus) bool { return st.State == stateDone })
+	got := getResult(t, ts, id)
+	if !bytes.Equal(got, ref) {
+		t.Fatalf("distributed result diverged from single-node run.\n--- distributed ---\n%s\n--- single-node ---\n%s", got, ref)
+	}
+
+	// Every measurement happened on the workers: the coordinator only
+	// journaled payloads and replayed them.
+	if st.Metrics != nil && st.Metrics.Profiled != 0 {
+		t.Fatalf("coordinator profiled %d blocks locally, want 0", st.Metrics.Profiled)
+	}
+	// The journal-backed resume did real work on both sides: A's
+	// delivered shards were not recomputed by B.
+	if wa.ShardsDone() == 0 || wb.ShardsDone() == 0 {
+		t.Fatalf("work split wa=%d wb=%d", wa.ShardsDone(), wb.ShardsDone())
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistFillResumesAcrossRestart: a coordinator interrupted mid-fill
+// requeues the job; the restarted server re-leases only the shards the
+// journal is still missing.
+func TestDistFillInterruptRequeues(t *testing.T) {
+	dataDir := t.TempDir()
+	srv, err := New(Config{DataDir: dataDir, Dist: true, DistShardsPerLease: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	id := postJob(t, ts, distTestBody(t)).ID
+
+	// One worker delivers a few shards, then the server drains while the
+	// fill is still incomplete.
+	w, err := dist.NewWorker(distWorkerConfig(ts, "w1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithCancel(context.Background())
+	go w.Run(wctx)
+	for deadline := time.Now().Add(2 * time.Minute); w.ShardsDone() < 2; {
+		if time.Now().After(deadline) {
+			t.Fatal("no shards delivered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wcancel()
+	ts.Close()
+
+	st := jobStatus2(t, srv, id)
+	if st.State != stateQueued {
+		t.Fatalf("interrupted distributed job state %q, want queued", st.State)
+	}
+
+	// Restart over the same data dir: the fill resumes from the journal
+	// and a fresh worker completes it.
+	srv2, err := New(Config{DataDir: dataDir, Dist: true, DistShardsPerLease: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	w2, err := dist.NewWorker(distWorkerConfig(ts2, "w2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2ctx, w2cancel := context.WithCancel(context.Background())
+	defer w2cancel()
+	go w2.Run(w2ctx)
+	waitFor(t, ts2, id, "resumed distributed done", func(st JobStatus) bool { return st.State == stateDone })
+	if err := srv2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// jobStatus2 reads status straight off the server (no HTTP listener).
+func jobStatus2(t *testing.T, s *Server, id string) JobStatus {
+	t.Helper()
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		t.Fatalf("job %s missing", id)
+	}
+	return j.Status()
+}
+
+// TestDistAuth pins the bearer-token gate: loopback is always admitted,
+// non-loopback needs the exact token, and a token-less coordinator is
+// loopback-only.
+func TestDistAuth(t *testing.T) {
+	called := false
+	handler := func(w http.ResponseWriter, r *http.Request) { called = true }
+	run := func(s *Server, remote, auth string) (int, bool) {
+		called = false
+		r := httptest.NewRequest("POST", "/v1/dist/lease", nil)
+		r.RemoteAddr = remote
+		if auth != "" {
+			r.Header.Set("Authorization", auth)
+		}
+		rw := httptest.NewRecorder()
+		s.distAuth(handler)(rw, r)
+		return rw.Code, called
+	}
+
+	noToken := &Server{cfg: Config{}}
+	if code, ok := run(noToken, "127.0.0.1:9999", ""); !ok || code != http.StatusOK {
+		t.Fatalf("loopback without token: %d, called=%v", code, ok)
+	}
+	if code, ok := run(noToken, "[::1]:9999", ""); !ok || code != http.StatusOK {
+		t.Fatalf("v6 loopback without token: %d, called=%v", code, ok)
+	}
+	if code, ok := run(noToken, "10.1.2.3:9999", ""); ok || code != http.StatusForbidden {
+		t.Fatalf("remote on token-less coordinator: %d, called=%v", code, ok)
+	}
+
+	withToken := &Server{cfg: Config{DistToken: "sekrit"}}
+	if code, ok := run(withToken, "10.1.2.3:9999", "Bearer sekrit"); !ok || code != http.StatusOK {
+		t.Fatalf("remote with good token: %d, called=%v", code, ok)
+	}
+	if code, ok := run(withToken, "10.1.2.3:9999", "Bearer wrong"); ok || code != http.StatusUnauthorized {
+		t.Fatalf("remote with bad token: %d, called=%v", code, ok)
+	}
+	if code, ok := run(withToken, "10.1.2.3:9999", ""); ok || code != http.StatusUnauthorized {
+		t.Fatalf("remote without token: %d, called=%v", code, ok)
+	}
+	if code, ok := run(withToken, "127.0.0.1:9999", ""); !ok || code != http.StatusOK {
+		t.Fatalf("loopback bypasses token: %d, called=%v", code, ok)
+	}
+}
+
+// TestDistEndpointsAbsentWhenDisabled: a non-coordinator server must not
+// expose the worker protocol.
+func TestDistEndpointsAbsentWhenDisabled(t *testing.T) {
+	srv, err := New(Config{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/dist/lease", "application/json", bytes.NewReader([]byte(`{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("dist endpoint on non-coordinator: %d", resp.StatusCode)
+	}
+}
+
+// TestDistStatusEndpoint: the lease-table snapshot is served while a
+// fill is waiting for workers.
+func TestDistStatusEndpoint(t *testing.T) {
+	srv, err := New(Config{DataDir: t.TempDir(), Dist: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	id := postJob(t, ts, distTestBody(t)).ID
+
+	// The job reaches the fill and parks waiting for leases.
+	var snap dist.Status
+	deadline := time.Now().Add(time.Minute)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/dist/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Jobs == 1 && snap.Pending > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fill never registered: %+v", snap)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Shutdown withdraws the waiting fill and requeues the job.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := jobStatus2(t, srv, id); st.State != stateQueued {
+		t.Fatalf("state after shutdown %q, want queued", st.State)
+	}
+}

@@ -40,7 +40,11 @@ func (s *Server) CollectJobs(now time.Time) int {
 	cutoff := now.Add(-s.cfg.JobTTL)
 
 	// Select under the lock, delete directories outside it: RemoveAll on a
-	// large checkpoint journal must not stall submissions.
+	// large checkpoint journal must not stall submissions. The ids being
+	// removed are published in s.collecting so admission of the same id
+	// (a resubmission racing its own expiry) is deferred until the
+	// directory is actually gone — otherwise the sweep could delete a
+	// request.json the admission path just persisted.
 	s.mu.Lock()
 	var expired []*Job
 	for id, j := range s.jobs {
@@ -53,6 +57,7 @@ func (s *Server) CollectJobs(now time.Time) int {
 			continue
 		}
 		delete(s.jobs, id)
+		s.collecting[id] = true
 		expired = append(expired, j)
 	}
 	s.mu.Unlock()
@@ -64,6 +69,9 @@ func (s *Server) CollectJobs(now time.Time) int {
 			// will retry via scanJobs.
 			fmt.Fprintf(os.Stderr, "server: gc: %s: %v\n", j.ID, err)
 		}
+		s.mu.Lock()
+		delete(s.collecting, j.ID)
+		s.mu.Unlock()
 	}
 	return len(expired)
 }

@@ -32,10 +32,12 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bhive/internal/backend"
 	"bhive/internal/corpus"
+	"bhive/internal/dist"
 	"bhive/internal/harness"
 	"bhive/internal/profcache"
 	"bhive/internal/profiler"
@@ -71,6 +73,19 @@ type Config struct {
 	// and then periodically. Queued and running jobs are never collected:
 	// their checkpoints are the resume state. Zero disables GC.
 	JobTTL time.Duration
+	// Dist enables coordinator mode: the /v1/dist endpoints come up, and
+	// eligible jobs lease their missing corpus shards to remote workers
+	// instead of profiling everything locally (see dist.go).
+	Dist bool
+	// DistToken is the bearer token non-loopback workers must present on
+	// the /v1/dist endpoints. Empty means those endpoints are
+	// loopback-only.
+	DistToken string
+	// DistLeaseTTL, DistShardsPerLease, and DistMaxInflight tune the
+	// lease table; zero values take the dist.ManagerConfig defaults.
+	DistLeaseTTL       time.Duration
+	DistShardsPerLease int
+	DistMaxInflight    int
 }
 
 // maxRequestBytes bounds /v1/evaluate bodies (inline corpora included).
@@ -87,10 +102,16 @@ type Server struct {
 	interrupt chan struct{} // closed by Shutdown: drains jobs at shard boundaries
 	queue     chan *Job
 	wg        sync.WaitGroup
+	dist      *dist.Manager // non-nil iff Config.Dist (coordinator mode)
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	closed bool
+	// collecting marks job ids whose directories a GC sweep is deleting
+	// outside the lock; admission for those ids is deferred (503 +
+	// Retry-After) so a fresh request.json is never written into (or torn
+	// down with) a directory mid-removal.
+	collecting map[string]bool
 }
 
 // New builds a server over DataDir, re-queueing any job that was left
@@ -104,11 +125,19 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxJobs = 1
 	}
 	s := &Server{
-		cfg:       cfg,
-		jobsDir:   filepath.Join(cfg.DataDir, "jobs"),
-		interrupt: make(chan struct{}),
-		queue:     make(chan *Job, queueCap),
-		jobs:      make(map[string]*Job),
+		cfg:        cfg,
+		jobsDir:    filepath.Join(cfg.DataDir, "jobs"),
+		interrupt:  make(chan struct{}),
+		queue:      make(chan *Job, queueCap),
+		jobs:       make(map[string]*Job),
+		collecting: make(map[string]bool),
+	}
+	if cfg.Dist {
+		s.dist = dist.NewManager(dist.ManagerConfig{
+			LeaseTTL:       cfg.DistLeaseTTL,
+			ShardsPerLease: cfg.DistShardsPerLease,
+			MaxInflight:    cfg.DistMaxInflight,
+		})
 	}
 	if err := os.MkdirAll(s.jobsDir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: %w", err)
@@ -196,6 +225,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	if s.dist != nil {
+		mux.HandleFunc("POST /v1/dist/lease", s.distAuth(s.handleDistLease))
+		mux.HandleFunc("GET /v1/dist/jobs/{id}", s.distAuth(s.handleDistSpec))
+		mux.HandleFunc("POST /v1/dist/result", s.distAuth(s.handleDistResult))
+		mux.HandleFunc("GET /v1/dist/status", s.distAuth(s.handleDistStatus))
+	}
 	return mux
 }
 
@@ -228,10 +263,19 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// worker runs queued jobs until Shutdown.
+// worker runs queued jobs until Shutdown. The interrupt check comes
+// first, non-blocking: a two-case select chooses randomly among ready
+// cases, so a draining server with a non-empty queue would otherwise
+// start a brand-new job mid-SIGTERM about half the time instead of
+// exiting at the boundary.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
+		select {
+		case <-s.interrupt:
+			return
+		default:
+		}
 		select {
 		case <-s.interrupt:
 			return
@@ -273,6 +317,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
+	if s.collecting[id] {
+		// A GC sweep is deleting this id's previous directory outside the
+		// lock; persisting a new request.json now would race the RemoveAll.
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "job directory is being garbage-collected; retry")
+		return
+	}
 	dir := filepath.Join(s.jobsDir, id)
 	j := newJob(id, dir, req)
 	if err := j.persistRequest(); err != nil {
@@ -283,8 +335,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queue <- j:
 	default:
-		s.mu.Unlock()
+		// Remove the just-persisted directory before releasing the lock: a
+		// concurrent resubmission of the same request could otherwise
+		// re-persist into this directory (admission holds the lock) and be
+		// torn down by this RemoveAll. The directory holds only
+		// request.json at this point, so deleting under the lock is cheap.
 		os.RemoveAll(dir)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "job queue is full")
 		return
 	}
@@ -359,7 +417,12 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		lines, state, changed := j.progressFrom(n)
 		for _, ln := range lines {
-			fmt.Fprintf(w, "data: %s\n\n", ln)
+			// A dead client surfaces as a write error here; without the
+			// check the goroutine would keep looping (and buffering) until
+			// the job's next state change, long after the peer is gone.
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", ln); err != nil {
+				return
+			}
 			n++
 		}
 		if len(lines) > 0 {
@@ -510,14 +573,34 @@ func (r *Request) id() (string, error) {
 	return hex.EncodeToString(sum[:8]), nil
 }
 
+// harnessConfig translates a normalized request into the fingerprint-
+// relevant half of a harness config — exactly the fields a distributed
+// worker must mirror to rebuild the coordinator's suite (see
+// WorkerHarnessConfig). Server-scoped execution knobs layer on top in
+// Server.harnessConfig.
+func (r *Request) harnessConfig() (harness.Config, error) {
+	cfg := harness.DefaultConfig()
+	cfg.Scale = r.Scale
+	cfg.Seed = r.Seed
+	cfg.TrainIthemal = r.TrainIthemal
+	cfg.IthemalEpochs = r.IthemalEpochs
+	cfg.ShardSize = r.ShardSize
+	if r.CorpusCSV != "" {
+		recs, err := corpus.ReadCSV(strings.NewReader(r.CorpusCSV))
+		if err != nil {
+			return cfg, fmt.Errorf("corpus_csv: %w", err)
+		}
+		cfg.Records = recs
+	}
+	return cfg, nil
+}
+
 // harnessConfig translates the request into a job-scoped harness config.
 func (s *Server) harnessConfig(j *Job) (harness.Config, error) {
-	cfg := harness.DefaultConfig()
-	cfg.Scale = j.req.Scale
-	cfg.Seed = j.req.Seed
-	cfg.TrainIthemal = j.req.TrainIthemal
-	cfg.IthemalEpochs = j.req.IthemalEpochs
-	cfg.ShardSize = j.req.ShardSize
+	cfg, err := j.req.harnessConfig()
+	if err != nil {
+		return cfg, err
+	}
 	cfg.Workers = s.cfg.Workers
 	cfg.CheckpointPath = filepath.Join(j.dir, "checkpoint.jsonl")
 	cfg.FsyncEvery = s.cfg.FsyncEvery
@@ -526,13 +609,6 @@ func (s *Server) harnessConfig(j *Job) (harness.Config, error) {
 	cfg.Interrupt = s.interrupt
 	cfg.Metrics = j.metrics
 	cfg.StopAfterShards = s.cfg.StopAfterShards
-	if j.req.CorpusCSV != "" {
-		recs, err := corpus.ReadCSV(strings.NewReader(j.req.CorpusCSV))
-		if err != nil {
-			return cfg, fmt.Errorf("corpus_csv: %w", err)
-		}
-		cfg.Records = recs
-	}
 	return cfg, nil
 }
 
@@ -603,6 +679,12 @@ func (s *Server) executeJob(j *Job) (_ []byte, err error) {
 	defer suite.Close()
 	j.setBlocks(len(suite.Records()))
 
+	if s.distEligible(j) {
+		if err := s.distFill(j, suite, cfg); err != nil {
+			return nil, err
+		}
+	}
+
 	res := Result{ID: j.ID}
 	for _, exp := range j.req.Experiments {
 		rr, err := suite.RunStructured(exp, j.req.Uarch)
@@ -626,9 +708,13 @@ func mustJSON(v any) []byte {
 	return raw
 }
 
-// writeFileAtomic lands bytes under path via temp file + fsync + rename,
-// the same crash discipline profcache.Save uses: a parallel reader (or a
-// crash mid-write) sees either nothing or the complete file.
+// writeFileAtomic lands bytes under path via temp file + fsync + rename +
+// parent-directory fsync, the same crash discipline profcache.Save uses: a
+// parallel reader (or a crash mid-write) sees either nothing or the
+// complete file. The final directory sync matters: rename only updates the
+// directory entry in memory, so without it a crash shortly after "commit"
+// can roll the rename back — a result.json or error.json terminal marker
+// would vanish while the job's checkpoint journal says the work finished.
 func writeFileAtomic(path string, raw []byte) error {
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -649,8 +735,32 @@ func writeFileAtomic(path string, raw []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("server: %w", err)
 	}
+	return syncDir(dir)
+}
+
+// syncDir makes a just-renamed directory entry durable. Split out (and
+// recorded) so the atomic-write test can assert the rename is actually
+// followed by a directory sync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("server: syncing %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("server: %w", cerr)
+	}
+	dirSyncs.Add(1)
 	return nil
 }
+
+// dirSyncs counts completed directory syncs (observed by tests to pin the
+// durability behavior of writeFileAtomic).
+var dirSyncs atomic.Uint64
 
 // MetricsStatus is the job-status view of profiler.Metrics.
 type MetricsStatus struct {
@@ -660,10 +770,14 @@ type MetricsStatus struct {
 	CrosscheckMismatch uint64            `json:"crosscheck_mismatch,omitempty"`
 	ByStatus           map[string]uint64 `json:"by_status,omitempty"`
 	// BlocksPerSec is the job's overall processing rate since its first
-	// block outcome; EtaSeconds estimates the time left for the work the
-	// run has planned so far. Both are omitted until a block completes.
-	BlocksPerSec float64 `json:"blocks_per_sec,omitempty"`
-	EtaSeconds   float64 `json:"eta_seconds,omitempty"`
+	// block outcome (cache hits included); MeasuredPerSec is the rate of
+	// actually-measured blocks only. EtaSeconds estimates the time left
+	// for the work the run has planned so far, derived from the measured
+	// rate so a warm-cache resume doesn't report a hit-speed ETA for cold
+	// work. All are omitted until a block completes.
+	BlocksPerSec   float64 `json:"blocks_per_sec,omitempty"`
+	MeasuredPerSec float64 `json:"measured_per_sec,omitempty"`
+	EtaSeconds     float64 `json:"eta_seconds,omitempty"`
 }
 
 func metricsStatus(m *profiler.Metrics) *MetricsStatus {
@@ -674,9 +788,10 @@ func metricsStatus(m *profiler.Metrics) *MetricsStatus {
 		Prescreened:        snap.Prescreened,
 		CrosscheckMismatch: snap.CrosscheckMismatch,
 	}
-	if rate, eta, ok := m.Throughput(); ok {
-		ms.BlocksPerSec = rate
-		ms.EtaSeconds = eta.Seconds()
+	if r, ok := m.Throughput(); ok {
+		ms.BlocksPerSec = r.BlocksPerSec
+		ms.MeasuredPerSec = r.MeasuredPerSec
+		ms.EtaSeconds = r.Eta.Seconds()
 	}
 	for i, n := range snap.ByStatus {
 		if n == 0 {

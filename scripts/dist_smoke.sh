@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# End-to-end smoke of distributed evaluation: a coordinator (bhive-serve
+# -dist) plus real bhive-worker processes over HTTP.
+#
+#   1. Submit a corpus job to the coordinator; with no worker attached it
+#      must park in the fill (dist status shows pending shards).
+#   2. Start worker 1, let it deliver a few shards, then SIGKILL it
+#      mid-job: its outstanding lease must expire and re-issue.
+#   3. Start worker 2; the job must converge to done.
+#   4. The distributed result must be byte-identical to the batch CLI
+#      (bhive-eval) on the same corpus — the paper-replication guarantee
+#      extended across worker death.
+#
+# Used by CI (.github/workflows/ci.yml, job dist-smoke) and runnable
+# locally: ./scripts/dist_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${PORT:-8427}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+SRV_PID=""
+W1_PID=""
+W2_PID=""
+cleanup() {
+  for pid in "$SRV_PID" "$W1_PID" "$W2_PID"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "dist-smoke: building bhive-serve and bhive-worker"
+go build -o "$WORK/bhive-serve" ./cmd/bhive-serve
+go build -o "$WORK/bhive-worker" ./cmd/bhive-worker
+
+# Short lease TTL so the killed worker's shards re-issue quickly.
+"$WORK/bhive-serve" -addr "127.0.0.1:$PORT" -data "$WORK/state" \
+  -dist -dist-lease-ttl 3s -dist-shards-per-lease 1 &
+SRV_PID=$!
+
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/v1/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$BASE/v1/healthz" >/dev/null
+
+echo "dist-smoke: submitting corpus job (decodable blocklint subset, small shards)"
+grep -v '^pathological,' internal/blocklint/testdata/example_corpus.csv \
+  > "$WORK/corpus.csv"
+python3 - "$WORK/corpus.csv" > "$WORK/req.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    csv = f.read()
+print(json.dumps({"experiments": ["table5"], "shard_size": 16,
+                  "scale": 0.002, "corpus_csv": csv}))
+EOF
+ID=$(curl -fsS "$BASE/v1/evaluate" -d "@$WORK/req.json" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+
+dist_field() { # FIELD -> value from /v1/dist/status
+  curl -fsS "$BASE/v1/dist/status" \
+    | python3 -c "import json,sys; print(json.load(sys.stdin)[\"$1\"])"
+}
+
+echo "dist-smoke: waiting for the fill to park (no workers yet)"
+for _ in $(seq 1 100); do
+  [ "$(dist_field jobs 2>/dev/null || echo 0)" = "1" ] && break
+  sleep 0.2
+done
+PENDING=$(dist_field pending_shards)
+[ "$PENDING" -gt 0 ] || { echo "dist-smoke: no pending shards" >&2; exit 1; }
+echo "dist-smoke: $PENDING shards pending"
+
+echo "dist-smoke: starting worker 1"
+"$WORK/bhive-worker" -coordinator "$BASE" -name w1 -poll 100ms &
+W1_PID=$!
+
+# Let it make real progress, then kill it hard mid-job.
+for _ in $(seq 1 300); do
+  DONE=$(dist_field done_shards)
+  [ "$DONE" -ge 2 ] && break
+  sleep 0.2
+done
+[ "$DONE" -ge 2 ] || { echo "dist-smoke: worker 1 made no progress" >&2; exit 1; }
+kill -KILL "$W1_PID" 2>/dev/null || true
+wait "$W1_PID" 2>/dev/null || true
+W1_PID=""
+echo "dist-smoke: killed worker 1 after $DONE shards"
+
+echo "dist-smoke: starting worker 2"
+"$WORK/bhive-worker" -coordinator "$BASE" -name w2 -poll 100ms &
+W2_PID=$!
+
+echo "dist-smoke: waiting for convergence"
+for _ in $(seq 1 600); do
+  STATE=$(curl -fsS "$BASE/v1/jobs/$ID" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+  case "$STATE" in
+    done) break ;;
+    failed)
+      echo "dist-smoke: job failed:" >&2
+      curl -fsS "$BASE/v1/jobs/$ID" >&2
+      exit 1 ;;
+  esac
+  sleep 1
+done
+[ "$STATE" = "done" ] || { echo "dist-smoke: timed out" >&2; exit 1; }
+
+REISSUED=$(dist_field reissued_shards)
+echo "dist-smoke: converged ($REISSUED shards re-issued after the kill)"
+
+echo "dist-smoke: comparing against the batch CLI"
+curl -fsS "$BASE/v1/jobs/$ID/result" \
+  | python3 -c 'import json,sys; sys.stdout.write(json.load(sys.stdin)["experiments"][0]["text"])' \
+  > "$WORK/dist_table5.txt"
+go run ./cmd/bhive-eval -exp table5 -scale 0.002 \
+  -corpus "$WORK/corpus.csv" > "$WORK/cli_table5.txt"
+diff -u "$WORK/cli_table5.txt" "$WORK/dist_table5.txt"
+echo "dist-smoke: distributed result is byte-identical to the single-node CLI"
+
+echo "dist-smoke: the coordinator did not profile locally"
+PROFILED=$(curl -fsS "$BASE/v1/jobs/$ID" \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin).get("metrics",{}).get("profiled",0))')
+[ "$PROFILED" = "0" ] || { echo "dist-smoke: coordinator profiled $PROFILED blocks" >&2; exit 1; }
+
+echo "dist-smoke: graceful shutdown"
+kill -TERM "$W2_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+W2_PID=""
+kill -TERM "$SRV_PID"
+wait "$SRV_PID"
+SRV_PID=""
+echo "dist-smoke: OK"
