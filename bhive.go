@@ -146,8 +146,9 @@ func Lint(arch string, b *Block, opts Options) (*LintReport, error) {
 	return blocklint.New(cpu, opts).Analyze(b), nil
 }
 
-// Models returns the three analytical predictors (IACA-, llvm-mca- and
-// OSACA-like) for the named microarchitecture.
+// Models returns the four analytical predictors (IACA-, llvm-mca- and
+// OSACA-like, plus the bound-based Facile model) for the named
+// microarchitecture.
 func Models(arch string) ([]Predictor, error) {
 	cpu, err := uarch.ByName(arch)
 	if err != nil {

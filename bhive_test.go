@@ -47,14 +47,14 @@ func TestPublicModels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ms) != 3 {
-		t.Fatalf("three analytical models, got %d", len(ms))
+	if len(ms) != 4 {
+		t.Fatalf("four analytical models, got %d", len(ms))
 	}
 	names := map[string]bool{}
 	for _, m := range ms {
 		names[m.Name()] = true
 	}
-	for _, want := range []string{"IACA", "llvm-mca", "OSACA"} {
+	for _, want := range []string{"IACA", "llvm-mca", "OSACA", "Facile"} {
 		if !names[want] {
 			t.Fatalf("missing %s", want)
 		}

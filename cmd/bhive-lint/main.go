@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"bhive/internal/blocklint"
+	"bhive/internal/bound"
 	"bhive/internal/corpus"
 	"bhive/internal/profiler"
 	"bhive/internal/uarch"
@@ -49,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		verbose   = fs.Bool("v", false, "print per-block diagnostics, not just the histogram")
 		noMap     = fs.Bool("no-mapping", false, "audit under the Agner-script baseline options")
 		expect    = fs.String("expect", "", "compare the histogram against this golden file and fail on drift")
+		bounds    = fs.Bool("bounds", false, "print per-block static cycle bounds and the bottleneck verdict")
+		legacyDep = fs.Bool("legacy-deps", false, "compute dependence facts with the pre-bound model (summed latencies, no rename awareness)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		opts = profiler.BaselineOptions()
 	}
 	lint := blocklint.New(cpu, opts)
+	lint.LegacyDepHeights = *legacyDep
 
 	switch {
 	case *hexStr != "":
@@ -70,7 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *jsonOut {
 			return writeJSON(stdout, rep)
 		}
-		printReport(stdout, "", rep)
+		printReport(stdout, "", rep, *bounds)
 		return nil
 	case *corpusCSV != "":
 		f, err := os.Open(*corpusCSV)
@@ -82,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return audit(stdout, lint, rows, *jsonOut, *verbose, *expect)
+		return audit(stdout, lint, rows, *jsonOut, *verbose, *bounds, *expect)
 	default:
 		return fmt.Errorf("need -corpus or -hex (see -h)")
 	}
@@ -90,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 // audit analyzes every row and prints the per-diagnostic histogram (or
 // JSON reports). With a golden file, the histogram is compared against it.
-func audit(stdout io.Writer, lint *blocklint.Analyzer, rows []corpus.RawRecord, jsonOut, verbose bool, expect string) error {
+func audit(stdout io.Writer, lint *blocklint.Analyzer, rows []corpus.RawRecord, jsonOut, verbose, bounds bool, expect string) error {
 	bw := bufio.NewWriter(stdout)
 	defer bw.Flush()
 
@@ -119,6 +123,9 @@ func audit(stdout io.Writer, lint *blocklint.Analyzer, rows []corpus.RawRecord, 
 				return err
 			}
 			continue
+		}
+		if bounds && rep.Bounds != nil {
+			fmt.Fprintf(bw, "%s:%d %s bounds=%s\n", row.App, row.Line, row.Hex, boundsLine(rep.Bounds))
 		}
 		if verbose && len(rep.Diags) > 0 {
 			fmt.Fprintf(bw, "%s:%d %s (%s)\n", row.App, row.Line, row.Hex, rep.PredictedName)
@@ -178,7 +185,17 @@ func renderSummary(total, rejected int, statusHist map[string]int, codeHist map[
 	return sb.String()
 }
 
-func printReport(w io.Writer, label string, rep *blocklint.Report) {
+// boundsLine renders a one-line summary of a block's static cycle bounds.
+func boundsLine(b *bound.Bounds) string {
+	s := fmt.Sprintf("[%.2f, %.2f] cycles/iter (dep=%.2f port=%.2f fe=%.2f) bottleneck=%s",
+		b.Lower, b.Upper, b.DepChain, b.PortPressure, b.FrontEnd, b.VerdictString())
+	if b.Vacuous {
+		s += " VACUOUS"
+	}
+	return s
+}
+
+func printReport(w io.Writer, label string, rep *blocklint.Report, bounds bool) {
 	if label != "" {
 		fmt.Fprintf(w, "%s:\n", label)
 	}
@@ -188,6 +205,9 @@ func printReport(w io.Writer, label string, rep *blocklint.Report) {
 		exact = "guaranteed"
 	}
 	fmt.Fprintf(w, "predicted:  %s (%s)\n", rep.PredictedName, exact)
+	if bounds && rep.Bounds != nil {
+		fmt.Fprintf(w, "bounds:     %s\n", boundsLine(rep.Bounds))
+	}
 	if rep.Facts != nil {
 		f := rep.Facts
 		fmt.Fprintf(w, "unroll:     %d and %d (%d code bytes at the high factor)\n",

@@ -20,6 +20,13 @@
 //     the NaN-aware accumulators (stats.Running skips NaN inputs), so
 //     outside that package no code may fold a stats-package result into
 //     a float64 with `+=`/`-=` directly.
+//
+//   - atomicwrite: every atomic file write (temp + fsync + rename) must
+//     fsync the parent directory after the rename, or a crash can roll
+//     the rename back; see AtomicWrite.
+//
+//   - poolput: every sync.Pool.Get must pair with a deferred Put or
+//     hand the object to the caller via return; see PoolPut.
 package analyzers
 
 import (
@@ -53,7 +60,7 @@ type Analyzer struct {
 
 // All returns every registered pass, in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{ExitCheck, NaNAggr}
+	return []*Analyzer{ExitCheck, NaNAggr, AtomicWrite, PoolPut}
 }
 
 // ExitCheck flags os.Exit and log.Fatal/Fatalf/Fatalln calls anywhere

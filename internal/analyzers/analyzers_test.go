@@ -205,6 +205,119 @@ func selfSum(xs []float64) float64 {
 	}
 }
 
+func TestAtomicWriteRequiresDirSync(t *testing.T) {
+	got := check(t, map[string]string{
+		"internal/store/store.go": `package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func saveBare(path string, raw []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp.Write(raw)
+	tmp.Sync() // temp-file sync alone is not enough
+	tmp.Close()
+	return os.Rename(tmp.Name(), path) // flagged: no directory sync after
+}
+
+func saveDurable(path string, raw []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp.Write(raw)
+	tmp.Sync()
+	tmp.Close()
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync() // fine: directory handle synced after the rename
+}
+
+func saveViaHelper(path string, raw []byte) error {
+	if err := os.Rename(path+".tmp", path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path)) // fine: named helper wraps the fsync
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+`,
+	})
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want exactly the bare rename", got)
+	}
+	if !strings.Contains(got[0], "atomicwrite") || !strings.Contains(got[0], "store.go:16") {
+		t.Fatalf("finding %q should locate the rename in saveBare", got[0])
+	}
+}
+
+func TestPoolPutFlagsLeakyGet(t *testing.T) {
+	got := check(t, map[string]string{
+		"internal/buf/buf.go": `package buf
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return new([]byte) }}
+
+func Leaky(n int) int {
+	b := pool.Get().(*[]byte) // flagged: no Put on any path
+	return n + len(*b)
+}
+
+func Balanced(n int) int {
+	b := pool.Get().(*[]byte)
+	defer pool.Put(b) // fine: covers every return path
+	if n < 0 {
+		return 0
+	}
+	return len(*b)
+}
+
+func ClosureBalanced(n int) int {
+	b := pool.Get().(*[]byte)
+	defer func() { pool.Put(b) }() // fine: Put inside a deferred closure
+	return n
+}
+
+func Transfer() *[]byte {
+	if v := pool.Get(); v != nil {
+		return v.(*[]byte) // fine: ownership moves to the caller
+	}
+	return new([]byte)
+}
+
+func TransferDirect() *[]byte {
+	return pool.Get().(*[]byte) // fine: returned without a binding
+}
+`,
+	})
+	if len(got) != 1 {
+		t.Fatalf("findings = %v, want exactly the leaky Get", got)
+	}
+	if !strings.Contains(got[0], "poolput") || !strings.Contains(got[0], "buf.go:8") {
+		t.Fatalf("finding %q should locate the Get in Leaky", got[0])
+	}
+}
+
 // TestRepoIsClean runs both passes over the real repository: the
 // invariants hold on the tree as committed. This is the same check CI
 // runs via cmd/bhive-vet, kept here so `go test ./...` catches a

@@ -1,0 +1,85 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicWrite flags os.Rename calls that are not followed, in the same
+// top-level function, by a durability sync: either an (*os.File).Sync
+// (the reopened parent directory) or a call to a helper whose name
+// contains "syncdir". The repo's atomic-write discipline is temp file +
+// fsync + rename + parent-directory fsync — the last step is the one
+// that keeps a crash right after the rename from rolling the directory
+// entry back, and the one that is easiest to forget because everything
+// works without it until the machine loses power.
+var AtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "os.Rename without a following parent-directory fsync is not crash-durable",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(p *Pass) {
+	for _, f := range p.Files {
+		if ignoredFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkAtomicWrite(p, fd)
+		}
+	}
+}
+
+func checkAtomicWrite(p *Pass, fd *ast.FuncDecl) {
+	// One lexical sweep collects rename positions and sync positions;
+	// a rename is fine iff some sync lies after it. Lexical order is
+	// the right notion here: the discipline is straight-line (write,
+	// sync, close, rename, syncdir), and a sync reachable only on some
+	// other path would be a bug this pass is meant to surface anyway.
+	var renames []*ast.CallExpr
+	var syncs []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(p.Info, call)
+		if fn == nil {
+			return true
+		}
+		switch {
+		case fn.FullName() == "os.Rename":
+			renames = append(renames, call)
+		case isDurabilitySync(fn):
+			syncs = append(syncs, call.Pos())
+		}
+		return true
+	})
+	for _, call := range renames {
+		covered := false
+		for _, pos := range syncs {
+			if pos > call.Pos() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			p.Report(call.Pos(), "os.Rename without a following parent-directory fsync: a crash can roll the rename back; fsync the directory (or call a syncDir helper) after renaming")
+		}
+	}
+}
+
+// isDurabilitySync reports whether fn makes a rename durable: the
+// directory-handle fsync itself, or a named helper that wraps it.
+func isDurabilitySync(fn *types.Func) bool {
+	if fn.FullName() == "(*os.File).Sync" {
+		return true
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "syncdir")
+}

@@ -1,0 +1,165 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolPut flags (*sync.Pool).Get calls whose function neither defers a
+// Put nor returns the fetched value. A Get without a guaranteed Put does
+// not leak memory — the object is simply collected — but it silently
+// defeats the pool: under error returns or panics the hot path degrades
+// to allocating every time, which is exactly the regression the pools in
+// internal/pipeline exist to prevent. Two shapes are accepted:
+//
+//   - `defer pool.Put(x)` anywhere in the function (a deferred closure
+//     that calls Put also counts), which covers every return path; or
+//   - the Get result flowing into a return value — ownership transfer,
+//     as in Profiler.getScratch, where the caller holds the matching
+//     deferred Put.
+var PoolPut = &Analyzer{
+	Name: "poolput",
+	Doc:  "sync.Pool.Get without a deferred Put (or returning the value) degrades to plain allocation on early returns",
+	Run:  runPoolPut,
+}
+
+func runPoolPut(p *Pass) {
+	for _, f := range p.Files {
+		if ignoredFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolPut(p, fd)
+		}
+	}
+}
+
+func checkPoolPut(p *Pass, fd *ast.FuncDecl) {
+	gets := poolCalls(p.Info, fd, "Get")
+	if len(gets) == 0 {
+		return
+	}
+	// A deferred Put anywhere in the function covers its Gets: the repo
+	// pairs one pool per function, so per-object matching would add
+	// complexity without catching anything the simple form misses.
+	deferred := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok || deferred {
+			return !deferred
+		}
+		ast.Inspect(ds, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if fn := calleeFunc(p.Info, call); fn != nil && fn.FullName() == "(*sync.Pool).Put" {
+					deferred = true
+					return false
+				}
+			}
+			return true
+		})
+		return !deferred
+	})
+	if deferred {
+		return
+	}
+	for _, call := range gets {
+		if escapesViaReturn(p.Info, fd, call) {
+			continue
+		}
+		p.Report(call.Pos(), "sync.Pool.Get without a deferred Put on every return path; defer pool.Put(...) or return the value to transfer ownership")
+	}
+}
+
+// poolCalls collects calls to the named (*sync.Pool) method inside fd.
+func poolCalls(info *types.Info, fd *ast.FuncDecl, name string) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(info, call); fn != nil && fn.FullName() == "(*sync.Pool)."+name {
+				out = append(out, call)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// escapesViaReturn reports whether the Get result is (possibly via one
+// local variable, a type assertion, or a conversion) part of a return
+// statement — ownership transfer to the caller.
+func escapesViaReturn(info *types.Info, fd *ast.FuncDecl, get *ast.CallExpr) bool {
+	// Track the objects the result is bound to: `v := pool.Get()` or
+	// `v := pool.Get().(*T)`.
+	owners := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !containsNode(rhs, get) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					owners[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	escaped := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || escaped {
+			return !escaped
+		}
+		for _, res := range ret.Results {
+			// The returned value must BE the pooled object (modulo
+			// parens and type assertions) — merely reading through it
+			// in a return expression is use, not ownership transfer.
+			e := unwrapValue(res)
+			if e == ast.Expr(get) {
+				escaped = true
+				return false
+			}
+			if id, ok := e.(*ast.Ident); ok && owners[info.ObjectOf(id)] {
+				escaped = true
+				return false
+			}
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// unwrapValue strips parens and type assertions, the wrappers that
+// preserve object identity between a pool.Get and a return.
+func unwrapValue(e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.TypeAssertExpr:
+			e = v.X
+		default:
+			return e
+		}
+	}
+}
+
+// containsNode reports whether target occurs in the subtree rooted at n.
+func containsNode(n ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

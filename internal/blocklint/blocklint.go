@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"bhive/internal/bound"
 	"bhive/internal/memo"
 	"bhive/internal/profiler"
 	"bhive/internal/uarch"
@@ -77,6 +78,13 @@ const (
 	// CodeNoExec (BL014): the functional executor does not implement the
 	// instruction, so execution is guaranteed to crash.
 	CodeNoExec
+	// CodeVacuousBounds (BL015): an instruction's opcode is missing from
+	// the µop table, so its descriptor is the generic single-cycle ALU
+	// fallback and the block's static cycle bounds are vacuous — they
+	// still hold against the simulator (which uses the same fallback) but
+	// say nothing about real hardware. Each firing is a table-coverage
+	// gap.
+	CodeVacuousBounds
 
 	numCodes
 )
@@ -166,6 +174,9 @@ type Report struct {
 	// Facts carries the per-block static facts (nil when the block does
 	// not decode).
 	Facts *Facts `json:"facts,omitempty"`
+	// Bounds carries the static cycle-bound analysis (nil when the block
+	// does not decode or describe).
+	Bounds *bound.Bounds `json:"bounds,omitempty"`
 }
 
 // Rejected reports whether the block is statically rejected: the
@@ -208,6 +219,13 @@ func (r *Report) Agrees(dyn profiler.Status) bool {
 type Analyzer struct {
 	CPU  *uarch.CPU
 	Opts profiler.Options
+
+	// LegacyDepHeights restores the pre-bound dependence-height model for
+	// Facts (string-resource def-use over summed µop latencies, including
+	// store µops and address reads on every instruction). The default
+	// model is internal/bound's simulator-congruent chain analysis, which
+	// the static cycle bounds are built on.
+	LegacyDepHeights bool
 }
 
 // New builds an analyzer mirroring a profiler.New(cpu, opts).
@@ -306,6 +324,22 @@ func (a *Analyzer) analyze(b *x86.Block, orig []byte) *Report {
 	a.roundTrip(rep, b.Insts, code, orig)
 
 	rep.Facts = computeFacts(b.Insts, descs, offsets, lo, hi, len(code)*hi)
+
+	// Static cycle bounds over the same descriptors; unless the legacy
+	// model is requested, the dependence facts come from the same
+	// simulator-congruent chain analysis the bounds use (rename-aware,
+	// address/data asymmetric, store µops excluded from chains).
+	rep.Bounds = bound.FromDescs(a.CPU, b.Insts, descs)
+	if !a.LegacyDepHeights {
+		rep.Facts.CritLatency = rep.Bounds.CritPath
+		rep.Facts.DepHeight = int(rep.Bounds.DepChain + 0.5)
+	}
+	for i := range descs {
+		if descs[i].Generic {
+			rep.addDiag(Diag{Code: CodeVacuousBounds, Inst: i, Offset: offsets[i],
+				Msg: fmt.Sprintf("%s: no µop table entry; bounds assume the generic 1-cycle ALU fallback", b.Insts[i].String())})
+		}
+	}
 
 	// The abstract replay of the measurement protocol.
 	it := newInterp(a, b.Insts, raws, hi)

@@ -165,6 +165,20 @@ func TestFacts(t *testing.T) {
 		t.Errorf("zero idiom dep height %d, want 0", h)
 	}
 
+	// lea rax,[rax+8]: the simulator wires address deps only into load
+	// µops, so the sim-congruent model reports no carried chain; the
+	// legacy model charged the LEA latency.
+	rep = a.AnalyzeHex("488d4008")
+	if h := rep.Facts.DepHeight; h != 0 {
+		t.Errorf("lea dep height %d, want 0 under the sim-congruent model", h)
+	}
+	legacy := New(a.CPU, a.Opts)
+	legacy.LegacyDepHeights = true
+	rep = legacy.AnalyzeHex("488d4008")
+	if h := rep.Facts.DepHeight; h == 0 {
+		t.Errorf("legacy lea dep height %d, want nonzero", h)
+	}
+
 	// mov rax,[rsp+8]: rsp-relative class, observed exact addresses.
 	rep = a.AnalyzeHex("488b442408")
 	if len(rep.Facts.Mem) != 1 {
@@ -306,4 +320,31 @@ func hexNib(c byte) int {
 		return int(c-'a') + 10
 	}
 	return -1
+}
+
+// TestBoundsAttached checks that every analyzable report carries the
+// static cycle-bound analysis and that BL015 renders/classifies correctly.
+func TestBoundsAttached(t *testing.T) {
+	rep := defaultAnalyzer(t).AnalyzeHex("480fafc0") // imul rax,rax
+	if rep.Bounds == nil {
+		t.Fatal("no bounds on an analyzable block")
+	}
+	if rep.Bounds.Lower <= 0 || rep.Bounds.Lower > rep.Bounds.Upper {
+		t.Fatalf("bad bounds %+v", rep.Bounds)
+	}
+	if rep.Bounds.Vacuous || hasCode(rep, CodeVacuousBounds) {
+		t.Fatalf("table-backed block marked vacuous: %v", rep.Diags)
+	}
+
+	// Undecodable input carries no bounds.
+	if rep := defaultAnalyzer(t).AnalyzeHex("zz"); rep.Bounds != nil {
+		t.Fatal("bounds on undecodable input")
+	}
+
+	if CodeVacuousBounds.String() != "BL015" {
+		t.Fatalf("BL015 renders as %s", CodeVacuousBounds)
+	}
+	if CodeVacuousBounds.Severity() != SevInfo {
+		t.Fatalf("BL015 severity %v, want info", CodeVacuousBounds.Severity())
+	}
 }

@@ -1,0 +1,201 @@
+// Package bound computes provable static cycle bounds for basic blocks
+// against the reference pipeline simulator: for each (block, µarch) pair a
+// sound lower bound on steady-state cycles-per-iteration, a latency-sum
+// upper bound, and a bottleneck verdict naming the dominating term. The
+// lower bound is the maximum of three independently sound terms — the
+// loop-carried dependence height (exact maximum cycle ratio over the
+// simulator-congruent dependence graph), execution-port pressure (subset
+// bound over the port tables), and front-end width (fused-µop allocation
+// and fetch bandwidth). A simulated throughput below the lower bound or
+// above the upper bound is a simulator bug, not a modeling error; the
+// `-exp boundcheck` harness experiment enforces exactly that.
+package bound
+
+import (
+	"fmt"
+
+	"bhive/internal/memo"
+	"bhive/internal/portmap"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+// Verdict names the lower-bound term that dominates a block.
+type Verdict uint8
+
+const (
+	// VerdictDepChain: the loop-carried dependence height is the binding
+	// constraint (a latency-bound block).
+	VerdictDepChain Verdict = iota
+	// VerdictPort: pressure on some execution-port subset binds (a
+	// throughput-bound block).
+	VerdictPort
+	// VerdictFrontEnd: fused-µop allocation width or fetch bandwidth binds.
+	VerdictFrontEnd
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictDepChain:
+		return "DepChain"
+	case VerdictPort:
+		return "Port"
+	case VerdictFrontEnd:
+		return "FrontEnd"
+	}
+	return "Verdict?"
+}
+
+// Bounds is the static cycle-bound analysis of one block on one µarch.
+// All cycle quantities are per iteration of the block in steady state.
+type Bounds struct {
+	// Lower is the sound lower bound: max(DepChain, PortPressure, FrontEnd).
+	Lower float64 `json:"lower"`
+	// Upper is the serial-execution upper bound (every µop in sequence,
+	// plus issue, fetch and store-forwarding slack).
+	Upper float64 `json:"upper"`
+
+	// The individual lower-bound terms.
+	DepChain     float64 `json:"dep_chain"`
+	PortPressure float64 `json:"port_pressure"`
+	FrontEnd     float64 `json:"front_end"`
+
+	// Ports is the execution-port subset attaining PortPressure.
+	Ports uarch.PortSet `json:"-"`
+
+	// CritPath is the latency-weighted critical path of a single iteration
+	// from clean state (cycles, not per-iteration).
+	CritPath int `json:"crit_path"`
+
+	// Verdict names the dominating lower-bound term.
+	Verdict Verdict `json:"-"`
+
+	// Vacuous is set when any instruction fell back to the generic µop
+	// descriptor (opcode missing from the table): the bounds still hold
+	// against the simulator, which uses the same fallback, but they say
+	// nothing about real hardware. bhive-lint reports these as BL015.
+	Vacuous bool `json:"vacuous,omitempty"`
+}
+
+// VerdictString renders the verdict with the binding port subset, e.g.
+// "Port(p01)".
+func (b *Bounds) VerdictString() string {
+	if b.Verdict == VerdictPort {
+		return fmt.Sprintf("Port(%s)", b.Ports)
+	}
+	return b.Verdict.String()
+}
+
+// MarshalText lets Bounds verdicts print naturally in JSON reports.
+func (v Verdict) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// fetchBytesPerCycle matches the simulator's front-end fetch bandwidth
+// (16 code bytes per cycle).
+const fetchBytesPerCycle = 16.0
+
+// Analyze computes the static bounds for a block on one µarch. It fails
+// only when an instruction cannot be described at all (undecodable for
+// this subset); unknown-but-describable opcodes instead yield vacuous
+// bounds.
+func Analyze(cpu *uarch.CPU, b *x86.Block) (*Bounds, error) {
+	if len(b.Insts) == 0 {
+		return nil, fmt.Errorf("bound: empty block")
+	}
+	descs := make([]uarch.Desc, len(b.Insts))
+	codeBytes := 0
+	for i := range b.Insts {
+		d, err := memo.Describe(cpu, &b.Insts[i])
+		if err != nil {
+			return nil, fmt.Errorf("bound: instruction %d: %w", i, err)
+		}
+		descs[i] = d
+		if raw, err := memo.Encode(&b.Insts[i]); err == nil {
+			codeBytes += len(raw)
+		}
+	}
+	return fromDescs(cpu, b.Insts, descs, codeBytes), nil
+}
+
+// FromDescs computes bounds from caller-supplied descriptors. It exists so
+// tests can perturb latency tables directly (the monotonicity property) and
+// so blocklint can reuse descriptors it already holds. Code bytes are
+// re-derived from the instructions; encoding failures just drop the fetch
+// term (weakening, never unsounding, the bound).
+func FromDescs(cpu *uarch.CPU, insts []x86.Inst, descs []uarch.Desc) *Bounds {
+	codeBytes := 0
+	for i := range insts {
+		if raw, err := memo.Encode(&insts[i]); err == nil {
+			codeBytes += len(raw)
+		}
+	}
+	return fromDescs(cpu, insts, descs, codeBytes)
+}
+
+func fromDescs(cpu *uarch.CPU, insts []x86.Inst, descs []uarch.Desc, codeBytes int) *Bounds {
+	bs := &Bounds{}
+	if len(insts) == 0 {
+		return bs
+	}
+
+	// Dependence term: exact maximum cycle ratio of the simulator-congruent
+	// dependence graph.
+	crit, height := Chain(cpu, insts, descs)
+	bs.CritPath, bs.DepChain = crit, height
+
+	// Port term: every µop needs max(1, occupancy) cycles of some port in
+	// its allowed combination (the simulator holds a port for `occupancy`
+	// cycles when the unit is unpipelined, one dispatch cycle otherwise).
+	load := make(map[uarch.PortSet]float64)
+	fusedTotal := 0
+	var upper float64
+	nLoads := 0
+	for i := range descs {
+		d := &descs[i]
+		fusedTotal += d.FusedUops
+		if d.Generic {
+			bs.Vacuous = true
+		}
+		for _, u := range d.Uops {
+			occ := float64(u.Occupancy)
+			if occ < 1 {
+				occ = 1
+			}
+			load[u.Ports] += occ
+			upper += float64(u.Lat) + occ
+			if u.Class == uarch.ClassLoad {
+				nLoads++
+			}
+		}
+	}
+	bs.PortPressure, bs.Ports = portmap.SubsetPressure(load)
+
+	// Front-end term: fused-domain allocation is IssueWidth µops/cycle and
+	// fetch is 16 code bytes/cycle; zero idioms and eliminated moves still
+	// consume allocation slots.
+	alloc := float64(fusedTotal) / float64(cpu.IssueWidth)
+	fetch := float64(codeBytes) / fetchBytesPerCycle
+	bs.FrontEnd = alloc
+	if fetch > bs.FrontEnd {
+		bs.FrontEnd = fetch
+	}
+
+	bs.Lower = bs.DepChain
+	bs.Verdict = VerdictDepChain
+	if bs.PortPressure > bs.Lower {
+		bs.Lower, bs.Verdict = bs.PortPressure, VerdictPort
+	}
+	if bs.FrontEnd > bs.Lower {
+		bs.Lower, bs.Verdict = bs.FrontEnd, VerdictFrontEnd
+	}
+
+	// Upper bound: fully serial execution — every µop waits out its
+	// latency and unit occupancy, every fused µop takes an allocation
+	// cycle, fetch runs at 16B/cycle, each load may additionally pay the
+	// store-forwarding slack over the L1 hit it was billed, plus constant
+	// pipeline slack. Sound for clean steady-state runs (no cache misses,
+	// splits or subnormal penalties, which the boundcheck harness filters
+	// by measurement status).
+	fwdSlack := float64(cpu.FwdLatency - cpu.L1DLatency + 1)
+	bs.Upper = upper + float64(fusedTotal) + fetch + float64(nLoads)*fwdSlack + 2
+	return bs
+}

@@ -470,7 +470,7 @@ func (s *Suite) googleData() ([]*googleResult, error) {
 		recs := appRecs[ai]
 		meas := s.profileAll(hsw, profiler.DefaultOptions(), recs)
 
-		preds := []models.Predictor{models.NewIACA(hsw), models.NewLLVMMCA(hsw)}
+		preds := []models.Predictor{models.NewIACA(hsw), models.NewLLVMMCA(hsw), models.NewFacile(hsw)}
 		if s.cfg.TrainIthemal {
 			if _, err := s.data(hsw); err != nil {
 				return nil, err
@@ -654,6 +654,18 @@ func (s *Suite) RunStructured(id, uarchName string) (*RunResult, error) {
 		return one(s.FigGoogleBlocks())
 	case XValID:
 		tables, err := s.CrossValidation(cpus)
+		if err != nil {
+			return nil, err
+		}
+		rr := &RunResult{ID: id, Tables: tables}
+		var sb strings.Builder
+		for _, t := range tables {
+			sb.WriteString(t.Render())
+		}
+		rr.Text = sb.String()
+		return rr, nil
+	case BoundCheckID:
+		tables, err := s.BoundCheck(cpus)
 		if err != nil {
 			return nil, err
 		}

@@ -124,8 +124,8 @@ func TestTable5Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 9 { // 3 µarch x 3 analytical models
-		t.Fatalf("9 rows, got %d", len(tab.Rows))
+	if len(tab.Rows) != 12 { // 3 µarch x 4 analytical models
+		t.Fatalf("12 rows, got %d", len(tab.Rows))
 	}
 	get := func(cpu, model string) float64 {
 		for _, row := range tab.Rows {
@@ -279,7 +279,7 @@ func TestTable6AndGoogleBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 4 { // 2 apps x 2 analytical models (no Ithemal)
+	if len(tab.Rows) != 6 { // 2 apps x 3 analytical models (no Ithemal, no OSACA)
 		t.Fatalf("%d rows", len(tab.Rows))
 	}
 	for _, row := range tab.Rows {
@@ -305,6 +305,54 @@ func TestTable6AndGoogleBlocks(t *testing.T) {
 		if loadShare < 35 {
 			t.Errorf("%s: load-dominated share %.1f%% too low", row[0], loadShare)
 		}
+	}
+}
+
+func TestBoundCheck(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.001
+	s := New(cfg)
+
+	hsw := uarch.Haswell()
+	tables, err := s.BoundCheck([]*uarch.CPU{hsw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero violations expected, so only the summary table is present.
+	if len(tables) != 1 || tables[0].ID != "boundcheck" {
+		t.Fatalf("expected the summary table alone, got %d tables", len(tables))
+	}
+	tab := tables[0]
+	if len(tab.Rows) != 1 {
+		t.Fatalf("one row per µarch, got %d", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	if row[0] != "haswell" {
+		t.Fatalf("row for %q", row[0])
+	}
+	blocks, checked := num(t, row[1]), num(t, row[2])
+	if checked < 50 || checked > blocks {
+		t.Fatalf("checked %v of %v blocks", checked, blocks)
+	}
+	// The verdict histogram partitions the checked blocks.
+	dep, port, fe := num(t, row[4]), num(t, row[5]), num(t, row[6])
+	if dep+port+fe != checked {
+		t.Fatalf("verdicts %v+%v+%v != checked %v", dep, port, fe, checked)
+	}
+	if v := num(t, row[7]); v != 0 {
+		t.Fatalf("%v bound violations on the generated corpus", v)
+	}
+	if len(tab.Notes) == 0 || !strings.Contains(tab.Notes[0], "total violations: 0") {
+		t.Fatalf("summary notes must carry the smoke-greppable total: %v", tab.Notes)
+	}
+
+	// The crosscheck is reachable through the structured runner.
+	res, err := s.RunStructured(BoundCheckID, "haswell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) == 0 || !strings.Contains(res.Text, "boundcheck") {
+		t.Fatal("RunStructured must render the boundcheck tables")
 	}
 }
 

@@ -19,8 +19,8 @@ import (
 const XValID = "xval"
 
 // AllNames lists every runnable experiment id: the paper's tables and
-// figures (Names) plus the cross-validation extension.
-func AllNames() []string { return append(Names(), XValID) }
+// figures (Names) plus the cross-validation and bound-check extensions.
+func AllNames() []string { return append(Names(), XValID, BoundCheckID) }
 
 // backends returns the configured measurement backends, defaulting to a
 // single stock-simulator backend wired to the suite's cache and metrics —

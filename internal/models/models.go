@@ -69,8 +69,10 @@ func perturb(lat uint8, op x86.Op, salt string, prob float64, strength float64) 
 	return uint8(out)
 }
 
-// All returns the three analytical predictors for a CPU in paper order
-// (the learned model lives in the ithemal subpackage and needs training).
+// All returns the analytical predictors for a CPU in paper order — the
+// three reimplemented third-party models plus the bound-based Facile
+// predictor (the learned model lives in the ithemal subpackage and needs
+// training).
 func All(cpu *uarch.CPU) []Predictor {
-	return []Predictor{NewIACA(cpu), NewLLVMMCA(cpu), NewOSACA(cpu)}
+	return []Predictor{NewIACA(cpu), NewLLVMMCA(cpu), NewOSACA(cpu), NewFacile(cpu)}
 }

@@ -1,0 +1,48 @@
+package portmap
+
+import "bhive/internal/uarch"
+
+// SubsetPressure computes the pessimistic-assignment execution-port lower
+// bound from a port-time profile: load maps each allowed-port combination
+// to the total port cycles of the µops bound to it (for the reference
+// simulator, one cycle per pipelined µop, the occupancy for non-pipelined
+// ones).
+//
+// For any subset S of ports, every µop whose allowed combination is
+// contained in S must execute inside S, and each port serves at most one
+// µop-cycle per cycle, so any schedule needs at least
+//
+//	cost(S) / |S|  cycles, where  cost(S) = Σ load[m] over m ⊆ S.
+//
+// The returned value is the maximum of that ratio over all subsets of the
+// ports that appear in load, together with the subset attaining it. No LP
+// is solved: the bound is the LP dual evaluated at the laziest feasible
+// points, yet for fractional assignment it is exact (a deficiency form of
+// Hall's theorem), which is what makes it usable as a *provable* bound
+// rather than a heuristic. Subsets are enumerated over the union of the
+// appearing combinations only, so the cost is at most 2^ports-in-use.
+func SubsetPressure(load map[uarch.PortSet]float64) (float64, uarch.PortSet) {
+	var union uarch.PortSet
+	for m, v := range load {
+		if v > 0 && m != 0 {
+			union |= m
+		}
+	}
+	if union == 0 {
+		return 0, 0
+	}
+	best, bestSet := 0.0, uarch.PortSet(0)
+	// Enumerate every non-empty subset of union (standard submask walk).
+	for s := union; s != 0; s = (s - 1) & union {
+		cost := 0.0
+		for m, v := range load {
+			if m != 0 && m&^s == 0 {
+				cost += v
+			}
+		}
+		if r := cost / float64(s.Count()); r > best {
+			best, bestSet = r, s
+		}
+	}
+	return best, bestSet
+}

@@ -169,6 +169,9 @@ func (c *Cache) Save() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("profcache: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
 	c.mu.Lock()
 	// Only what was in the snapshot is on disk. A Put that landed during
 	// the write bumped gen past genAtSnap; leaving dirty set then makes
@@ -177,5 +180,24 @@ func (c *Cache) Save() error {
 		c.dirty = false
 	}
 	c.mu.Unlock()
+	return nil
+}
+
+// syncDir makes the just-renamed directory entry durable: rename alone
+// only updates the entry in memory, so a crash shortly after Save could
+// otherwise roll the whole cache file back to its previous contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("profcache: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("profcache: syncing %s: %w", dir, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("profcache: %w", cerr)
+	}
 	return nil
 }

@@ -118,6 +118,12 @@ type Desc struct {
 	// FP marks floating-point data ops, which are subject to the
 	// subnormal-operand penalty when MXCSR FTZ/DAZ is off.
 	FP bool
+	// Generic marks descriptors whose opcode is missing from the µop
+	// table and fell back to the conservative single-cycle ALU default.
+	// The simulator still runs them, but any static cycle bound derived
+	// from this descriptor is vacuous (the real latency/ports are
+	// unknown); bhive-lint surfaces these as BL015.
+	Generic bool
 }
 
 // CPU is a microarchitecture parameter file. It is both the configuration

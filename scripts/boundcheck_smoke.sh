@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sim-vs-bounds crosscheck smoke: run `bhive-eval -exp boundcheck` over
+# the decodable subset of the blocklint fixture corpus on all three
+# microarchitectures and require zero violations.
+#
+# The bounds are sound by construction (lower·n ≤ cycles(n) ≤ upper·n at
+# the measured unroll factor n), so ANY violation is a simulator or
+# bound-analysis bug — the tolerance is zero, not a threshold.
+#
+# Used by CI (.github/workflows/ci.yml, job boundcheck-smoke) and
+# runnable locally: ./scripts/boundcheck_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# The raw fixture ends in deliberately-undecodable lint rows; strip them
+# the same way serve_smoke.sh does.
+grep -v '^pathological,' internal/blocklint/testdata/example_corpus.csv \
+  > "$WORK/corpus.csv"
+
+echo "boundcheck-smoke: crosschecking bounds against the simulator"
+go run ./cmd/bhive-eval -exp boundcheck -corpus "$WORK/corpus.csv" \
+  | tee "$WORK/boundcheck.txt"
+
+grep -q "total violations: 0" "$WORK/boundcheck.txt" || {
+  echo "boundcheck-smoke: FAIL: bound violations found (see table above)" >&2
+  exit 1
+}
+echo "boundcheck-smoke: OK (zero violations on all microarchitectures)"
