@@ -29,6 +29,7 @@ import (
 
 	"bhive/internal/backend"
 	"bhive/internal/corpus"
+	_ "bhive/internal/counter" // registers the counter:<source> backend scheme
 	"bhive/internal/harness"
 	"bhive/internal/profcache"
 )

@@ -69,3 +69,44 @@ func TestBadFlagsError(t *testing.T) {
 		t.Fatal("unknown experiment must error")
 	}
 }
+
+// counterFixture is the checked-in counter-backend trace: the stub
+// source swept over the generated corpus at scale 0.0005, seed 7, on
+// haswell (see scripts/record_smoke.sh for how it is refreshed).
+const counterFixture = "../../internal/backend/testdata/counter_haswell.trace"
+
+// TestXValAgainstCounterFixture cross-validates the simulator against
+// the checked-in counter-backend trace — a backend that genuinely
+// disagrees with the simulator, so the status-disagreement matrix must
+// be populated, and the whole report must be byte-stable across runs
+// (replay is a pure lookup; the suite is seeded).
+func TestXValAgainstCounterFixture(t *testing.T) {
+	args := []string{
+		"-backend", "sim,recorded:" + counterFixture,
+		"-scale", "0.0005", "-seed", "7", "-uarch", "haswell",
+	}
+	var out1, out2 bytes.Buffer
+	if err := run(args, &out1, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &out2, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatalf("xval against the fixture is not byte-stable.\n--- first ---\n%s\n--- second ---\n%s", out1.String(), out2.String())
+	}
+
+	report := out1.String()
+	if !strings.Contains(report, "sim vs counter") {
+		t.Fatalf("report never pairs sim with the replayed counter backend:\n%s", report)
+	}
+	// The disagreement matrix must hold at least one real row: the
+	// fixture's injected cache-miss rejections against the simulator's ok.
+	_, matrix, found := strings.Cut(report, "xval-status")
+	if !found {
+		t.Fatalf("report has no status-disagreement section:\n%s", report)
+	}
+	if !strings.Contains(matrix, "cache-miss") {
+		t.Fatalf("status-disagreement matrix is empty or missing the injected cache-miss rows:\n%s", matrix)
+	}
+}

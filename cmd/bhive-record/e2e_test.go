@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"bhive/internal/backend"
+)
+
+// buildRecord compiles the real binary. The in-process tests cover
+// run()'s logic; this covers crash semantics only a separate process
+// can show: SIGKILL leaves no chance for deferred cleanup.
+func buildRecord(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "bhive-record")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestE2ERecordKillReplay is the crash-safety contract end to end: a
+// recording killed mid-sweep must leave the previously published trace
+// byte-identical (never torn, never half-replaced), and a clean re-run
+// over the same corpus must publish a replayable trace byte-identical
+// to an independent recording of the same sweep.
+func TestE2ERecordKillReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	bin := buildRecord(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "hsw.trace")
+
+	record := func(out string, scale string) {
+		t.Helper()
+		cmd := exec.Command(bin, "-o", out, "-uarch", "haswell", "-scale", scale, "-seed", "7")
+		if outB, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("record: %v\n%s", err, outB)
+		}
+	}
+
+	// A first sweep publishes the trace this test must see survive.
+	record(trace, "0.0002")
+	good, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A bigger sweep to the same path, killed as soon as its progress
+	// output proves measurement is underway. SIGKILL: no deferred Close,
+	// no rename — the worst crash the Recorder protocol must absorb.
+	cmd := exec.Command(bin, "-o", trace, "-uarch", "haswell", "-scale", "0.02", "-seed", "7", "-progress")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stderr)
+	progressed := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), "blocks") {
+			progressed = true
+			break
+		}
+	}
+	if !progressed {
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("recording produced no progress output to kill against")
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.Sys().(syscall.WaitStatus).Signal() != syscall.SIGKILL {
+		t.Fatalf("killed process exited with %v, want SIGKILL", err)
+	}
+
+	after, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("published trace gone after crash: %v", err)
+	}
+	if !bytes.Equal(after, good) {
+		t.Fatal("crash mid-record tore the previously published trace")
+	}
+
+	// The crash strands a hidden temp file; a clean re-run over the same
+	// path must ignore it, republish, and the result must replay and be
+	// byte-identical to an independent recording of the same sweep.
+	record(trace, "0.0002")
+	record(filepath.Join(dir, "ref.trace"), "0.0002")
+	got, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := os.ReadFile(filepath.Join(dir, "ref.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref) {
+		t.Fatal("re-recorded trace differs from an independent recording of the same sweep")
+	}
+	rb, err := backend.OpenTrace(trace)
+	if err != nil {
+		t.Fatalf("re-recorded trace does not replay: %v", err)
+	}
+	if rb.Name() != "counter" || rb.Len() == 0 {
+		t.Fatalf("replayed trace: name=%q entries=%d", rb.Name(), rb.Len())
+	}
+
+	// Give the killed process's file handles a moment on slow CI, then
+	// confirm the stranded temp is the only residue.
+	time.Sleep(10 * time.Millisecond)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if name := e.Name(); name != "hsw.trace" && name != "ref.trace" &&
+			!strings.HasPrefix(name, ".hsw.trace.tmp-") {
+			t.Errorf("unexpected file in trace dir: %s", name)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Command bhive-record sweeps a corpus through a measurement backend and
+// records every measurement into a replayable content-addressed trace —
+// the tool that turns a machine (or the deterministic stub) into ground
+// truth that bhive-eval can cross-validate against hermetically.
+//
+// Usage:
+//
+//	bhive-record -o hsw.trace -uarch haswell
+//	bhive-record -o all.trace -backend counter:stub:42 -scale 0.001
+//	bhive-record -o hsw.trace -corpus blocks.csv -uarch haswell -progress
+//
+// The trace appears at -o only when the sweep completes: recording goes
+// through backend.Recorder's temp-file-and-rename protocol, so an
+// interrupted or crashed sweep leaves any previous trace untouched.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"bhive/internal/backend"
+	"bhive/internal/corpus"
+	"bhive/internal/counter"
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+)
+
+func main() {
+	code := 0
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintln(os.Stderr, "bhive-record:", err)
+		}
+		code = 1
+	}
+	os.Exit(code)
+}
+
+// run is the whole command behind a single exit point, the same shape as
+// bhive-eval: the one cleanup that matters — closing (and thereby
+// publishing or discarding) the trace — runs on every path.
+func run(args []string, stdout, stderr io.Writer) (err error) {
+	fs := flag.NewFlagSet("bhive-record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("o", "", "trace output path (required; published atomically on success)")
+		spec     = fs.String("backend", "counter", "measurement backend to record: "+backend.SpecGrammar())
+		corpusF  = fs.String("corpus", "", "load the corpus from a bhive-collect CSV instead of generating it")
+		scale    = fs.Float64("scale", 0.01, "generated-corpus scale (1.0 = the paper's 358,561 blocks)")
+		seed     = fs.Int64("seed", 7, "generated-corpus seed")
+		arch     = fs.String("uarch", "", "comma-separated microarchitectures to measure (default: all)")
+		progress = fs.Bool("progress", false, "print a progress line per 100 blocks to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-o is required")
+	}
+
+	cpus := uarch.All()
+	if *arch != "" {
+		cpus = cpus[:0]
+		for _, name := range strings.Split(*arch, ",") {
+			cpu, cerr := uarch.ByName(strings.TrimSpace(name))
+			if cerr != nil {
+				return cerr
+			}
+			cpus = append(cpus, cpu)
+		}
+	}
+
+	var recs []corpus.Record
+	if *corpusF != "" {
+		f, oerr := os.Open(*corpusF)
+		if oerr != nil {
+			return oerr
+		}
+		recs, err = corpus.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		recs = corpus.GenerateAll(*scale, *seed)
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("empty corpus")
+	}
+
+	inner, err := backend.Parse(*spec, backend.Options{})
+	if err != nil {
+		return err
+	}
+	if cb, ok := inner.(*counter.Backend); ok && cb.Engine().Unfenced() {
+		fmt.Fprintln(stderr, "bhive-record: warning: measurement environment is not fenced (CPU/frequency unpinned); recording in degraded wider-tolerance mode, trace fingerprint flags it")
+	}
+	rec, err := backend.NewRecorder(inner, *out)
+	if err != nil {
+		inner.Close()
+		return err
+	}
+	defer func() {
+		if cerr := rec.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	// Sequential, deterministic sweep order (corpus order × µarch order):
+	// entries are content-addressed so replay never depends on order, but
+	// a stable byte-for-byte trace lets CI diff two recordings directly.
+	statuses := make(map[profiler.Status]int)
+	total := 0
+	for i, r := range recs {
+		for _, cpu := range cpus {
+			m := rec.Measure(r.Block, cpu)
+			statuses[m.Status]++
+			total++
+		}
+		if *progress && (i+1)%100 == 0 {
+			fmt.Fprintf(stderr, "bhive-record: %d/%d blocks\n", i+1, len(recs))
+		}
+	}
+
+	fmt.Fprintf(stdout, "recorded %d measurements (%d blocks x %d uarch) with %s\n",
+		total, len(recs), len(cpus), rec.Fingerprint())
+	for s := profiler.StatusOK; s <= profiler.StatusUnstable; s++ {
+		if n := statuses[s]; n > 0 {
+			fmt.Fprintf(stdout, "  %-12s %d\n", s.String(), n)
+		}
+	}
+	if cb, ok := inner.(*counter.Backend); ok {
+		st := cb.Engine().Stats()
+		fmt.Fprintf(stdout, "protocol: %d runs, %d warmups, %d samples filtered, %d timeouts, %d run retries, %d round retries, %d unstable\n",
+			st.Runs.Load(), st.Warmups.Load(), st.FilteredSamples.Load(),
+			st.Timeouts.Load(), st.RunRetries.Load(), st.MeasRetries.Load(), st.Unstable.Load())
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bhive/internal/backend"
+)
+
+func runRecord(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), stderr.String(), err
+}
+
+// emptyCorpus writes a header-only corpus CSV: syntactically valid,
+// zero records.
+func emptyCorpus(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "empty.csv")
+	if err := os.WriteFile(path, []byte("app,hex,freq\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, "-o is required"},
+		{[]string{"-o", "x.trace", "-uarch", "alderlake"}, "alderlake"},
+		{[]string{"-o", "x.trace", "-backend", "counter:nope"}, "unknown source"},
+		{[]string{"-o", "x.trace", "-backend", "counter:perf"}, "perf_event_open"},
+		{[]string{"-o", "x.trace", "-corpus", "/no/such.csv"}, "no such file"},
+		{[]string{"-o", "x.trace", "-corpus", emptyCorpus(t)}, "empty corpus"},
+	}
+	for _, c := range cases {
+		_, _, err := runRecord(t, c.args...)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("run(%v) = %v, want error containing %q", c.args, err, c.want)
+		}
+	}
+}
+
+// TestRunRecordsStubSweep drives run() in process over a tiny generated
+// corpus and checks the published trace, the summary, and the protocol
+// stats line.
+func TestRunRecordsStubSweep(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "out.trace")
+	stdout, _, err := runRecord(t,
+		"-o", trace, "-uarch", "haswell,skylake", "-scale", "0.0002", "-seed", "7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := backend.OpenTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Name() != "counter" || rb.Len() == 0 {
+		t.Fatalf("trace: name=%q entries=%d", rb.Name(), rb.Len())
+	}
+	for _, want := range []string{"recorded ", "x 2 uarch", "ok", "protocol: "} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// TestRunErrorPublishesNothing: a sweep that cannot even start must not
+// leave anything at -o, and must not disturb an existing trace there.
+func TestRunErrorPublishesNothing(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "out.trace")
+	if err := os.WriteFile(trace, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runRecord(t, "-o", trace, "-corpus", emptyCorpus(t)); err == nil {
+		t.Fatal("empty corpus accepted")
+	}
+	got, err := os.ReadFile(trace)
+	if err != nil || string(got) != "previous" {
+		t.Fatalf("existing trace disturbed: %q, %v", got, err)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	_ "bhive/internal/counter" // registers the counter:<source> backend scheme
 	"bhive/internal/profcache"
 	"bhive/internal/server"
 )

@@ -16,12 +16,17 @@
 //
 // Backends are selected by spec strings ("sim", "perturbed",
 // "recorded:<path>") parsed by Parse/ParseList, the grammar shared by
-// bhive-eval's -backend flag and bhive-serve's request field.
+// bhive-eval's -backend flag and bhive-serve's request field. Further
+// backend families register spec schemes via RegisterScheme — the
+// hardware-counter backend (internal/counter) adds "counter[:<source>]"
+// when linked into a binary.
 package backend
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"bhive/internal/pipeline"
 	"bhive/internal/profcache"
@@ -77,9 +82,72 @@ func (o Options) profilerOptions() profiler.Options {
 	return profiler.DefaultOptions()
 }
 
+// Scheme extends the spec grammar with an externally implemented backend
+// family (e.g. the hardware-counter backend in internal/counter, which
+// cannot live here without an import cycle). Check validates a spec
+// argument without side effects; Open builds the backend.
+type Scheme struct {
+	// Check validates the spec argument (the part after "scheme:", ""
+	// when the spec is the bare scheme name) without touching the
+	// filesystem or any hardware.
+	Check func(arg string) error
+	// Open builds the backend for the argument.
+	Open func(arg string, opts Options) (Backend, error)
+}
+
+var (
+	schemeMu sync.RWMutex
+	schemes  = map[string]Scheme{}
+)
+
+// RegisterScheme adds a spec scheme to the grammar shared by CheckSpec
+// and Parse. It is meant to be called from package init functions
+// (internal/counter registers "counter"); registering a built-in or
+// already-registered name panics — that is a programming error, not a
+// runtime condition.
+func RegisterScheme(name string, s Scheme) {
+	schemeMu.Lock()
+	defer schemeMu.Unlock()
+	if name == "sim" || name == "perturbed" || name == "recorded" {
+		panic("backend: RegisterScheme: " + name + " is built in")
+	}
+	if _, dup := schemes[name]; dup {
+		panic("backend: RegisterScheme: duplicate scheme " + name)
+	}
+	if s.Check == nil || s.Open == nil {
+		panic("backend: RegisterScheme: " + name + ": Check and Open are both required")
+	}
+	schemes[name] = s
+}
+
+// lookupScheme splits a spec into its scheme name and argument and finds
+// the registered handler, if any.
+func lookupScheme(spec string) (s Scheme, arg string, ok bool) {
+	name, arg, _ := strings.Cut(spec, ":")
+	schemeMu.RLock()
+	s, ok = schemes[name]
+	schemeMu.RUnlock()
+	return s, arg, ok
+}
+
+// SpecGrammar names the accepted spec forms for error messages,
+// including every registered scheme.
+func SpecGrammar() string {
+	forms := []string{"sim", "perturbed", "recorded:<path>"}
+	schemeMu.RLock()
+	for name := range schemes {
+		forms = append(forms, name+"[:<arg>]")
+	}
+	schemeMu.RUnlock()
+	sort.Strings(forms[3:])
+	return strings.Join(forms, ", ")
+}
+
 // CheckSpec validates a backend spec string without touching the
 // filesystem — the server uses it to reject bad requests before a job is
-// created. The grammar is: "sim" | "perturbed" | "recorded:<path>".
+// created. The grammar is: "sim" | "perturbed" | "recorded:<path>" plus
+// any scheme added via RegisterScheme ("counter[:<source>]" when
+// internal/counter is linked in).
 func CheckSpec(spec string) error {
 	switch {
 	case spec == "sim", spec == "perturbed":
@@ -92,7 +160,10 @@ func CheckSpec(spec string) error {
 	case spec == "recorded":
 		return fmt.Errorf("backend: %q: recorded needs a trace path (recorded:<path>)", spec)
 	default:
-		return fmt.Errorf("backend: unknown spec %q (want sim, perturbed, or recorded:<path>)", spec)
+		if s, arg, ok := lookupScheme(spec); ok {
+			return s.Check(arg)
+		}
+		return fmt.Errorf("backend: unknown spec %q (want %s)", spec, SpecGrammar())
 	}
 }
 
@@ -108,8 +179,11 @@ func Parse(spec string, opts Options) (Backend, error) {
 		return NewSim(opts), nil
 	case spec == "perturbed":
 		return NewPerturbedSim(opts), nil
-	default:
+	case strings.HasPrefix(spec, "recorded:"):
 		return OpenTrace(strings.TrimPrefix(spec, "recorded:"))
+	default:
+		s, arg, _ := lookupScheme(spec)
+		return s.Open(arg, opts)
 	}
 }
 

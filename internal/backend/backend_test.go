@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
@@ -157,6 +158,11 @@ func TestOpenTraceErrors(t *testing.T) {
 		{"conflict", `{"Version":1,"Backend":"sim"}` + "\n" +
 			`{"Key":"k1","CPU":"haswell","Status":0,"Tp":1}` + "\n" +
 			`{"Key":"k1","CPU":"haswell","Status":0,"Tp":2}` + "\n", "conflicting"},
+		// Same Status and Tp, different Counters: the payload comparison
+		// must cover every field, or the second entry silently wins.
+		{"conflict-counters", `{"Version":1,"Backend":"sim"}` + "\n" +
+			`{"Key":"k1","CPU":"haswell","Status":0,"Tp":1,"Counters":{"Cycles":10}}` + "\n" +
+			`{"Key":"k1","CPU":"haswell","Status":0,"Tp":1,"Counters":{"Cycles":11}}` + "\n", "conflicting"},
 	}
 	for _, c := range cases {
 		_, err := OpenTrace(write(c.name, c.content))
@@ -166,6 +172,63 @@ func TestOpenTraceErrors(t *testing.T) {
 	}
 	if _, err := OpenTrace(filepath.Join(dir, "absent")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestRecorderCrashMidRecord: a recording that never reaches Close must
+// not disturb the final trace path. Before the atomic-write fix the
+// Recorder created (truncating!) the final file up front, so a crash
+// mid-record left a torn trace — and destroyed any previous good one.
+func TestRecorderCrashMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sim.trace")
+	cpu := uarch.Skylake()
+
+	// A complete, good trace from an earlier run.
+	rec, err := NewRecorder(NewSim(Options{}), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Measure(block(t, "add rax, rbx"), cpu)
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second recording "crashes" mid-record: measurements happen, Close
+	// never does. The final path must still hold the old trace bytes.
+	crashed, err := NewRecorder(NewSim(Options{}), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed.Measure(block(t, "imul rax, rbx"), cpu)
+	if got, err := os.ReadFile(path); err != nil || !bytes.Equal(got, good) {
+		t.Fatalf("mid-record, final path changed: err=%v len=%d want %d", err, len(got), len(good))
+	}
+	if rb, err := OpenTrace(path); err != nil || rb.Len() != 1 {
+		t.Fatalf("old trace unreadable mid-record: %v", err)
+	}
+
+	// The unpublished temp file is in the directory; a fresh recording to
+	// the same path must not trip over it and must publish atomically.
+	rec2, err := NewRecorder(NewSim(Options{}), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec2.Measure(block(t, "add rax, rbx"), cpu)
+	rec2.Measure(block(t, "sub rcx, rdx"), cpu)
+	if err := rec2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := OpenTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Len() != 2 {
+		t.Fatalf("republished trace holds %d entries, want 2", rb.Len())
 	}
 }
 

@@ -1,0 +1,98 @@
+package backend
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzOpenTrace throws arbitrary bytes at the trace loader. OpenTrace is
+// the one parser in the measurement path that reads files a crash may
+// have torn or an operator may have hand-edited, so it must reject —
+// never panic on, never half-load — anything that is not a complete
+// well-formed trace.
+//
+// Seeds: the checked-in counter-backend fixture (a real recorded trace)
+// and targeted corruptions of it — corrupt headers, truncated tails,
+// duplicate keys with both agreeing and conflicting payloads.
+func FuzzOpenTrace(f *testing.F) {
+	fixture, err := os.ReadFile(filepath.Join("testdata", "counter_haswell.trace"))
+	if err != nil {
+		f.Fatalf("fixture trace: %v", err)
+	}
+	f.Add(fixture)
+
+	lines := bytes.SplitAfter(fixture, []byte("\n"))
+	if len(lines) < 3 {
+		f.Fatalf("fixture trace has %d lines, want a header and entries", len(lines))
+	}
+	header, first := lines[0], lines[1]
+
+	// Header corruptions.
+	f.Add([]byte(nil))
+	f.Add([]byte("\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte(`{"Version":99,"Backend":"sim","Fingerprint":"x"}` + "\n"))
+	f.Add([]byte(`{"Version":1,"Backend":"","Fingerprint":"x"}` + "\n"))
+	f.Add(bytes.TrimSuffix(header, []byte("\n"))) // header without newline
+
+	// Truncated tails: the fixture cut mid-entry at various depths.
+	for _, cut := range []int{1, len(header) + 1, len(fixture) / 2, len(fixture) - 1} {
+		f.Add(fixture[:cut])
+	}
+
+	// Duplicate keys: an exact duplicate (legal) and a conflicting one.
+	f.Add(append(append([]byte{}, fixture...), first...))
+	conflict := bytes.Replace(first, []byte(`"Status":0`), []byte(`"Status":3`), 1)
+	f.Add(append(append([]byte{}, fixture...), conflict...))
+
+	// Entry-level damage.
+	f.Add(append(append([]byte{}, header...), []byte("garbage entry\n")...))
+	f.Add(append(append([]byte{}, header...), []byte(`{"Key":"","CPU":"haswell"}`+"\n")...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.trace")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rb, err := OpenTrace(path)
+		if err != nil {
+			if rb != nil {
+				t.Fatal("OpenTrace returned both a backend and an error")
+			}
+			return
+		}
+		// A trace that loads must be internally consistent: a non-empty
+		// backend identity and as many entries as distinct keys — and it
+		// must load identically a second time (no hidden state).
+		if rb.Name() == "" {
+			t.Fatal("loaded trace has empty backend name")
+		}
+		again, err := OpenTrace(path)
+		if err != nil || again.Len() != rb.Len() ||
+			again.Name() != rb.Name() || again.Fingerprint() != rb.Fingerprint() {
+			t.Fatalf("reload diverged: %v (%d vs %d entries)", err, rb.Len(), again.Len())
+		}
+	})
+}
+
+// TestOpenTraceFixture pins the checked-in counter fixture itself: it
+// must load, carry the counter backend identity, and hold one entry per
+// corpus block — the invariants the xval fixture tests build on.
+func TestOpenTraceFixture(t *testing.T) {
+	rb, err := OpenTrace(filepath.Join("testdata", "counter_haswell.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Name() != "counter" {
+		t.Errorf("fixture backend = %q, want counter", rb.Name())
+	}
+	if !strings.Contains(rb.Fingerprint(), "stub|seed1") {
+		t.Errorf("fixture fingerprint %q does not identify the stub source", rb.Fingerprint())
+	}
+	if rb.Len() == 0 {
+		t.Error("fixture trace is empty")
+	}
+}

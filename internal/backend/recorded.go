@@ -61,30 +61,36 @@ func traceKey(cpuName string, b *x86.Block) (string, error) {
 // produces to a trace file, deduplicated by content address. It is
 // transparent: Name and Fingerprint are the inner backend's, so a
 // recording run reports exactly what the inner backend would alone.
+//
+// The trace is written atomically: appends go to a hidden temp file in
+// the destination directory, and only a clean Close publishes it (fsync,
+// rename over the final path, parent-directory fsync). A crash — or a
+// recording that ends in error — leaves any previous trace at the final
+// path untouched instead of a torn file that OpenTrace rejects wholesale.
 type Recorder struct {
 	inner Backend
+	path  string // final trace path, created by Close
 
 	mu   sync.Mutex
-	f    *os.File
+	f    *os.File // temp file until Close renames it
 	w    *bufio.Writer
 	seen map[string]bool
 	err  error // first write error, surfaced by Close
 }
 
-// NewRecorder creates (truncating) a trace at path and returns a backend
-// that measures through inner while recording. Close flushes and syncs
-// the trace.
+// NewRecorder arranges for a trace at path and returns a backend that
+// measures through inner while recording. Nothing exists at path until
+// Close publishes the complete trace.
 func NewRecorder(inner Backend, path string) (*Recorder, error) {
-	if dir := filepath.Dir(path); dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("backend: trace: %w", err)
-		}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("backend: trace: %w", err)
 	}
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return nil, fmt.Errorf("backend: trace: %w", err)
 	}
-	r := &Recorder{inner: inner, f: f, w: bufio.NewWriter(f), seen: make(map[string]bool)}
+	r := &Recorder{inner: inner, path: path, f: f, w: bufio.NewWriter(f), seen: make(map[string]bool)}
 	hdr, err := json.Marshal(traceHeader{
 		Version: TraceVersion, Backend: inner.Name(), Fingerprint: inner.Fingerprint(),
 	})
@@ -93,6 +99,7 @@ func NewRecorder(inner Backend, path string) (*Recorder, error) {
 	}
 	if err != nil {
 		f.Close()
+		os.Remove(f.Name())
 		return nil, fmt.Errorf("backend: trace: %w", err)
 	}
 	return r, nil
@@ -134,8 +141,11 @@ func (r *Recorder) noteErr(err error) {
 	r.mu.Unlock()
 }
 
-// Close flushes and syncs the trace, closes the inner backend, and
-// surfaces the first error from anywhere in the recording.
+// Close flushes and syncs the trace, publishes it under the final path
+// (rename + parent-directory fsync), closes the inner backend, and
+// surfaces the first error from anywhere in the recording. On error the
+// temp file is removed and the final path is left as it was — a trace
+// either appears complete or not at all.
 func (r *Recorder) Close() error {
 	r.mu.Lock()
 	err := r.err
@@ -146,6 +156,7 @@ func (r *Recorder) Close() error {
 		r.w = nil
 	}
 	if r.f != nil {
+		tmp := r.f.Name()
 		if serr := r.f.Sync(); err == nil {
 			err = serr
 		}
@@ -153,6 +164,15 @@ func (r *Recorder) Close() error {
 			err = cerr
 		}
 		r.f = nil
+		if err == nil {
+			err = os.Rename(tmp, r.path)
+		}
+		if err == nil {
+			err = syncDir(filepath.Dir(r.path))
+		}
+		if err != nil {
+			os.Remove(tmp)
+		}
 	}
 	r.mu.Unlock()
 	if ierr := r.inner.Close(); err == nil {
@@ -162,6 +182,22 @@ func (r *Recorder) Close() error {
 		return fmt.Errorf("backend: trace: %w", err)
 	}
 	return nil
+}
+
+// syncDir makes the just-renamed directory entry durable: rename alone
+// only updates the entry in memory, so a crash shortly after Close could
+// otherwise roll the published trace back out of the directory.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("syncing %s: %w", dir, serr)
+	}
+	return cerr
 }
 
 // RecordedBackend replays a measurement trace deterministically: every
@@ -217,7 +253,10 @@ func OpenTrace(path string) (*RecordedBackend, error) {
 		if err := json.Unmarshal(rest[:nl], &e); err != nil {
 			return nil, fmt.Errorf("backend: trace: %s:%d: %w", path, line, err)
 		}
-		if prev, dup := rb.entries[e.Key]; dup && (prev.Status != e.Status || prev.Tp != e.Tp) {
+		// Full-payload comparison: traceEntry is comparable, so any field
+		// diverging — Counters included, which Status+Tp checks would let
+		// slip through to a silent last-write-wins — is a conflict.
+		if prev, dup := rb.entries[e.Key]; dup && prev != e {
 			return nil, fmt.Errorf("backend: trace: %s:%d: key %s recorded twice with conflicting payloads", path, line, e.Key)
 		}
 		rb.entries[e.Key] = e

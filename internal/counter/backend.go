@@ -1,0 +1,82 @@
+package counter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"bhive/internal/backend"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+// Backend adapts an Engine to backend.Backend, so counter measurements
+// flow through the standard plumbing: the xval cross-validation
+// experiment, checkpoint shard keys, and — wrapped in backend.Recorder —
+// the content-addressed trace format bhive-record emits.
+type Backend struct {
+	eng *Engine
+}
+
+// NewBackend builds the counter backend over a source.
+func NewBackend(src Source, cfg Config) (*Backend, error) {
+	eng, err := NewEngine(src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{eng: eng}, nil
+}
+
+// Engine exposes the underlying engine (stats, fencing state).
+func (cb *Backend) Engine() *Engine { return cb.eng }
+
+func (cb *Backend) Name() string        { return "counter" }
+func (cb *Backend) Fingerprint() string { return cb.eng.Fingerprint() }
+
+func (cb *Backend) Measure(b *x86.Block, cpu *uarch.CPU) backend.Measurement {
+	status, tp, counters, err := cb.eng.Measure(b, cpu)
+	return backend.Measurement{Status: status, Throughput: tp, Counters: counters, Err: err}
+}
+
+func (cb *Backend) Close() error { return cb.eng.src.Close() }
+
+// The "counter" spec scheme: "counter" (stub source, default seed),
+// "counter:stub", "counter:stub:<seed>", or "counter:perf" (gated: real
+// hardware counters are not available in this build). Registered into
+// the backend spec grammar at link time — any binary importing this
+// package accepts the scheme in -backend flags and server requests.
+func init() {
+	backend.RegisterScheme("counter", backend.Scheme{
+		Check: func(arg string) error { _, _, err := parseSourceArg(arg); return err },
+		Open: func(arg string, opts backend.Options) (backend.Backend, error) {
+			src, cfg, err := parseSourceArg(arg)
+			if err != nil {
+				return nil, err
+			}
+			return NewBackend(src, cfg)
+		},
+	})
+}
+
+// parseSourceArg resolves the spec argument to a source and protocol
+// config. Hardware sources are named in the grammar but gated: asking
+// for one fails with a actionable message instead of pretending.
+func parseSourceArg(arg string) (Source, Config, error) {
+	cfg := DefaultConfig()
+	switch {
+	case arg == "" || arg == "stub":
+		return NewStub(DefaultStubConfig()), cfg, nil
+	case strings.HasPrefix(arg, "stub:"):
+		seed, err := strconv.ParseInt(strings.TrimPrefix(arg, "stub:"), 10, 64)
+		if err != nil {
+			return nil, cfg, fmt.Errorf("counter: bad stub seed in %q: %v", arg, err)
+		}
+		sc := DefaultStubConfig()
+		sc.Seed = seed
+		return NewStub(sc), cfg, nil
+	case arg == "perf":
+		return nil, cfg, fmt.Errorf("counter: the perf source needs bare-metal performance counters (perf_event_open), which this build does not ship; use counter:stub[:<seed>] or record a trace on hardware and replay it with recorded:<path>")
+	default:
+		return nil, cfg, fmt.Errorf("counter: unknown source %q (want stub, stub:<seed>, or perf)", arg)
+	}
+}

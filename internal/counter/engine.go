@@ -1,0 +1,399 @@
+package counter
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"bhive/internal/pipeline"
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+// Config parameterizes the measurement protocol. The defaults follow the
+// paper's acceptance protocol (16 samples, 8 clean) with nanoBench's
+// aggregation (median-of-N after outlier rejection).
+type Config struct {
+	// WarmupRuns are executed and discarded before the samples of every
+	// (unroll, group) round — they charge caches, the branch predictor,
+	// and on real hardware the frequency governor.
+	WarmupRuns int
+	// Samples is the number of timed runs per (unroll, group) round.
+	Samples int
+	// MinCleanSamples is how many samples must survive interference
+	// filtering for the round to be accepted.
+	MinCleanSamples int
+	// MADK scales the filtering tolerance: a sample is clean when its
+	// cycle count is within MADK × MAD of the median (MAD = median
+	// absolute deviation). With MAD 0 — a quiet machine — only
+	// exactly-median samples are clean, the paper's "identical" rule.
+	MADK float64
+	// UnfencedSlack is the relative cycle tolerance (fraction of the
+	// median) added to the filter when the environment is not fenced:
+	// the degraded mode accepts residual frequency/scheduling noise that
+	// pinning would have removed, and flags the run instead of failing.
+	UnfencedSlack float64
+
+	// RunRetries is how many times one errored run (e.g. ErrTimeout) is
+	// retried before the whole measurement fails.
+	RunRetries int
+	// MeasRetries is how many times a round whose filtering left fewer
+	// than MinCleanSamples clean samples is re-measured before the block
+	// is declared unstable.
+	MeasRetries int
+	// BackoffBase is the first retry delay, doubling per attempt and
+	// capped at BackoffCap — bounded, so a flaky source cannot stall a
+	// sweep indefinitely.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+
+	// UnrollLo/UnrollHi are the two unroll factors of the derived-
+	// throughput formula (cycles(hi) − cycles(lo)) / (hi − lo).
+	UnrollLo, UnrollHi int
+
+	// Sleep replaces time.Sleep in backoff waits (tests make it a no-op
+	// recorder). Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultConfig is the full protocol at the paper's sample counts.
+func DefaultConfig() Config {
+	return Config{
+		WarmupRuns:      2,
+		Samples:         16,
+		MinCleanSamples: 8,
+		MADK:            3,
+		UnfencedSlack:   0.02,
+		RunRetries:      3,
+		MeasRetries:     2,
+		BackoffBase:     time.Millisecond,
+		BackoffCap:      100 * time.Millisecond,
+		UnrollLo:        8,
+		UnrollHi:        24,
+	}
+}
+
+func (c *Config) applyDefaults() error {
+	d := DefaultConfig()
+	if c.WarmupRuns < 0 {
+		return errors.New("counter: WarmupRuns < 0")
+	}
+	if c.Samples == 0 {
+		c.Samples = d.Samples
+	}
+	if c.MinCleanSamples == 0 {
+		c.MinCleanSamples = d.MinCleanSamples
+	}
+	if c.MinCleanSamples > c.Samples {
+		return fmt.Errorf("counter: MinCleanSamples %d > Samples %d", c.MinCleanSamples, c.Samples)
+	}
+	if c.MADK == 0 {
+		c.MADK = d.MADK
+	}
+	if c.UnfencedSlack == 0 {
+		c.UnfencedSlack = d.UnfencedSlack
+	}
+	if c.RunRetries == 0 {
+		c.RunRetries = d.RunRetries
+	}
+	if c.MeasRetries == 0 {
+		c.MeasRetries = d.MeasRetries
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = d.BackoffBase
+	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = d.BackoffCap
+	}
+	if c.UnrollLo == 0 {
+		c.UnrollLo = d.UnrollLo
+	}
+	if c.UnrollHi == 0 {
+		c.UnrollHi = d.UnrollHi
+	}
+	if c.UnrollLo >= c.UnrollHi {
+		return fmt.Errorf("counter: UnrollLo %d >= UnrollHi %d", c.UnrollLo, c.UnrollHi)
+	}
+	return nil
+}
+
+// fingerprint folds every protocol parameter into the backend
+// fingerprint, so checkpoints written under one protocol never resume
+// another. The Sleep hook is behavior-neutral and excluded.
+func (c Config) fingerprint() string {
+	return fmt.Sprintf("w%d s%d/%d mad%g slack%g rr%d mr%d u%d-%d",
+		c.WarmupRuns, c.MinCleanSamples, c.Samples, c.MADK, c.UnfencedSlack,
+		c.RunRetries, c.MeasRetries, c.UnrollLo, c.UnrollHi)
+}
+
+// Stats counts protocol events across every Measure call — the
+// observability hook bhive-record prints and the fault-injection tests
+// assert on. All fields are atomically updated; read them with Load.
+type Stats struct {
+	Runs            atomic.Uint64 // timed sample runs executed
+	Warmups         atomic.Uint64 // warm-up runs executed and discarded
+	FilteredSamples atomic.Uint64 // samples rejected by the MAD filter
+	RunRetries      atomic.Uint64 // errored runs retried
+	Timeouts        atomic.Uint64 // of those, timeouts specifically
+	MeasRetries     atomic.Uint64 // whole rounds re-measured
+	Unstable        atomic.Uint64 // measurements that exhausted MeasRetries
+}
+
+// Engine drives the nanoBench protocol over a Source. It is safe for
+// concurrent Measure calls iff the source is (both shipped sources are).
+type Engine struct {
+	cfg      Config
+	src      Source
+	unfenced bool
+	stats    Stats
+}
+
+// NewEngine validates the configuration, checks the source's environment
+// fencing once, and builds the engine. An unfenced environment (CPU or
+// frequency not pinned) degrades the engine — wider filter tolerance,
+// flagged fingerprint — instead of failing: measurements remain usable,
+// and everything downstream can see they were taken unfenced.
+func NewEngine(src Source, cfg Config) (*Engine, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, src: src, unfenced: !src.Env().Fenced()}, nil
+}
+
+// Unfenced reports whether the engine is running in the degraded
+// unfenced mode.
+func (e *Engine) Unfenced() bool { return e.unfenced }
+
+// Stats exposes the protocol-event counters.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Source returns the measurement source the engine drives.
+func (e *Engine) Source() Source { return e.src }
+
+// Fingerprint captures the measurement semantics: protocol parameters,
+// source identity, and the fencing degradation if active.
+func (e *Engine) Fingerprint() string {
+	fp := "counter|" + e.cfg.fingerprint() + "|" + e.src.Fingerprint()
+	if e.unfenced {
+		fp += "|unfenced"
+	}
+	return fp
+}
+
+// errUnstable marks a measurement whose rounds never yielded enough
+// clean samples; Measure maps it to profiler.StatusUnstable.
+var errUnstable = errors.New("counter: interference filtering left too few clean samples")
+
+// Measure runs the full protocol for one block on one µarch: both
+// unroll factors, every counter group, warm-ups, sampling, filtering,
+// and retries — then derives throughput and applies the paper's
+// acceptance rules to the aggregated counters.
+func (e *Engine) Measure(b *x86.Block, cpu *uarch.CPU) (profiler.Status, float64, pipeline.Counters, error) {
+	lo, err := e.measureUnroll(b, cpu, e.cfg.UnrollLo)
+	if err != nil {
+		return statusFor(err), 0, pipeline.Counters{}, err
+	}
+	hi, err := e.measureUnroll(b, cpu, e.cfg.UnrollHi)
+	if err != nil {
+		return statusFor(err), 0, pipeline.Counters{}, err
+	}
+
+	// Derived throughput: the difference quotient cancels the fixed
+	// startup transient both runs share.
+	if hi.Cycles <= lo.Cycles {
+		return profiler.StatusUnstable, 0, pipeline.Counters{},
+			fmt.Errorf("counter: non-monotone cycles: %d at u=%d, %d at u=%d",
+				lo.Cycles, e.cfg.UnrollLo, hi.Cycles, e.cfg.UnrollHi)
+	}
+	tp := float64(hi.Cycles-lo.Cycles) / float64(e.cfg.UnrollHi-e.cfg.UnrollLo)
+
+	// Acceptance on the aggregated counters of the high-unroll run, the
+	// paper's protocol: any cache miss or line-splitting access rejects
+	// the measurement; a surviving context switch means the filter could
+	// not isolate a quiet run.
+	switch {
+	case hi.L1DReadMisses > 0 || hi.L1DWriteMisses > 0 || hi.L1IMisses > 0:
+		return profiler.StatusCacheMiss, 0, hi, nil
+	case hi.MisalignedLoads > 0 || hi.MisalignedStores > 0:
+		return profiler.StatusMisaligned, 0, hi, nil
+	case hi.ContextSwitches > 0:
+		return profiler.StatusUnstable, 0, hi, nil
+	}
+	return profiler.StatusOK, tp, hi, nil
+}
+
+// statusFor maps a measurement failure to the paper's status taxonomy.
+func statusFor(err error) profiler.Status {
+	if errors.Is(err, errUnstable) {
+		return profiler.StatusUnstable
+	}
+	return profiler.StatusCrashed
+}
+
+// measureUnroll measures every counter group at one unroll factor and
+// merges the per-group aggregates. Each counter's value comes from the
+// group that programmed it; the cycle reference is group 0's.
+func (e *Engine) measureUnroll(b *x86.Block, cpu *uarch.CPU, unroll int) (pipeline.Counters, error) {
+	var merged pipeline.Counters
+	for gi, g := range GroupsFor(cpu) {
+		agg, err := e.measureGroup(b, cpu, unroll, gi, g)
+		if err != nil {
+			return pipeline.Counters{}, err
+		}
+		start := 0
+		if gi > 0 {
+			start = 1 // Cycles authoritative from group 0 only
+		}
+		for _, id := range g[start:] {
+			setValue(&merged, id, value(&agg, id))
+		}
+	}
+	return merged, nil
+}
+
+// measureGroup is one protocol round with whole-round retries: warm-ups,
+// Samples timed runs (each individually retried on error), MAD
+// filtering, and median aggregation of the clean samples.
+func (e *Engine) measureGroup(b *x86.Block, cpu *uarch.CPU, unroll, gi int, g Group) (pipeline.Counters, error) {
+	samples := make([]pipeline.Counters, 0, e.cfg.Samples)
+	for round := 0; ; round++ {
+		samples = samples[:0]
+		base := round * (e.cfg.WarmupRuns + e.cfg.Samples)
+		for w := 0; w < e.cfg.WarmupRuns; w++ {
+			if _, err := e.run(Run{
+				Block: b, CPU: cpu, Unroll: unroll, Group: g,
+				Sample: base + w, Warmup: true,
+			}); err != nil {
+				return pipeline.Counters{}, err
+			}
+			e.stats.Warmups.Add(1)
+		}
+		for s := 0; s < e.cfg.Samples; s++ {
+			c, err := e.run(Run{
+				Block: b, CPU: cpu, Unroll: unroll, Group: g,
+				Sample: base + e.cfg.WarmupRuns + s,
+			})
+			if err != nil {
+				return pipeline.Counters{}, err
+			}
+			e.stats.Runs.Add(1)
+			samples = append(samples, c)
+		}
+
+		clean := e.filter(samples)
+		e.stats.FilteredSamples.Add(uint64(len(samples) - len(clean)))
+		if len(clean) >= e.cfg.MinCleanSamples {
+			return aggregate(clean, g), nil
+		}
+		if round >= e.cfg.MeasRetries {
+			e.stats.Unstable.Add(1)
+			return pipeline.Counters{}, fmt.Errorf("%w: %d/%d clean after %d rounds (unroll %d, group %s)",
+				errUnstable, len(clean), e.cfg.Samples, round+1, unroll, g)
+		}
+		e.stats.MeasRetries.Add(1)
+		e.sleep(e.backoff(round))
+	}
+}
+
+// run executes one measurement run with per-run retry and bounded
+// backoff. Only transient failures — errors wrapping ErrTimeout — are
+// retried; anything else (an undecodable block, a faulting benchmark) is
+// permanent and fails the measurement immediately.
+func (e *Engine) run(r Run) (pipeline.Counters, error) {
+	for {
+		c, err := e.src.Measure(r)
+		if err == nil {
+			return c, nil
+		}
+		if !errors.Is(err, ErrTimeout) {
+			return pipeline.Counters{}, err
+		}
+		e.stats.Timeouts.Add(1)
+		if r.Attempt >= e.cfg.RunRetries {
+			return pipeline.Counters{}, fmt.Errorf("counter: run failed after %d attempts: %w", r.Attempt+1, err)
+		}
+		e.stats.RunRetries.Add(1)
+		e.sleep(e.backoff(r.Attempt))
+		r.Attempt++
+	}
+}
+
+// filter keeps the samples whose cycle counts lie within the MAD-based
+// tolerance of the median — nanoBench's outlier rejection, widened by
+// the relative slack when running unfenced.
+func (e *Engine) filter(samples []pipeline.Counters) []pipeline.Counters {
+	cycles := make([]uint64, len(samples))
+	for i := range samples {
+		cycles[i] = samples[i].Cycles
+	}
+	med := medianU64(cycles)
+	devs := make([]uint64, len(samples))
+	for i, c := range cycles {
+		devs[i] = absDiff(c, med)
+	}
+	tol := e.cfg.MADK * float64(medianU64(devs))
+	if e.unfenced {
+		if slack := e.cfg.UnfencedSlack * float64(med); tol < slack {
+			tol = slack
+		}
+	}
+	clean := samples[:0:len(samples)]
+	for i := range samples {
+		if float64(devs[i]) <= tol {
+			clean = append(clean, samples[i])
+		}
+	}
+	return clean
+}
+
+// aggregate takes the per-counter lower median over the clean samples —
+// integral, deterministic, and robust to the residual noise the filter
+// tolerated.
+func aggregate(clean []pipeline.Counters, g Group) pipeline.Counters {
+	var out pipeline.Counters
+	vals := make([]uint64, len(clean))
+	for _, id := range g {
+		for i := range clean {
+			vals[i] = value(&clean[i], id)
+		}
+		setValue(&out, id, medianU64(vals))
+	}
+	return out
+}
+
+// medianU64 is the lower median (does not mutate its argument).
+func medianU64(xs []uint64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]uint64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// backoff is the bounded exponential retry delay for attempt (0-based).
+func (e *Engine) backoff(attempt int) time.Duration {
+	d := e.cfg.BackoffBase << uint(attempt)
+	if d <= 0 || d > e.cfg.BackoffCap {
+		d = e.cfg.BackoffCap
+	}
+	return d
+}
+
+func (e *Engine) sleep(d time.Duration) {
+	if e.cfg.Sleep != nil {
+		e.cfg.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}

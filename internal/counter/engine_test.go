@@ -1,0 +1,363 @@
+package counter
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"bhive/internal/pipeline"
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+func testBlock(t *testing.T, text string) *x86.Block {
+	t.Helper()
+	b, err := x86.ParseBlock(text, x86.SyntaxAuto)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return b
+}
+
+// fakeSource scripts raw runs: cycles come from a caller-supplied
+// function, errors from an injected schedule. It reports whatever Env
+// it is given — the engine-side fencing tests steer everything.
+type fakeSource struct {
+	env    Env
+	cycles func(r Run) uint64
+	fail   func(r Run) error
+}
+
+func (f *fakeSource) Name() string        { return "fake" }
+func (f *fakeSource) Fingerprint() string { return "fake" }
+func (f *fakeSource) Env() Env            { return f.env }
+func (f *fakeSource) Close() error        { return nil }
+
+func (f *fakeSource) Measure(r Run) (pipeline.Counters, error) {
+	if f.fail != nil {
+		if err := f.fail(r); err != nil {
+			return pipeline.Counters{}, err
+		}
+	}
+	var c pipeline.Counters
+	c.Cycles = f.cycles(r)
+	c.Instructions = uint64(len(r.Block.Insts) * r.Unroll)
+	return mask(c, r.Group), nil
+}
+
+var fenced = Env{CPUPinned: true, FreqPinned: true}
+
+// quiet returns a noise-free cycle model: base cycles per iteration plus
+// a fixed transient the derived-throughput formula must cancel.
+func quiet(base, transient uint64) func(Run) uint64 {
+	return func(r Run) uint64 { return base*uint64(r.Unroll) + transient }
+}
+
+func TestGroupsForCoverEveryCounterOnce(t *testing.T) {
+	for _, cpu := range uarch.All() {
+		groups := GroupsFor(cpu)
+		budget := programmable[cpu.Name]
+		seen := map[ID]int{}
+		for _, g := range groups {
+			if g[0] != Cycles {
+				t.Fatalf("%s: group %s does not lead with cycles", cpu.Name, g)
+			}
+			if len(g) > budget {
+				t.Fatalf("%s: group %s exceeds the %d-counter budget", cpu.Name, g, budget)
+			}
+			for _, id := range g[1:] {
+				seen[id]++
+			}
+		}
+		for id := Instructions; id < Port0+ID(cpu.NumPorts); id++ {
+			if seen[id] != 1 {
+				t.Fatalf("%s: counter %s programmed %d times, want once", cpu.Name, id, seen[id])
+			}
+		}
+	}
+	// Skylake's 8-counter budget must need fewer groups (= fewer runs)
+	// than Haswell's 4 for the same counter set size difference.
+	if sk, hw := len(GroupsFor(uarch.Skylake())), len(GroupsFor(uarch.Haswell())); sk >= hw {
+		t.Fatalf("skylake needs %d groups, haswell %d; wider budget should mean fewer", sk, hw)
+	}
+}
+
+func TestMedianU64(t *testing.T) {
+	cases := []struct {
+		in   []uint64
+		want uint64
+	}{
+		{nil, 0},
+		{[]uint64{5}, 5},
+		{[]uint64{9, 1, 5}, 5},
+		{[]uint64{4, 1, 3, 2}, 2}, // lower median, even count
+	}
+	for _, c := range cases {
+		in := append([]uint64(nil), c.in...)
+		if got := medianU64(in); got != c.want {
+			t.Errorf("medianU64(%v) = %d, want %d", c.in, got, c.want)
+		}
+		for i := range in {
+			if in[i] != c.in[i] {
+				t.Errorf("medianU64 mutated its argument: %v -> %v", c.in, in)
+			}
+		}
+	}
+}
+
+// TestDerivedThroughputCancelsTransient: a quiet source with a large
+// fixed transient must still measure exactly the per-iteration cost.
+func TestDerivedThroughputCancelsTransient(t *testing.T) {
+	src := &fakeSource{env: fenced, cycles: quiet(7, 12345)}
+	eng, err := NewEngine(src, Config{Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, tp, counters, err := eng.Measure(testBlock(t, "add rax, rbx"), uarch.Haswell())
+	if err != nil || status != profiler.StatusOK {
+		t.Fatalf("measure: status=%v err=%v", status, err)
+	}
+	if tp != 7 {
+		t.Fatalf("throughput = %v, want 7 (transient not cancelled)", tp)
+	}
+	if eng.Unfenced() {
+		t.Fatal("fenced env reported unfenced")
+	}
+	wantInstr := uint64(1 * DefaultConfig().UnrollHi)
+	if counters.Instructions != wantInstr {
+		t.Fatalf("aggregated instructions = %d, want %d", counters.Instructions, wantInstr)
+	}
+}
+
+// TestMADFilterRejectsInterference: periodic 50k-cycle spikes (with the
+// context switches real interference would show) must be filtered out,
+// leaving a clean, spike-free aggregate.
+func TestMADFilterRejectsInterference(t *testing.T) {
+	spikes := 0
+	src := &fakeSource{env: fenced, cycles: func(r Run) uint64 {
+		c := quiet(7, 100)(r)
+		if !r.Warmup && r.Sample%4 == 3 {
+			spikes++
+			c += 50_000
+		}
+		return c
+	}}
+	eng, err := NewEngine(src, Config{Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, tp, _, err := eng.Measure(testBlock(t, "add rax, rbx"), uarch.Haswell())
+	if err != nil || status != profiler.StatusOK || tp != 7 {
+		t.Fatalf("spiked measure: status=%v tp=%v err=%v", status, tp, err)
+	}
+	if spikes == 0 {
+		t.Fatal("test injected no spikes")
+	}
+	if got := eng.Stats().FilteredSamples.Load(); got != uint64(spikes) {
+		t.Fatalf("filtered %d samples, want the %d spikes", got, spikes)
+	}
+}
+
+// TestUnstableAfterMeasRetries: when filtering persistently leaves too
+// few clean samples, the engine retries whole rounds with backoff and
+// then reports StatusUnstable — never a throughput.
+func TestUnstableAfterMeasRetries(t *testing.T) {
+	// Half the samples sit far above the median: 8 clean of 16 < the 12
+	// this config demands, every round.
+	src := &fakeSource{env: fenced, cycles: func(r Run) uint64 {
+		c := quiet(7, 100)(r)
+		if r.Sample%2 == 1 {
+			c += 10_000
+		}
+		return c
+	}}
+	var backoffs []time.Duration
+	eng, err := NewEngine(src, Config{
+		MinCleanSamples: 12,
+		Sleep:           func(d time.Duration) { backoffs = append(backoffs, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, tp, _, err := eng.Measure(testBlock(t, "add rax, rbx"), uarch.Haswell())
+	if status != profiler.StatusUnstable || tp != 0 {
+		t.Fatalf("status=%v tp=%v, want unstable/0", status, tp)
+	}
+	if !errors.Is(err, errUnstable) {
+		t.Fatalf("err = %v, want errUnstable", err)
+	}
+	want := uint64(DefaultConfig().MeasRetries)
+	if got := eng.Stats().MeasRetries.Load(); got != want {
+		t.Fatalf("MeasRetries = %d, want %d (bounded)", got, want)
+	}
+	if len(backoffs) != int(want) {
+		t.Fatalf("%d backoff sleeps, want %d", len(backoffs), want)
+	}
+	for i, d := range backoffs {
+		if d <= 0 || d > DefaultConfig().BackoffCap {
+			t.Fatalf("backoff %d = %v outside (0, %v]", i, d, DefaultConfig().BackoffCap)
+		}
+	}
+}
+
+// TestTimeoutRetrySucceeds: a run that times out on its first attempts
+// and then succeeds must produce the same measurement as a clean run,
+// with the retries visible in the stats.
+func TestTimeoutRetrySucceeds(t *testing.T) {
+	src := &fakeSource{
+		env:    fenced,
+		cycles: quiet(7, 100),
+		fail: func(r Run) error {
+			if r.Sample == 3 && r.Attempt < 2 {
+				return fmt.Errorf("wrapped: %w", ErrTimeout)
+			}
+			return nil
+		},
+	}
+	var slept int
+	eng, err := NewEngine(src, Config{Sleep: func(time.Duration) { slept++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, tp, _, err := eng.Measure(testBlock(t, "add rax, rbx"), uarch.Haswell())
+	if err != nil || status != profiler.StatusOK || tp != 7 {
+		t.Fatalf("status=%v tp=%v err=%v", status, tp, err)
+	}
+	if eng.Stats().RunRetries.Load() == 0 || eng.Stats().Timeouts.Load() == 0 {
+		t.Fatalf("retries=%d timeouts=%d, want both > 0",
+			eng.Stats().RunRetries.Load(), eng.Stats().Timeouts.Load())
+	}
+	if slept == 0 {
+		t.Fatal("retries did not back off")
+	}
+}
+
+// TestTimeoutRetriesAreBounded: a persistently timing-out run fails the
+// measurement as crashed after exactly RunRetries+1 attempts.
+func TestTimeoutRetriesAreBounded(t *testing.T) {
+	attempts := 0
+	src := &fakeSource{
+		env:    fenced,
+		cycles: quiet(7, 100),
+		fail: func(r Run) error {
+			attempts++
+			return ErrTimeout
+		},
+	}
+	eng, err := NewEngine(src, Config{RunRetries: 2, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, _, err := eng.Measure(testBlock(t, "add rax, rbx"), uarch.Haswell())
+	if status != profiler.StatusCrashed || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("status=%v err=%v, want crashed wrapping ErrTimeout", status, err)
+	}
+	if attempts != 3 {
+		t.Fatalf("source saw %d attempts, want 3 (1 + 2 retries)", attempts)
+	}
+}
+
+// TestPermanentErrorFailsFast: non-timeout errors are permanent — no
+// retries, immediate crashed status.
+func TestPermanentErrorFailsFast(t *testing.T) {
+	attempts := 0
+	boom := errors.New("SIGSEGV in benchmark")
+	src := &fakeSource{
+		env:    fenced,
+		cycles: quiet(7, 100),
+		fail:   func(r Run) error { attempts++; return boom },
+	}
+	eng, err := NewEngine(src, Config{Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, _, err := eng.Measure(testBlock(t, "add rax, rbx"), uarch.Haswell())
+	if status != profiler.StatusCrashed || !errors.Is(err, boom) {
+		t.Fatalf("status=%v err=%v, want crashed wrapping the fault", status, err)
+	}
+	if attempts != 1 {
+		t.Fatalf("permanent error retried: %d attempts", attempts)
+	}
+}
+
+// TestFencingDegradation: proportional noise that defeats the strict
+// fenced filter must pass under the unfenced slack — same source, same
+// noise, different environment — and the degradation must be flagged in
+// Unfenced() and the fingerprint rather than silently absorbed.
+func TestFencingDegradation(t *testing.T) {
+	// Samples alternate between base and base×1.01 — the drift an
+	// unpinned frequency governor produces.
+	noisy := func(r Run) uint64 {
+		c := quiet(1000, 0)(r)
+		if r.Sample%2 == 1 {
+			c += c / 100
+		}
+		return c
+	}
+	cfg := func() Config {
+		return Config{MinCleanSamples: 12, Sleep: func(time.Duration) {}}
+	}
+
+	strict, err := NewEngine(&fakeSource{env: fenced, cycles: noisy}, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _, _, _ := strict.Measure(testBlock(t, "add rax, rbx"), uarch.Haswell())
+	if status != profiler.StatusUnstable {
+		t.Fatalf("fenced engine accepted drifting samples: %v", status)
+	}
+
+	degraded, err := NewEngine(&fakeSource{env: Env{CPUPinned: true, FreqPinned: false}, cycles: noisy}, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !degraded.Unfenced() {
+		t.Fatal("unpinned frequency not flagged as unfenced")
+	}
+	status, tp, _, err := degraded.Measure(testBlock(t, "add rax, rbx"), uarch.Haswell())
+	if err != nil || status != profiler.StatusOK {
+		t.Fatalf("degraded mode rejected the measurement: status=%v err=%v", status, err)
+	}
+	if tp <= 0 {
+		t.Fatalf("degraded throughput = %v", tp)
+	}
+	if fp := degraded.Fingerprint(); !strings.Contains(fp, "unfenced") {
+		t.Fatalf("fingerprint %q does not flag the unfenced degradation", fp)
+	}
+	if fp := strict.Fingerprint(); strings.Contains(fp, "unfenced") {
+		t.Fatalf("fenced fingerprint %q flags unfenced", fp)
+	}
+}
+
+// TestConfigValidation: impossible protocol parameters fail construction.
+func TestConfigValidation(t *testing.T) {
+	src := &fakeSource{env: fenced, cycles: quiet(1, 0)}
+	bad := []Config{
+		{MinCleanSamples: 20, Samples: 16},
+		{UnrollLo: 16, UnrollHi: 8},
+		{WarmupRuns: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewEngine(src, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestNonMonotoneCyclesRejected: a source whose high-unroll run is not
+// costlier than the low one cannot yield a meaningful difference
+// quotient; the engine must refuse rather than report tp ≤ 0.
+func TestNonMonotoneCyclesRejected(t *testing.T) {
+	src := &fakeSource{env: fenced, cycles: func(r Run) uint64 { return 1000 - 10*uint64(r.Unroll) }}
+	eng, err := NewEngine(src, Config{Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, tp, _, err := eng.Measure(testBlock(t, "add rax, rbx"), uarch.Haswell())
+	if status != profiler.StatusUnstable || tp != 0 || err == nil {
+		t.Fatalf("status=%v tp=%v err=%v, want unstable/0/non-nil", status, tp, err)
+	}
+}

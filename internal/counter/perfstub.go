@@ -1,0 +1,237 @@
+package counter
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"bhive/internal/bound"
+	"bhive/internal/pipeline"
+)
+
+// StubConfig parameterizes the deterministic perfstub source. Every
+// injected fault is scheduled by a seeded content hash, so the same
+// (seed, corpus) always produces the same measurements, the same
+// retries, and the same filtering decisions — the property that lets CI
+// golden-test the whole protocol without hardware.
+type StubConfig struct {
+	// Seed perturbs every hash draw; two seeds are two "machines".
+	Seed int64
+
+	// Env is the environment the stub reports. The zero value means
+	// fully fenced (CPU and frequency pinned).
+	Env *Env
+
+	// JitterCycles is the maximum uniform per-sample cycle jitter
+	// (deterministic in the sample index). 0 = quiet machine: every
+	// clean sample of a run is identical, the paper's assumption.
+	JitterCycles uint64
+
+	// SpikeEvery injects an interference spike — SpikeCycles extra
+	// cycles and one context switch — into every SpikeEvery-th sample.
+	// The MAD filter must reject these. 0 disables.
+	SpikeEvery  int
+	SpikeCycles uint64
+
+	// TimeoutEvery makes every TimeoutEvery-th run fail its first
+	// attempt with ErrTimeout (the retry succeeds), exercising the
+	// bounded-backoff retry path. 0 disables.
+	TimeoutEvery int
+
+	// DisagreeEvery makes the stub genuinely disagree with the simulator
+	// on acceptance: of every DisagreeEvery consecutive hash residues,
+	// one block reports L1 data misses (→ cache-miss rejection) and one
+	// reports line-splitting loads (→ misaligned rejection). 0 disables.
+	DisagreeEvery int
+
+	// MaxSkew bounds the per-(block, µarch) systematic throughput skew
+	// the stub applies over its analytic base — the calibration error a
+	// real machine would show against the simulator. Default 0.05.
+	MaxSkew float64
+}
+
+// DefaultStubConfig exercises every protocol path: interference spikes
+// (filtering), first-attempt timeouts (retry), and acceptance
+// disagreements (xval status matrix) — all deterministic.
+func DefaultStubConfig() StubConfig {
+	return StubConfig{
+		Seed:          1,
+		SpikeEvery:    5,
+		SpikeCycles:   50_000,
+		TimeoutEvery:  23,
+		DisagreeEvery: 7,
+		MaxSkew:       0.05,
+	}
+}
+
+// StubSource is a deterministic, hermetic measurement source: "hardware"
+// whose ground truth is the static cycle-bound analysis (internal/bound)
+// instead of the simulator — close enough to be plausible, independent
+// enough that cross-validation against the sim backend has something
+// real to disagree about. All fault injection is hash-scheduled; see
+// StubConfig.
+type StubSource struct {
+	cfg StubConfig
+
+	mu    sync.Mutex
+	bases map[string]*stubBase // per "cpu|hex"
+}
+
+// stubBase is the per-(block, µarch) stationary model every run of that
+// pair derives from.
+type stubBase struct {
+	err        error   // analysis failure: the block "crashes" on the stub machine
+	cycPerIter float64 // skewed steady-state cycles per iteration
+	transient  uint64  // fixed startup cycles, cancelled by the derived formula
+	instrs     uint64  // instructions per iteration
+	uops       uint64  // µops per iteration (estimate)
+	hash       uint64  // fault-schedule identity
+	cacheMiss  bool    // disagreement injection: L1D misses every run
+	misaligned bool    // disagreement injection: split loads every run
+}
+
+// NewStub builds a stub source.
+func NewStub(cfg StubConfig) *StubSource {
+	if cfg.MaxSkew == 0 {
+		cfg.MaxSkew = 0.05
+	}
+	return &StubSource{cfg: cfg, bases: make(map[string]*stubBase)}
+}
+
+func (s *StubSource) Name() string { return "stub" }
+
+func (s *StubSource) Fingerprint() string {
+	c := s.cfg
+	return fmt.Sprintf("stub|seed%d j%d sp%d/%d to%d dis%d skew%g",
+		c.Seed, c.JitterCycles, c.SpikeEvery, c.SpikeCycles, c.TimeoutEvery,
+		c.DisagreeEvery, c.MaxSkew)
+}
+
+func (s *StubSource) Env() Env {
+	if s.cfg.Env != nil {
+		return *s.cfg.Env
+	}
+	return Env{CPUPinned: true, FreqPinned: true, Desc: "stub (fenced)"}
+}
+
+func (s *StubSource) Close() error { return nil }
+
+// Measure synthesizes the counters of one run.
+func (s *StubSource) Measure(r Run) (pipeline.Counters, error) {
+	b, err := s.baseFor(r)
+	if err != nil {
+		return pipeline.Counters{}, err
+	}
+
+	// Transient-failure injection: the run's first attempt times out,
+	// the retry succeeds — deterministic in the run identity, so the
+	// eventual sample value is independent of how it got there.
+	if s.cfg.TimeoutEvery > 0 && r.Attempt == 0 &&
+		mix(b.hash, uint64(r.Unroll), uint64(r.Sample), 0x7e)%uint64(s.cfg.TimeoutEvery) == 0 {
+		return pipeline.Counters{}, fmt.Errorf("stub: injected slow run: %w", ErrTimeout)
+	}
+
+	u := uint64(r.Unroll)
+	var c pipeline.Counters
+	c.Cycles = uint64(math.Round(b.cycPerIter*float64(u))) + b.transient
+	if s.cfg.JitterCycles > 0 {
+		c.Cycles += mix(b.hash, u, uint64(r.Sample), 0x71) % (s.cfg.JitterCycles + 1)
+	}
+	if s.cfg.SpikeEvery > 0 && !r.Warmup && (r.Sample+1)%s.cfg.SpikeEvery == 0 {
+		c.Cycles += s.cfg.SpikeCycles
+		c.ContextSwitches = 1
+	}
+	c.Instructions = b.instrs * u
+	c.Uops = b.uops * u
+	if b.cacheMiss {
+		c.L1DReadMisses = 2 * u
+	}
+	if b.misaligned {
+		c.MisalignedLoads = u
+	}
+	// Port attribution: µops spread round-robin from a hash-chosen
+	// starting port — stable per block, different across blocks.
+	if n := r.CPU.NumPorts; n > 0 {
+		start := int(b.hash % uint64(n))
+		for i := uint64(0); i < b.uops; i++ {
+			c.PortUops[(start+int(i))%n] += u
+		}
+	}
+
+	return mask(c, r.Group), nil
+}
+
+// baseFor finds or computes the stationary model for (r.CPU, r.Block).
+func (s *StubSource) baseFor(r Run) (*stubBase, error) {
+	hexStr, err := r.Block.Hex()
+	if err != nil {
+		return nil, fmt.Errorf("stub: %w", err)
+	}
+	key := r.CPU.Name + "|" + hexStr
+	s.mu.Lock()
+	b, ok := s.bases[key]
+	s.mu.Unlock()
+	if ok {
+		return b, b.err
+	}
+
+	b = &stubBase{hash: hashKey(s.cfg.Seed, key)}
+	bounds, aerr := bound.Analyze(r.CPU, r.Block)
+	if aerr != nil {
+		b.err = fmt.Errorf("stub: block does not run on this machine: %w", aerr)
+	} else {
+		// The stub machine's steady state sits a hash-chosen fraction of
+		// MaxSkew above the certified floor — never below it, so the
+		// measurements stay physically consistent with the bounds.
+		skew := 1 + s.cfg.MaxSkew*float64(b.hash%1024)/1024
+		base := bounds.Lower
+		if base < 0.25 {
+			base = 0.25
+		}
+		b.cycPerIter = base * skew
+		b.transient = uint64(math.Round(b.cycPerIter*2)) + 40
+		b.instrs = uint64(len(r.Block.Insts))
+		b.uops = b.instrs + b.instrs/3
+		if s.cfg.DisagreeEvery > 0 {
+			switch b.hash % uint64(s.cfg.DisagreeEvery) {
+			case 0:
+				b.cacheMiss = true
+			case 1:
+				b.misaligned = true
+			}
+		}
+	}
+	s.mu.Lock()
+	s.bases[key] = b
+	s.mu.Unlock()
+	return b, b.err
+}
+
+// mask zeroes every counter outside g — the Source contract: a run
+// reports only what its group programmed.
+func mask(c pipeline.Counters, g Group) pipeline.Counters {
+	var out pipeline.Counters
+	for _, id := range g {
+		setValue(&out, id, value(&c, id))
+	}
+	return out
+}
+
+// hashKey seeds the fault schedule of one (cpu, block) pair.
+func hashKey(seed int64, key string) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", seed, key)
+	return h.Sum64()
+}
+
+// mix folds run coordinates into a per-key hash (splitmix-style).
+func mix(vs ...uint64) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		x ^= v + 0x9e3779b97f4a7c15 + (x << 6) + (x >> 2)
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+	}
+	return x
+}

@@ -1,0 +1,209 @@
+package counter
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bhive/internal/backend"
+	"bhive/internal/corpus"
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+)
+
+// stubCorpus is a small but protocol-covering slice of the generated
+// corpus: enough blocks that the hash-scheduled timeout, spike, and
+// disagreement injections all fire.
+func stubCorpus(t *testing.T) []corpus.Record {
+	t.Helper()
+	recs := corpus.GenerateAll(0.0005, 7)
+	if len(recs) < 50 {
+		t.Fatalf("generated corpus too small: %d records", len(recs))
+	}
+	return recs[:50]
+}
+
+func noSleep() Config { return Config{Sleep: func(time.Duration) {}} }
+
+// TestStubDeterminism: two independently constructed stub backends with
+// the same seed must agree measurement-for-measurement — status,
+// throughput, and every counter — even though the protocol takes
+// different-looking paths (retries after injected timeouts). This is the
+// property that makes recorded fixture traces reproducible.
+func TestStubDeterminism(t *testing.T) {
+	recs := stubCorpus(t)
+	cpu := uarch.Haswell()
+
+	mk := func() *Backend {
+		b, err := NewBackend(NewStub(DefaultStubConfig()), noSleep())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	for i, rec := range recs {
+		ma, mb := a.Measure(rec.Block, cpu), b.Measure(rec.Block, cpu)
+		if ma.Status != mb.Status || ma.Throughput != mb.Throughput || ma.Counters != mb.Counters {
+			t.Fatalf("record %d (%s): measurements diverge:\n  %+v\nvs\n  %+v",
+				i, rec.App, ma, mb)
+		}
+	}
+
+	// The default fault schedule must actually have exercised the
+	// interference-filtering and timeout-retry paths over this corpus —
+	// otherwise the determinism above proves nothing about them.
+	st := a.Engine().Stats()
+	if st.FilteredSamples.Load() == 0 {
+		t.Error("no samples filtered: spike injection never fired")
+	}
+	if st.Timeouts.Load() == 0 || st.RunRetries.Load() == 0 {
+		t.Errorf("timeouts=%d retries=%d: timeout injection never fired",
+			st.Timeouts.Load(), st.RunRetries.Load())
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprints diverge: %q vs %q", a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+// TestStubSeedChangesMachine: a different seed is a different "machine" —
+// some block must measure differently.
+func TestStubSeedChangesMachine(t *testing.T) {
+	recs := stubCorpus(t)
+	cpu := uarch.Haswell()
+	sc := DefaultStubConfig()
+	sc.Seed = 2
+	a, err := NewBackend(NewStub(DefaultStubConfig()), noSleep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBackend(NewStub(sc), noSleep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("seeds 1 and 2 share fingerprint %q", a.Fingerprint())
+	}
+	for _, rec := range recs {
+		ma, mb := a.Measure(rec.Block, cpu), b.Measure(rec.Block, cpu)
+		if ma.Status != mb.Status || ma.Throughput != mb.Throughput {
+			return // found a diverging block, as a different machine should
+		}
+	}
+	t.Fatal("seeds 1 and 2 agree on every block: seed does not reach the measurement model")
+}
+
+// TestStubDisagreesWithSim: cross-validating the counter backend against
+// the simulator must find genuine disagreements — both status-level
+// (injected cache-miss/misaligned rejections) and throughput-level (the
+// systematic skew) — while still agreeing that most blocks are OK. This
+// is what makes the xval status-disagreement matrix non-trivial.
+func TestStubDisagreesWithSim(t *testing.T) {
+	recs := stubCorpus(t)
+	cpu := uarch.Haswell()
+	cb, err := NewBackend(NewStub(DefaultStubConfig()), noSleep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := backend.Parse("sim", backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bothOK, statusDisagree, tpDiffers int
+	for _, rec := range recs {
+		mc, ms := cb.Measure(rec.Block, cpu), sim.Measure(rec.Block, cpu)
+		switch {
+		case mc.Status != ms.Status:
+			statusDisagree++
+		case mc.Status == profiler.StatusOK:
+			bothOK++
+			if mc.Throughput != ms.Throughput {
+				tpDiffers++
+			}
+		}
+	}
+	if statusDisagree == 0 {
+		t.Error("no status disagreements: DisagreeEvery injection never fired")
+	}
+	if bothOK == 0 {
+		t.Error("backends never both accepted a block")
+	}
+	if tpDiffers == 0 {
+		t.Error("throughputs identical on every both-OK block: skew not applied")
+	}
+	t.Logf("over %d blocks: bothOK=%d statusDisagree=%d tpDiffers=%d",
+		len(recs), bothOK, statusDisagree, tpDiffers)
+}
+
+// TestStubUnfencedEnv: a stub configured with an unpinned environment
+// must flow through to the engine's degraded mode.
+func TestStubUnfencedEnv(t *testing.T) {
+	sc := DefaultStubConfig()
+	sc.Env = &Env{CPUPinned: false, FreqPinned: true, Desc: "no pinning"}
+	b, err := NewBackend(NewStub(sc), noSleep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Engine().Unfenced() {
+		t.Fatal("unpinned stub env not degraded to unfenced mode")
+	}
+	if !strings.Contains(b.Fingerprint(), "unfenced") {
+		t.Fatalf("fingerprint %q hides the unfenced degradation", b.Fingerprint())
+	}
+}
+
+// TestCounterScheme: the "counter" spec scheme registered into the
+// backend grammar — accepted forms, the gated perf source, and rejection
+// of garbage, both at check time and open time.
+func TestCounterScheme(t *testing.T) {
+	for _, spec := range []string{"counter", "counter:stub", "counter:stub:42"} {
+		if err := backend.CheckSpec(spec); err != nil {
+			t.Errorf("CheckSpec(%q) = %v, want ok", spec, err)
+		}
+		b, err := backend.Parse(spec, backend.Options{})
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if b.Name() != "counter" {
+			t.Errorf("Parse(%q).Name() = %q", spec, b.Name())
+		}
+		if err := b.Close(); err != nil {
+			t.Errorf("Close(%q): %v", spec, err)
+		}
+	}
+
+	if err := backend.CheckSpec("counter:perf"); err == nil || !strings.Contains(err.Error(), "perf_event_open") {
+		t.Errorf("CheckSpec(counter:perf) = %v, want gated hardware error", err)
+	}
+	for _, spec := range []string{"counter:nope", "counter:stub:abc"} {
+		if err := backend.CheckSpec(spec); err == nil {
+			t.Errorf("CheckSpec(%q) accepted", spec)
+		}
+		if _, err := backend.Parse(spec, backend.Options{}); err == nil {
+			t.Errorf("Parse(%q) accepted", spec)
+		}
+	}
+
+	// Seed reaches the source: different seeds, different fingerprints.
+	b1, err := backend.Parse("counter:stub:1", backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := backend.Parse("counter:stub:2", backend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Fingerprint() == b2.Fingerprint() {
+		t.Errorf("seeds 1 and 2 share fingerprint %q", b1.Fingerprint())
+	}
+
+	// And the scheme composes with the list grammar the CLIs use.
+	list, err := backend.ParseList("sim,counter:stub:7", backend.Options{})
+	if err != nil {
+		t.Fatalf("ParseList: %v", err)
+	}
+	if len(list) != 2 || list[0].Name() != "sim" || list[1].Name() != "counter" {
+		t.Fatalf("ParseList gave %d backends", len(list))
+	}
+}

@@ -1,0 +1,225 @@
+// Package counter implements a nanoBench-style hardware-counter
+// measurement engine (Abel & Reineke, PAPERS.md): per-µarch programmable
+// counter sets, warm-up runs, median-of-N aggregation with MAD-based
+// interference filtering, per-run timeout/retry with bounded backoff,
+// and environment fencing that degrades to a flagged "unfenced" mode
+// instead of failing when the CPU or frequency is not pinned.
+//
+// The engine is source-agnostic: a Source executes one measurement run
+// and returns raw counter values. Real hardware plugs in behind that
+// interface (a perf_event or nanoBench kernel-module source); CI and
+// tests use the deterministic StubSource, which synthesizes counters
+// from the static cycle-bound analysis and injects jitter, interference
+// spikes, timeouts, and acceptance faults on a seeded schedule — every
+// protocol path is exercised hermetically.
+//
+// Engine measurements flow into the rest of the system through Backend,
+// a backend.Backend adapter, so recorded counter traces share the
+// content-addressed trace format and the xval cross-validation pipeline.
+package counter
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"bhive/internal/pipeline"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+// ID names one logical performance counter the engine can program. The
+// set mirrors pipeline.Counters — the counters the BHive acceptance
+// protocol reads.
+type ID int
+
+const (
+	Cycles ID = iota
+	Instructions
+	Uops
+	L1DReadMisses
+	L1DWriteMisses
+	L1IMisses
+	MisalignedLoads
+	MisalignedStores
+	ContextSwitches
+	// Port0 + k is µops issued on execution port k; how many exist is
+	// per-µarch (uarch.CPU.NumPorts).
+	Port0
+)
+
+var idNames = [...]string{
+	"cycles", "instructions", "uops", "l1d-read-miss", "l1d-write-miss",
+	"l1i-miss", "misaligned-load", "misaligned-store", "context-switches",
+}
+
+func (id ID) String() string {
+	if int(id) < len(idNames) {
+		return idNames[id]
+	}
+	return fmt.Sprintf("port%d", int(id-Port0))
+}
+
+// value reads one logical counter out of a pipeline.Counters.
+func value(c *pipeline.Counters, id ID) uint64 {
+	switch id {
+	case Cycles:
+		return c.Cycles
+	case Instructions:
+		return c.Instructions
+	case Uops:
+		return c.Uops
+	case L1DReadMisses:
+		return c.L1DReadMisses
+	case L1DWriteMisses:
+		return c.L1DWriteMisses
+	case L1IMisses:
+		return c.L1IMisses
+	case MisalignedLoads:
+		return c.MisalignedLoads
+	case MisalignedStores:
+		return c.MisalignedStores
+	case ContextSwitches:
+		return c.ContextSwitches
+	default:
+		return c.PortUops[int(id-Port0)]
+	}
+}
+
+// setValue writes one logical counter into a pipeline.Counters.
+func setValue(c *pipeline.Counters, id ID, v uint64) {
+	switch id {
+	case Cycles:
+		c.Cycles = v
+	case Instructions:
+		c.Instructions = v
+	case Uops:
+		c.Uops = v
+	case L1DReadMisses:
+		c.L1DReadMisses = v
+	case L1DWriteMisses:
+		c.L1DWriteMisses = v
+	case L1IMisses:
+		c.L1IMisses = v
+	case MisalignedLoads:
+		c.MisalignedLoads = v
+	case MisalignedStores:
+		c.MisalignedStores = v
+	case ContextSwitches:
+		c.ContextSwitches = v
+	default:
+		c.PortUops[int(id-Port0)] = v
+	}
+}
+
+// Group is one programmable-counter configuration: the counters a single
+// run measures together. Slot 0 is always Cycles — the engine needs the
+// cycle count of every run as the interference-filtering reference, the
+// same role nanoBench gives its fixed-counter baseline.
+type Group []ID
+
+func (g Group) String() string {
+	names := make([]string, len(g))
+	for i, id := range g {
+		names[i] = id.String()
+	}
+	return strings.Join(names, "+")
+}
+
+// programmable is the per-µarch count of general-purpose counters that
+// can be programmed at once (the hyperthreading-on figure; Skylake
+// exposes all eight with HT off). Unknown µarches get the conservative
+// default of 4.
+var programmable = map[string]int{
+	"ivybridge": 4,
+	"haswell":   4,
+	"skylake":   8,
+}
+
+// GroupsFor partitions the full counter set for one µarch into groups of
+// at most its programmable-counter budget, Cycles leading every group.
+// The acceptance-protocol counters come first so a budget cut degrades
+// port attribution, never the protocol itself.
+func GroupsFor(cpu *uarch.CPU) []Group {
+	budget := programmable[cpu.Name]
+	if budget == 0 {
+		budget = 4
+	}
+	if budget < 2 {
+		budget = 2 // Cycles plus at least one programmable slot
+	}
+	ids := []ID{
+		Instructions, Uops, ContextSwitches,
+		L1DReadMisses, L1DWriteMisses, L1IMisses,
+		MisalignedLoads, MisalignedStores,
+	}
+	for p := 0; p < cpu.NumPorts; p++ {
+		ids = append(ids, Port0+ID(p))
+	}
+	var groups []Group
+	for len(ids) > 0 {
+		n := budget - 1 // slot 0 is Cycles
+		if n > len(ids) {
+			n = len(ids)
+		}
+		g := append(Group{Cycles}, ids[:n]...)
+		ids = ids[n:]
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// Run describes one measurement run the engine asks a Source for.
+type Run struct {
+	Block  *x86.Block
+	CPU    *uarch.CPU
+	Unroll int // copies of the block in the measured buffer
+	Group  Group
+	// Sample is the protocol-wide sample index (monotone across
+	// whole-measurement retries, so a retry round draws fresh noise).
+	Sample int
+	// Attempt is the 0-based per-run retry attempt (bumped when the
+	// previous attempt returned an error such as ErrTimeout).
+	Attempt int
+	// Warmup marks the discarded warm-up runs that precede the samples.
+	Warmup bool
+}
+
+// Env describes the measurement environment a source runs in. The
+// protocol's precondition is a fenced environment — the measurement
+// thread pinned to one core and that core's frequency pinned (turbo and
+// scaling disabled). An unfenced environment degrades the engine to a
+// flagged wider-tolerance mode rather than failing.
+type Env struct {
+	CPUPinned  bool
+	FreqPinned bool
+	// Desc is a short human-readable environment summary for logs
+	// ("core 3 @ 2.9GHz", "stub").
+	Desc string
+}
+
+// Fenced reports whether the environment meets the protocol's
+// interference preconditions.
+func (e Env) Fenced() bool { return e.CPUPinned && e.FreqPinned }
+
+// ErrTimeout is the error a Source returns when one run exceeded its
+// time budget; the engine retries it with bounded backoff.
+var ErrTimeout = errors.New("counter: measurement run timed out")
+
+// Source executes measurement runs. Implementations must be safe for
+// concurrent Measure calls and must return counters for exactly the
+// counters in r.Group (others zero).
+type Source interface {
+	// Name is the short stable source identifier ("stub", "perf").
+	Name() string
+	// Fingerprint captures everything that changes measured values
+	// (seed, fault schedule, hardware identity).
+	Fingerprint() string
+	// Env reports the measurement environment; the engine checks it once
+	// at construction.
+	Env() Env
+	// Measure executes one run.
+	Measure(r Run) (pipeline.Counters, error)
+	// Close releases the source (hardware sources unprogram counters).
+	Close() error
+}

@@ -300,8 +300,8 @@ func (w *Worker) once(ctx context.Context, method, path string, body []byte, out
 	defer resp.Body.Close()
 	var retryAfter time.Duration
 	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil && secs > 0 {
-			retryAfter = time.Duration(secs) * time.Second
+		if d, ok := parseRetryAfter(s, time.Now()); ok {
+			retryAfter = d
 		}
 	}
 	if resp.StatusCode == http.StatusOK && out != nil {
@@ -312,6 +312,44 @@ func (w *Worker) once(ctx context.Context, method, path string, body []byte, out
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
 	}
 	return resp.StatusCode, retryAfter, nil
+}
+
+const (
+	// retryAfterFloor is the delay a zero (or already-elapsed HTTP-date)
+	// Retry-After maps to: the coordinator asked for an immediate retry,
+	// and "immediate but polite" is a short positive sleep — not the full
+	// poll interval the no-hint path falls back to, and not a hot loop.
+	retryAfterFloor = 25 * time.Millisecond
+	// retryAfterCeiling caps any hint: a buggy or hostile coordinator
+	// must not be able to park the worker fleet for hours.
+	retryAfterCeiling = 5 * time.Minute
+)
+
+// parseRetryAfter interprets a Retry-After header value, which RFC 9110
+// allows in two forms: a non-negative integer of seconds, or an
+// HTTP-date. Reports ok=false for malformed values (the caller then
+// treats the header as absent). Valid hints clamp into
+// [retryAfterFloor, retryAfterCeiling], so "0" — immediate-but-polite —
+// survives as a short positive delay instead of being dropped.
+func parseRetryAfter(s string, now time.Time) (time.Duration, bool) {
+	var d time.Duration
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		d = time.Duration(secs) * time.Second
+	} else if when, err := http.ParseTime(s); err == nil {
+		d = when.Sub(now) // past dates clamp up to the floor below
+	} else {
+		return 0, false
+	}
+	if d < retryAfterFloor {
+		d = retryAfterFloor
+	}
+	if d > retryAfterCeiling {
+		d = retryAfterCeiling
+	}
+	return d, true
 }
 
 // backoff returns the delay before retry `attempt` (0-based):

@@ -246,6 +246,58 @@ func TestWorkerHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestWorkerRetryAfterZero: "Retry-After: 0" is a protocol-legal hint
+// meaning retry immediately (but politely). It used to be dropped as "no
+// hint", sending the worker down the full poll-interval path; now it
+// surfaces as the short positive floor delay.
+func TestWorkerRetryAfterZero(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/dist/lease", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "0")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	w, err := NewWorker(testWorkerConfig(t, srv.URL, nopBuild))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, wait, err := w.lease(context.Background())
+	if err != nil || l != nil {
+		t.Fatalf("saturated lease: %+v, %v", l, err)
+	}
+	if wait != retryAfterFloor {
+		t.Fatalf("Retry-After: 0 hint = %v, want the polite floor %v", wait, retryAfterFloor)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"7", 7 * time.Second, true},
+		{"0", retryAfterFloor, true},       // immediate-but-polite
+		{"86400", retryAfterCeiling, true}, // ceiling clamp
+		{"-3", 0, false},                   // negative seconds are malformed
+		{"soon", 0, false},                 // garbage
+		{"", 0, false},                     // empty
+		{"1.5", 0, false},                  // fractional seconds are not in the grammar
+		{now.Add(30 * time.Second).Format(http.TimeFormat), 30 * time.Second, true}, // HTTP-date
+		{now.Add(-time.Hour).Format(http.TimeFormat), retryAfterFloor, true},        // past date → immediate
+		{now.Add(24 * time.Hour).Format(http.TimeFormat), retryAfterCeiling, true},  // far future → ceiling
+	}
+	for _, c := range cases {
+		got, ok := parseRetryAfter(c.in, now)
+		if ok != c.ok || got != c.want {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
 func TestWorkerBackoffBounds(t *testing.T) {
 	w, err := NewWorker(WorkerConfig{Coordinator: "http://x", BuildSuite: nopBuild, BackoffBase: 100 * time.Millisecond})
 	if err != nil {

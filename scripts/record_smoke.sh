@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Record-and-replay smoke: drive bhive-record with the deterministic
+# perfstub source over the decodable subset of the blocklint fixture
+# corpus, then cross-validate the recorded trace against the simulator
+# and hold the result to a committed golden.
+#
+# What this pins down, end to end:
+#   - recording is byte-stable (two sweeps produce identical traces);
+#   - the trace replays through -backend recorded:<path>;
+#   - the xval report over sim vs the recorded counter backend is
+#     byte-stable across runs and equal to scripts/record_smoke.golden,
+#     including a non-empty status-disagreement matrix (the stub injects
+#     acceptance faults the simulator does not share).
+#
+# Refresh the golden after an intentional change with:
+#   ./scripts/record_smoke.sh --update
+#
+# Used by CI (.github/workflows/ci.yml, job record-smoke) and runnable
+# locally: ./scripts/record_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GOLDEN=scripts/record_smoke.golden
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# The raw fixture ends in deliberately-undecodable lint rows; strip them
+# the same way boundcheck_smoke.sh does.
+grep -v '^pathological,' internal/blocklint/testdata/example_corpus.csv \
+  > "$WORK/corpus.csv"
+
+echo "record-smoke: recording the fixture corpus with the perfstub source"
+go run ./cmd/bhive-record -o "$WORK/counter.trace" -backend counter \
+  -corpus "$WORK/corpus.csv" -uarch haswell
+go run ./cmd/bhive-record -o "$WORK/counter2.trace" -backend counter \
+  -corpus "$WORK/corpus.csv" -uarch haswell >/dev/null
+
+cmp "$WORK/counter.trace" "$WORK/counter2.trace" || {
+  echo "record-smoke: FAIL: two recordings of the same sweep differ" >&2
+  exit 1
+}
+
+echo "record-smoke: cross-validating the recorded trace against the simulator"
+go run ./cmd/bhive-eval -backend "sim,recorded:$WORK/counter.trace" \
+  -corpus "$WORK/corpus.csv" -uarch haswell > "$WORK/xval1.txt"
+go run ./cmd/bhive-eval -backend "sim,recorded:$WORK/counter.trace" \
+  -corpus "$WORK/corpus.csv" -uarch haswell > "$WORK/xval2.txt"
+
+cmp "$WORK/xval1.txt" "$WORK/xval2.txt" || {
+  echo "record-smoke: FAIL: xval report not byte-stable across runs" >&2
+  exit 1
+}
+
+grep -q 'xval-status' "$WORK/xval1.txt" && grep -q 'cache-miss' "$WORK/xval1.txt" || {
+  echo "record-smoke: FAIL: status-disagreement matrix empty (stub fault injection broken?)" >&2
+  exit 1
+}
+
+if [[ "${1:-}" == "--update" ]]; then
+  cp "$WORK/xval1.txt" "$GOLDEN"
+  echo "record-smoke: refreshed $GOLDEN"
+  exit 0
+fi
+
+diff -u "$GOLDEN" "$WORK/xval1.txt" || {
+  echo "record-smoke: FAIL: xval report drifted from $GOLDEN" >&2
+  echo "record-smoke: refresh with ./scripts/record_smoke.sh --update if intentional" >&2
+  exit 1
+}
+echo "record-smoke: OK (stable recording, stable replay, matrix matches golden)"
