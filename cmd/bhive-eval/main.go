@@ -61,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		trainIt   = fs.Bool("ithemal", false, "train and include the learned model (slow)")
 		epochs    = fs.Int("ithemal-epochs", 12, "LSTM training epochs")
 		corpusF   = fs.String("corpus", "", "load the corpus from a bhive-collect CSV instead of generating it")
+		asmF      = fs.String("asm", "", "load the corpus from an assembly listing ('@ app [freq]' headers, Intel or AT&T instructions)")
 		cacheF    = fs.String("profile-cache", "", "persistent profile cache file (created if absent; reruns skip profiling)")
 		shardSize = fs.Int("shard-size", harness.DefaultShardSize, "corpus records per evaluation shard (the unit of checkpointing)")
 		ckptF     = fs.String("checkpoint", "", "shard checkpoint journal (created if absent; an interrupted run resumes from it)")
@@ -104,12 +105,26 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	if *progress {
 		cfg.Progress = stderr
 	}
+	if *corpusF != "" && *asmF != "" {
+		return errors.New("-corpus and -asm are mutually exclusive")
+	}
 	if *corpusF != "" {
 		f, oerr := os.Open(*corpusF)
 		if oerr != nil {
 			return oerr
 		}
 		cfg.Records, err = corpus.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if *asmF != "" {
+		f, oerr := os.Open(*asmF)
+		if oerr != nil {
+			return oerr
+		}
+		cfg.Records, err = corpus.ReadAsm(f)
 		f.Close()
 		if err != nil {
 			return err

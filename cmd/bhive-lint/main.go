@@ -43,8 +43,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("bhive-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		arch      = fs.String("uarch", "haswell", "microarchitecture: ivybridge, haswell, skylake")
+		arch      = fs.String("uarch", "haswell", "microarchitecture: ivybridge, haswell, skylake, icelake")
 		corpusCSV = fs.String("corpus", "", "audit every block of this corpus CSV")
+		asmF      = fs.String("asm", "", "audit every block of this assembly listing ('@ app [freq]' headers, Intel or AT&T instructions)")
 		hexStr    = fs.String("hex", "", "audit a single block given as machine-code hex")
 		jsonOut   = fs.Bool("json", false, "emit one JSON report per block instead of text")
 		verbose   = fs.Bool("v", false, "print per-block diagnostics, not just the histogram")
@@ -68,6 +69,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	lint := blocklint.New(cpu, opts)
 	lint.LegacyDepHeights = *legacyDep
 
+	if *corpusCSV != "" && *asmF != "" {
+		return fmt.Errorf("-corpus and -asm are mutually exclusive")
+	}
 	switch {
 	case *hexStr != "":
 		rep := lint.AnalyzeHex(*hexStr)
@@ -87,8 +91,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		return audit(stdout, lint, rows, *jsonOut, *verbose, *bounds, *expect)
+	case *asmF != "":
+		f, err := os.Open(*asmF)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		recs, err := corpus.ReadAsm(f)
+		if err != nil {
+			return err
+		}
+		rows, err := corpus.RawRecords(recs)
+		if err != nil {
+			return err
+		}
+		return audit(stdout, lint, rows, *jsonOut, *verbose, *bounds, *expect)
 	default:
-		return fmt.Errorf("need -corpus or -hex (see -h)")
+		return fmt.Errorf("need -corpus, -asm or -hex (see -h)")
 	}
 }
 

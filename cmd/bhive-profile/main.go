@@ -39,7 +39,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("bhive-profile", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		arch      = fs.String("uarch", "haswell", "microarchitecture: ivybridge, haswell, skylake")
+		arch      = fs.String("uarch", "haswell", "microarchitecture: ivybridge, haswell, skylake, icelake")
 		hexStr    = fs.String("hex", "", "basic block as machine-code hex")
 		blockText = fs.String("block", "", "basic block as assembly (Intel or AT&T; default: read stdin)")
 		noMap     = fs.Bool("no-mapping", false, "disable page mapping (Agner-script baseline)")

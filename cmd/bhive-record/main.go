@@ -49,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		out      = fs.String("o", "", "trace output path (required; published atomically on success)")
 		spec     = fs.String("backend", "counter", "measurement backend to record: "+backend.SpecGrammar())
 		corpusF  = fs.String("corpus", "", "load the corpus from a bhive-collect CSV instead of generating it")
+		asmF     = fs.String("asm", "", "load the corpus from an assembly listing ('@ app [freq]' headers, Intel or AT&T instructions)")
 		scale    = fs.Float64("scale", 0.01, "generated-corpus scale (1.0 = the paper's 358,561 blocks)")
 		seed     = fs.Int64("seed", 7, "generated-corpus seed")
 		arch     = fs.String("uarch", "", "comma-separated microarchitectures to measure (default: all)")
@@ -73,8 +74,12 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		}
 	}
 
+	if *corpusF != "" && *asmF != "" {
+		return fmt.Errorf("-corpus and -asm are mutually exclusive")
+	}
 	var recs []corpus.Record
-	if *corpusF != "" {
+	switch {
+	case *corpusF != "":
 		f, oerr := os.Open(*corpusF)
 		if oerr != nil {
 			return oerr
@@ -84,7 +89,17 @@ func run(args []string, stdout, stderr io.Writer) (err error) {
 		if err != nil {
 			return err
 		}
-	} else {
+	case *asmF != "":
+		f, oerr := os.Open(*asmF)
+		if oerr != nil {
+			return oerr
+		}
+		recs, err = corpus.ReadAsm(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	default:
 		recs = corpus.GenerateAll(*scale, *seed)
 	}
 	if len(recs) == 0 {

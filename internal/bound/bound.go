@@ -93,16 +93,26 @@ func (v Verdict) MarshalText() ([]byte, error) { return []byte(v.String()), nil 
 // (16 code bytes per cycle).
 const fetchBytesPerCycle = 16.0
 
-// Analyze computes the static bounds for a block on one µarch. It fails
-// only when an instruction cannot be described at all (undecodable for
-// this subset); unknown-but-describable opcodes instead yield vacuous
-// bounds.
+// Analyze computes the static bounds for a block on one µarch, against
+// the legacy (16-bytes-per-cycle fetch) front end. It fails only when an
+// instruction cannot be described at all (undecodable for this subset);
+// unknown-but-describable opcodes instead yield vacuous bounds.
 func Analyze(cpu *uarch.CPU, b *x86.Block) (*Bounds, error) {
+	return AnalyzeFE(cpu, b, false)
+}
+
+// AnalyzeFE is Analyze with the front-end model selectable: modeled=true
+// produces bounds sound against the simulator's modeled front end
+// (pipeline.Config.ModeledFrontEnd), where DSB/LSD delivery bypasses the
+// 16-bytes-per-cycle fetch limit — the fetch term leaves the lower bound,
+// and the upper bound absorbs worst-case per-iteration decode, LCP-stall
+// and delivery-switch costs instead.
+func AnalyzeFE(cpu *uarch.CPU, b *x86.Block, modeled bool) (*Bounds, error) {
 	if len(b.Insts) == 0 {
 		return nil, fmt.Errorf("bound: empty block")
 	}
 	descs := make([]uarch.Desc, len(b.Insts))
-	codeBytes := 0
+	codeBytes, lcpCount := 0, 0
 	for i := range b.Insts {
 		d, err := memo.Describe(cpu, &b.Insts[i])
 		if err != nil {
@@ -111,9 +121,16 @@ func Analyze(cpu *uarch.CPU, b *x86.Block) (*Bounds, error) {
 		descs[i] = d
 		if raw, err := memo.Encode(&b.Insts[i]); err == nil {
 			codeBytes += len(raw)
+			if x86.LengthChangingPrefix(raw) {
+				lcpCount++
+			}
 		}
 	}
-	return fromDescs(cpu, b.Insts, descs, codeBytes), nil
+	bs := fromDescs(cpu, b.Insts, descs, codeBytes)
+	if modeled {
+		modeledFrontEnd(cpu, bs, descs, lcpCount)
+	}
+	return bs, nil
 }
 
 // FromDescs computes bounds from caller-supplied descriptors. It exists so
@@ -171,12 +188,22 @@ func fromDescs(cpu *uarch.CPU, insts []x86.Inst, descs []uarch.Desc, codeBytes i
 
 	// Front-end term: fused-domain allocation is IssueWidth µops/cycle and
 	// fetch is 16 code bytes/cycle; zero idioms and eliminated moves still
-	// consume allocation slots.
+	// consume allocation slots. The DSB delivery rate (DSBWidth fused
+	// µops/cycle) is a third sound floor: no front-end path delivers
+	// faster than the µop cache. With the shipped parameter files it is
+	// numerically inert here (DSBWidth ≥ IssueWidth, so allocation
+	// dominates), but it keeps the bound sound for any parameterization
+	// and is what remains of the floor under the modeled front end.
 	alloc := float64(fusedTotal) / float64(cpu.IssueWidth)
 	fetch := float64(codeBytes) / fetchBytesPerCycle
 	bs.FrontEnd = alloc
 	if fetch > bs.FrontEnd {
 		bs.FrontEnd = fetch
+	}
+	if w := cpu.FE.DSBWidth; w > 0 {
+		if dsbRate := float64(fusedTotal) / float64(w); dsbRate > bs.FrontEnd {
+			bs.FrontEnd = dsbRate
+		}
 	}
 
 	bs.Lower = bs.DepChain
@@ -198,4 +225,38 @@ func fromDescs(cpu *uarch.CPU, insts []x86.Inst, descs []uarch.Desc, codeBytes i
 	fwdSlack := float64(cpu.FwdLatency - cpu.L1DLatency + 1)
 	bs.Upper = upper + float64(fusedTotal) + fetch + float64(nLoads)*fwdSlack + 2
 	return bs
+}
+
+// modeledFrontEnd rewrites the front-end floor and upper-bound slack of bs
+// for the modeled front end. The lower bound drops the 16-bytes-per-cycle
+// fetch term — DSB and LSD iterations never fetch from the L1I, so code
+// size no longer floors throughput — leaving allocation width and the DSB
+// delivery rate. The upper bound gains the worst case of the modeled
+// delivery machinery: every instruction decoding in its own MITE group,
+// every length-changing prefix stalling the predecoder, the predecoder's
+// window alignment, and both delivery switches.
+func modeledFrontEnd(cpu *uarch.CPU, bs *Bounds, descs []uarch.Desc, lcpCount int) {
+	fusedTotal := 0
+	for i := range descs {
+		fusedTotal += descs[i].FusedUops
+	}
+	fe := float64(fusedTotal) / float64(cpu.IssueWidth)
+	if w := cpu.FE.DSBWidth; w > 0 {
+		if r := float64(fusedTotal) / float64(w); r > fe {
+			fe = r
+		}
+	}
+	bs.FrontEnd = fe
+
+	bs.Lower, bs.Verdict = bs.DepChain, VerdictDepChain
+	if bs.PortPressure > bs.Lower {
+		bs.Lower, bs.Verdict = bs.PortPressure, VerdictPort
+	}
+	if bs.FrontEnd > bs.Lower {
+		bs.Lower, bs.Verdict = bs.FrontEnd, VerdictFrontEnd
+	}
+
+	bs.Upper += float64(len(descs)) +
+		float64(lcpCount*cpu.FE.LCPStall) +
+		float64(2*cpu.FE.SwitchPenalty) + 1
 }

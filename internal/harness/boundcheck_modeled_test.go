@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"testing"
+
+	"bhive/internal/bound"
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+)
+
+// TestModeledBoundsSound is the boundcheck invariant for the modeled front
+// end: with Options.ModeledFrontEnd on, every OK-profiled fixture block
+// must land inside the AnalyzeFE(modeled=true) static bounds on every
+// µarch, including Ice Lake — lower·n ≤ cycles(n) ≤ upper·n at the
+// measured unroll n. A violation is a simulator or bound-analysis bug.
+func TestModeledBoundsSound(t *testing.T) {
+	recs := ablationFixture(t, 4)
+	for _, cpu := range uarch.Extended() {
+		opts := profiler.DefaultOptions()
+		opts.ModeledFrontEnd = true
+		p := profiler.New(cpu, opts)
+		checked := 0
+		for _, rec := range recs {
+			r := p.Profile(rec.Block)
+			if r.Status != profiler.StatusOK || r.Throughput <= 0 ||
+				r.Counters.Cycles == 0 || r.UnrollHi <= 0 {
+				continue
+			}
+			bs, err := bound.AnalyzeFE(cpu, rec.Block, true)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", cpu.Name, rec.App, err)
+			}
+			checked++
+			n := float64(r.UnrollHi)
+			c := float64(r.Counters.Cycles)
+			const eps = 1e-6
+			if c < bs.Lower*n-eps || c > bs.Upper*n+eps {
+				hexStr, _ := rec.Block.Hex()
+				t.Errorf("%s: block %s: cycles %.0f outside modeled bounds [%.2f, %.2f] at unroll %d (%s)",
+					cpu.Name, hexStr, c, bs.Lower*n, bs.Upper*n, r.UnrollHi, bs.VerdictString())
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("%s: no blocks checked", cpu.Name)
+		}
+		t.Logf("%s: %d blocks inside modeled bounds", cpu.Name, checked)
+	}
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+
+	"bhive/internal/corpus"
+	"bhive/internal/profiler"
+	"bhive/internal/uarch"
+	"bhive/internal/x86"
+)
+
+// ablationFixture loads a per-category subsample of the lint fixture
+// corpus: up to perApp blocks of each application, skipping the
+// deliberately pathological rows.
+func ablationFixture(t *testing.T, perApp int) []corpus.Record {
+	t.Helper()
+	f, err := os.Open("../blocklint/testdata/example_corpus.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := corpus.ReadCSVRaw(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taken := map[string]int{}
+	var out []corpus.Record
+	for _, row := range rows {
+		if strings.HasPrefix(row.App, "pathological") || taken[row.App] >= perApp {
+			continue
+		}
+		block, err := x86.BlockFromHex(row.Hex)
+		if err != nil {
+			continue // undecodable fixture rows are lint-only material
+		}
+		taken[row.App]++
+		out = append(out, corpus.Record{App: row.App, Block: block, Freq: row.Freq})
+	}
+	if len(out) == 0 {
+		t.Fatal("empty ablation fixture")
+	}
+	return out
+}
+
+// TestModeledFrontEndAblation profiles a per-category fixture sample with
+// the front-end model switched on and off, on Skylake and Ice Lake. The
+// modeled front end must (a) be deterministic, (b) produce a measurable
+// per-category throughput shift — if flipping the switch moved nothing,
+// the stage would be dead code — and (c) never speed a block up beyond
+// what dropping the 16-byte fetch limit allows while leaving the back end
+// untouched: modeled throughput stays positive and finite everywhere.
+func TestModeledFrontEndAblation(t *testing.T) {
+	recs := ablationFixture(t, 6)
+	for _, cpu := range []*uarch.CPU{uarch.Skylake(), uarch.IceLake()} {
+		legacyOpts := profiler.DefaultOptions()
+		modeledOpts := profiler.DefaultOptions()
+		modeledOpts.ModeledFrontEnd = true
+		legacy := profiler.New(cpu, legacyOpts)
+		modeled := profiler.New(cpu, modeledOpts)
+		modeled2 := profiler.New(cpu, modeledOpts)
+
+		type shift struct {
+			blocks  int
+			changed int
+			rel     float64 // summed |modeled-legacy|/legacy over OK blocks
+		}
+		perApp := map[string]*shift{}
+		for _, r := range recs {
+			lr := legacy.Profile(r.Block)
+			mr := modeled.Profile(r.Block)
+			m2 := modeled2.Profile(r.Block)
+			if mr.Throughput != m2.Throughput || mr.Status != m2.Status {
+				t.Fatalf("%s/%s: modeled profiling is not deterministic: %v vs %v",
+					cpu.Name, r.App, mr, m2)
+			}
+			if lr.Status != profiler.StatusOK || mr.Status != profiler.StatusOK {
+				continue
+			}
+			if mr.Throughput <= 0 || math.IsNaN(mr.Throughput) || math.IsInf(mr.Throughput, 0) {
+				t.Fatalf("%s/%s: modeled throughput %v", cpu.Name, r.App, mr.Throughput)
+			}
+			s := perApp[r.App]
+			if s == nil {
+				s = &shift{}
+				perApp[r.App] = s
+			}
+			s.blocks++
+			if mr.Throughput != lr.Throughput {
+				s.changed++
+			}
+			s.rel += math.Abs(mr.Throughput-lr.Throughput) / lr.Throughput
+		}
+
+		shifted, total := 0, 0
+		for app, s := range perApp {
+			total += s.blocks
+			mean := s.rel / float64(s.blocks)
+			t.Logf("%s/%s: %d/%d blocks shifted, mean relative shift %.3f%%",
+				cpu.Name, app, s.changed, s.blocks, 100*mean)
+			if s.changed > 0 {
+				shifted++
+			}
+		}
+		if total == 0 {
+			t.Fatalf("%s: no OK blocks in the ablation fixture", cpu.Name)
+		}
+		if shifted == 0 {
+			t.Errorf("%s: enabling the modeled front end shifted no category at all", cpu.Name)
+		}
+	}
+}

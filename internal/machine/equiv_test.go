@@ -1,6 +1,10 @@
 package machine
 
 import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
 	"testing"
 
 	"bhive/internal/exec"
@@ -46,15 +50,17 @@ var equivPool = []string{
 	"lea rax, [rbx+rcx*2]",
 }
 
-var equivCPUs = []func() *uarch.CPU{uarch.Haswell, uarch.Skylake, uarch.IvyBridge}
+var equivCPUs = []func() *uarch.CPU{uarch.Haswell, uarch.Skylake, uarch.IvyBridge, uarch.IceLake}
 
 // equivCounters runs the full measurement motion — prepare, fault-driven
 // page mapping, functional execution, then three timing runs (cold, warm,
 // and a third that advances any switch RNG) — on a fresh machine with the
-// chosen scheduler, and returns the counters of every run. ok is false if
-// the input cannot be prepared or executed; that decision is taken before
-// any timing happens, so it cannot differ between schedulers.
-func equivCounters(cpu *uarch.CPU, insts []x86.Inst, switchRate float64, switchCost uint64, reference bool) (out [3]pipeline.Counters, ok bool) {
+// chosen scheduler, and returns the counters of every run. The base config
+// carries everything but the scheduler selection (switch injection, the
+// modeled front end). ok is false if the input cannot be prepared or
+// executed; that decision is taken before any timing happens, so it cannot
+// differ between schedulers.
+func equivCounters(cpu *uarch.CPU, insts []x86.Inst, base Config, reference bool) (out [3]pipeline.Counters, ok bool) {
 	m := New(cpu, 42)
 	p, err := m.Prepare(insts)
 	if err != nil {
@@ -85,7 +91,8 @@ func equivCounters(cpu *uarch.CPU, insts []x86.Inst, switchRate float64, switchC
 	if err != nil {
 		return out, false
 	}
-	cfg := Config{SwitchRate: switchRate, SwitchCost: switchCost, Reference: reference}
+	cfg := base
+	cfg.Reference = reference
 	for i := range out {
 		out[i] = m.Time(p, steps, cfg)
 	}
@@ -94,10 +101,10 @@ func equivCounters(cpu *uarch.CPU, insts []x86.Inst, switchRate float64, switchC
 
 // checkEquivalence drives one block through both schedulers and fails the
 // test on any counter divergence.
-func checkEquivalence(t *testing.T, label string, cpu *uarch.CPU, insts []x86.Inst, switchRate float64, switchCost uint64) {
+func checkEquivalence(t *testing.T, label string, cpu *uarch.CPU, insts []x86.Inst, base Config) {
 	t.Helper()
-	ref, okRef := equivCounters(cpu, insts, switchRate, switchCost, true)
-	evt, okEvt := equivCounters(cpu, insts, switchRate, switchCost, false)
+	ref, okRef := equivCounters(cpu, insts, base, true)
+	evt, okEvt := equivCounters(cpu, insts, base, false)
 	if okRef != okEvt {
 		t.Fatalf("%s: schedulers disagree on runnability: reference=%v event=%v", label, okRef, okEvt)
 	}
@@ -131,10 +138,14 @@ func TestSimulateEquivalenceCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatalf("parse %q: %v", text, err)
 			}
-			checkEquivalence(t, cpu.Name+"/"+text, cpu, unrollInsts(block, 24), 0, 0)
+			checkEquivalence(t, cpu.Name+"/"+text, cpu, unrollInsts(block, 24), Config{})
 			if ci == 0 && pi%3 == 0 {
 				checkEquivalence(t, cpu.Name+"/"+text+"/switchy", cpu,
-					unrollInsts(block, 24), 0.02, 700)
+					unrollInsts(block, 24), Config{SwitchRate: 0.02, SwitchCost: 700})
+			}
+			if pi%4 == 0 {
+				checkEquivalence(t, cpu.Name+"/"+text+"/modeled-fe", cpu,
+					unrollInsts(block, 24), Config{ModeledFrontEnd: true, LoopBody: len(block)})
 			}
 		}
 	}
@@ -156,9 +167,11 @@ func TestSimulateEquivalenceCorpus(t *testing.T) {
 			t.Fatalf("parse %q: %v", text, err)
 		}
 		for _, unroll := range []int{1, 7, 40} {
-			checkEquivalence(t, text, cpu, unrollInsts(block, unroll), 0, 0)
+			checkEquivalence(t, text, cpu, unrollInsts(block, unroll), Config{})
 		}
-		checkEquivalence(t, text+"/switchy", cpu, unrollInsts(block, 40), 0.005, 2000)
+		checkEquivalence(t, text+"/switchy", cpu, unrollInsts(block, 40), Config{SwitchRate: 0.005, SwitchCost: 2000})
+		checkEquivalence(t, text+"/modeled-fe", cpu, unrollInsts(block, 40),
+			Config{ModeledFrontEnd: true, LoopBody: len(block)})
 	}
 
 	// Large unroll overflowing the L1I: fetch stalls and steady-state
@@ -171,7 +184,9 @@ func TestSimulateEquivalenceCorpus(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkEquivalence(t, "icache-overflow", cpu, unrollInsts(block, 100), 0, 0)
+	checkEquivalence(t, "icache-overflow", cpu, unrollInsts(block, 100), Config{})
+	checkEquivalence(t, "icache-overflow/modeled-fe", cpu, unrollInsts(block, 100),
+		Config{ModeledFrontEnd: true, LoopBody: len(block)})
 }
 
 // TestTimeGraphMatchesTime pins the prepare-once graph path: timing through
@@ -235,6 +250,48 @@ func TestTimeGraphMatchesTime(t *testing.T) {
 	}
 }
 
+var updateGolden = flag.Bool("update-golden", false, "rewrite the legacy-counters golden file")
+
+// TestLegacyCountersGolden pins the exact warm-run counters of the legacy
+// (default) front end on every pool block for every µarch against a
+// committed golden file: any change to default-mode simulation — however
+// indirect, e.g. through front-end refactoring — shows up as a byte diff
+// here, not just as drift in aggregated harness tables. Regenerate with
+// `go test ./internal/machine -run LegacyCountersGolden -update-golden`
+// only when a simulator change is intentional.
+func TestLegacyCountersGolden(t *testing.T) {
+	var sb strings.Builder
+	for _, mk := range equivCPUs {
+		cpu := mk()
+		for pi, text := range equivPool {
+			block, err := x86.Parse(text, x86.SyntaxAuto)
+			if err != nil {
+				t.Fatalf("parse %q: %v", text, err)
+			}
+			out, ok := equivCounters(cpu, unrollInsts(block, 16), Config{}, false)
+			if !ok {
+				fmt.Fprintf(&sb, "%s %2d unsupported  # %s\n", cpu.Name, pi, text)
+				continue
+			}
+			fmt.Fprintf(&sb, "%s %2d %+v  # %s\n", cpu.Name, pi, out[1], text)
+		}
+	}
+	const path = "testdata/legacy_counters.golden"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if string(want) != sb.String() {
+		t.Errorf("legacy counters drifted from %s:\n--- want ---\n%s--- got ---\n%s", path, want, sb.String())
+	}
+}
+
 // FuzzSimulateEquivalence drives randomly composed, corpus-flavored blocks
 // through the reference and event-driven schedulers and requires identical
 // Counters on every run. Zero divergences is a merge requirement for any
@@ -245,18 +302,20 @@ func FuzzSimulateEquivalence(f *testing.F) {
 	f.Add([]byte{6, 7, 8, 9, 10}, uint8(24), uint8(2))
 	f.Add([]byte{13, 14, 15, 2}, uint8(12), uint8(7))
 	f.Add([]byte{10, 10, 11}, uint8(30), uint8(5))
+	f.Add([]byte{0, 5, 6, 9}, uint8(16), uint8(12))  // modeled FE, haswell
+	f.Add([]byte{13, 14, 15, 2}, uint8(12), uint8(15)) // modeled FE, icelake
+	f.Add([]byte{16, 3, 1, 1}, uint8(8), uint8(19))  // modeled FE + switches
 	f.Fuzz(func(t *testing.T, sel []byte, unrollByte, mode uint8) {
 		if len(sel) == 0 || len(sel) > 12 {
 			return
 		}
 		cpu := equivCPUs[int(mode)%len(equivCPUs)]()
-		var switchRate float64
-		var switchCost uint64
+		var cfg Config
 		switch (int(mode) / len(equivCPUs)) % 3 {
 		case 1:
-			switchRate, switchCost = 0.01, 500
+			cfg.SwitchRate, cfg.SwitchCost = 0.01, 500
 		case 2:
-			switchRate, switchCost = 0.0004, 12000
+			cfg.SwitchRate, cfg.SwitchCost = 0.0004, 12000
 		}
 		var block []x86.Inst
 		for _, b := range sel {
@@ -266,11 +325,14 @@ func FuzzSimulateEquivalence(f *testing.F) {
 			}
 			block = append(block, insts...)
 		}
+		if (int(mode)/(len(equivCPUs)*3))%2 == 1 {
+			cfg.ModeledFrontEnd, cfg.LoopBody = true, len(block)
+		}
 		unroll := 1 + int(unrollByte)%32
 		insts := unrollInsts(block, unroll)
 		if len(insts) > 384 {
 			insts = insts[:384]
 		}
-		checkEquivalence(t, "fuzz", cpu, insts, switchRate, switchCost)
+		checkEquivalence(t, "fuzz", cpu, insts, cfg)
 	})
 }

@@ -115,6 +115,9 @@ type Program struct {
 	Addrs []uint64
 	Lens  []int
 	Descs []uarch.Desc
+	// LCPs marks instructions whose encoding carries a length-changing
+	// prefix (x86.LengthChangingPrefix), for the modeled front end.
+	LCPs []bool
 
 	// Register-use sets per instruction, precomputed at Prepare time so
 	// timing runs do not re-derive them per dynamic instruction. The
@@ -141,6 +144,7 @@ func (p *Program) Slice(n int) *Program {
 		Addrs:     p.Addrs[:n+1],
 		Lens:      p.Lens[:n],
 		Descs:     p.Descs[:n],
+		LCPs:      p.LCPs[:n],
 		AddrReads: p.AddrReads[:n],
 		DataReads: p.DataReads[:n],
 		Writes:    p.Writes[:n],
@@ -189,6 +193,7 @@ func (m *Machine) PrepareUnrolled(insts []x86.Inst, n int) (*Program, error) {
 	p.Addrs = p.Addrs[:0]
 	p.Lens = p.Lens[:0]
 	p.Descs = p.Descs[:0]
+	p.LCPs = p.LCPs[:0]
 	p.AddrReads = p.AddrReads[:0]
 	p.DataReads = p.DataReads[:0]
 	p.Writes = p.Writes[:0]
@@ -200,6 +205,7 @@ func (m *Machine) PrepareUnrolled(insts []x86.Inst, n int) (*Program, error) {
 		p.Addrs = append(p.Addrs, addr)
 		p.Lens = append(p.Lens, len(pi.Raw))
 		p.Descs = append(p.Descs, pi.Desc)
+		p.LCPs = append(p.LCPs, pi.LCP)
 		p.AddrReads = append(p.AddrReads, pi.Addr)
 		p.DataReads = append(p.DataReads, pi.Data)
 		p.Writes = append(p.Writes, pi.Writes)
@@ -270,13 +276,20 @@ type Config struct {
 	// Reference selects the pipeline's retained cycle-by-cycle scheduler
 	// instead of the event-driven one (differential testing only).
 	Reference bool
+	// ModeledFrontEnd selects the uiCA-style decoded front end
+	// (pipeline.Config.ModeledFrontEnd); LoopBody is its iteration length
+	// in instructions (the basic-block size of an unrolled program).
+	ModeledFrontEnd bool
+	LoopBody        int
 }
 
 func (m *Machine) pipelineConfig(cfg Config) pipeline.Config {
 	pcfg := pipeline.Config{
-		SwitchRate: cfg.SwitchRate,
-		SwitchCost: cfg.SwitchCost,
-		Reference:  cfg.Reference,
+		SwitchRate:      cfg.SwitchRate,
+		SwitchCost:      cfg.SwitchCost,
+		Reference:       cfg.Reference,
+		ModeledFrontEnd: cfg.ModeledFrontEnd,
+		LoopBody:        cfg.LoopBody,
 	}
 	if cfg.SwitchRate > 0 {
 		pcfg.Rand = m.Rand
@@ -335,6 +348,7 @@ func (m *Machine) buildItems(p *Program, steps []exec.Step) []pipeline.Item {
 		it.Store = st.Store
 		it.Subnormal = st.Subnormal
 		it.CodeLen = p.Lens[idx]
+		it.LCP = p.LCPs[idx]
 		it.CodePhys = 0
 		va := p.Addrs[idx]
 		if base := va & vm.PageMask; havePage && base == pageBase {

@@ -80,6 +80,9 @@ type PreparedInst struct {
 	Raw                []byte
 	Desc               uarch.Desc
 	Addr, Data, Writes []uint8
+	// LCP marks encodings with a length-changing prefix (0x66 shrinking an
+	// immediate), which stall the modeled predecoder.
+	LCP bool
 	// Err is the first error of encoding then description; the successful
 	// derivations are still populated.
 	Err error
@@ -103,6 +106,7 @@ func Prepared(cpu *uarch.CPU, in *x86.Inst) *PreparedInst {
 func preparedDirect(cpu *uarch.CPU, in *x86.Inst) *PreparedInst {
 	p := new(PreparedInst)
 	p.Raw, p.Err = Encode(in)
+	p.LCP = x86.LengthChangingPrefix(p.Raw)
 	if d, err := Describe(cpu, in); p.Err == nil {
 		p.Desc, p.Err = d, err
 	} else {

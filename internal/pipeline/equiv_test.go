@@ -1,0 +1,152 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"bhive/internal/exec"
+	"bhive/internal/uarch"
+)
+
+// equivWorkload builds an unrolled mixed workload — dependent and
+// independent ALU work, a store/load forwarding pair, a divider, a zero
+// idiom, and an LCP-marked encoding — laid out contiguously in code like
+// machine.PrepareUnrolled would, so both front ends (legacy and modeled)
+// and both back-end memory paths have something to do.
+func equivWorkload(cpu *uarch.CPU, unroll int) (items []Item, body int) {
+	storeIt := Item{
+		Desc: uarch.Desc{
+			Uops: []uarch.Uop{
+				{Class: uarch.ClassStoreAddr, Ports: cpu.StoreAddrPorts, Lat: 1},
+				{Class: uarch.ClassStoreData, Ports: cpu.StoreDataPorts, Lat: 1},
+			},
+			FusedUops: 1,
+		},
+		Store:   &exec.MemAccess{Addr: 0x1000, Phys: 0x1000, Size: 8, Write: true},
+		CodeLen: 4,
+	}
+	loadIt := Item{
+		Desc: uarch.Desc{
+			Uops:      []uarch.Uop{{Class: uarch.ClassLoad, Ports: cpu.LoadPorts, Lat: uint8(cpu.L1DLatency)}},
+			FusedUops: 1,
+		},
+		Load:    &exec.MemAccess{Addr: 0x1000, Phys: 0x1000, Size: 8},
+		Writes:  []uint8{1},
+		CodeLen: 4,
+	}
+	loadFar := loadIt
+	loadFar.Load = &exec.MemAccess{Addr: 0x2004, Phys: 0x2004, Size: 8}
+	loadFar.Writes = []uint8{2}
+	divIt := Item{
+		Desc: uarch.Desc{
+			Uops: []uarch.Uop{{Class: uarch.ClassIntDiv, Ports: uarch.Ports(0),
+				Lat: 21, Occupancy: 21}},
+			FusedUops: 1,
+		},
+		DataReads: []uint8{1},
+		Writes:    []uint8{3},
+		CodeLen:   3,
+	}
+	idiom := Item{
+		Desc:    uarch.Desc{FusedUops: 1, ZeroIdiom: true},
+		Writes:  []uint8{0},
+		CodeLen: 2,
+	}
+	lcpIt := aluItem(cpu, []uint8{0}, []uint8{0}, 1)
+	lcpIt.LCP = true
+
+	base := []Item{
+		aluItem(cpu, []uint8{0}, []uint8{0}, 1),
+		aluItem(cpu, nil, []uint8{4}, 3),
+		storeIt, loadIt, loadFar, divIt, idiom, lcpIt,
+	}
+	phys := uint64(0)
+	for u := 0; u < unroll; u++ {
+		for _, it := range base {
+			it.CodePhys = phys
+			phys += uint64(it.CodeLen)
+			items = append(items, it)
+		}
+	}
+	return items, len(base)
+}
+
+// TestSchedulerEquivalenceInPackage is the in-package twin of
+// machine.FuzzSimulateEquivalence: on a mixed workload, the reference
+// cycle-by-cycle scheduler and the event-driven one must return identical
+// counters under every front-end and context-switch configuration. The
+// machine-level fuzzer covers real decoded blocks; this one pins the
+// invariant at the pipeline API with hand-built items.
+func TestSchedulerEquivalenceInPackage(t *testing.T) {
+	for _, cpu := range []*uarch.CPU{uarch.Haswell(), uarch.IceLake()} {
+		items, body := equivWorkload(cpu, 12)
+		configs := []struct {
+			name string
+			cfg  Config
+		}{
+			{"legacy", Config{}},
+			{"modeled", Config{ModeledFrontEnd: true, LoopBody: body}},
+			{"modeled whole-seq", Config{ModeledFrontEnd: true}},
+			{"switches", Config{SwitchRate: 0.01, SwitchCost: 200}},
+		}
+		for _, tc := range configs {
+			run := func(reference bool) (Counters, Counters) {
+				cfg := tc.cfg
+				cfg.Reference = reference
+				if cfg.SwitchRate > 0 {
+					cfg.Rand = rand.New(rand.NewSource(42))
+				}
+				l1i, l1d := caches(cpu)
+				cold := Simulate(cpu, items, l1i, l1d, cfg)
+				if cfg.SwitchRate > 0 {
+					cfg.Rand = rand.New(rand.NewSource(42))
+				}
+				warm := Simulate(cpu, items, l1i, l1d, cfg)
+				return cold, warm
+			}
+			evCold, evWarm := run(false)
+			refCold, refWarm := run(true)
+			if evCold != refCold {
+				t.Errorf("%s/%s cold: event %+v != reference %+v", cpu.Name, tc.name, evCold, refCold)
+			}
+			if evWarm != refWarm {
+				t.Errorf("%s/%s warm: event %+v != reference %+v", cpu.Name, tc.name, evWarm, refWarm)
+			}
+			if evWarm.Cycles == 0 {
+				t.Errorf("%s/%s: zero warm cycles", cpu.Name, tc.name)
+			}
+		}
+	}
+}
+
+// TestGraphSliceEquivalence pins the profiler's low-unroll derivation: a
+// prefix Slice of the high-unroll graph must time identically to a graph
+// built from the prefix items directly, in both front-end modes.
+func TestGraphSliceEquivalence(t *testing.T) {
+	cpu := uarch.Skylake()
+	items, body := equivWorkload(cpu, 12)
+	var g Graph
+	g.Build(cpu, items)
+	if g.NumItems() != len(items) {
+		t.Fatalf("NumItems = %d, want %d", g.NumItems(), len(items))
+	}
+	half := body * 6
+	for _, cfg := range []Config{{}, {ModeledFrontEnd: true, LoopBody: body}} {
+		sl := g.Slice(half)
+		if sl.NumItems() != half {
+			t.Fatalf("Slice(%d).NumItems = %d", half, sl.NumItems())
+		}
+		l1i, l1d := caches(cpu)
+		got := SimulateGraph(cpu, sl, l1i, l1d, cfg)
+		l1i2, l1d2 := caches(cpu)
+		want := Simulate(cpu, items[:half], l1i2, l1d2, cfg)
+		if got != want {
+			t.Fatalf("modeled=%v: sliced graph %+v != direct %+v",
+				cfg.ModeledFrontEnd, got, want)
+		}
+		// Out-of-range slice clamps to the whole graph.
+		if g.Slice(-1).NumItems() != len(items) || g.Slice(len(items)+5).NumItems() != len(items) {
+			t.Fatal("Slice must clamp out-of-range n to the full graph")
+		}
+	}
+}

@@ -82,7 +82,11 @@ func (s *eventState) run(cpu *uarch.CPU, g *Graph, l1i, l1d *cache.Cache, cfg Co
 
 	s.fetchReady = grow(s.fetchReady, n)
 	fetchReady := s.fetchReady
-	simulateFetchGraph(cpu, g, l1i, &ctr, fetchReady)
+	if cfg.ModeledFrontEnd {
+		modeledFetch(cpu, feGraph{g}, cfg.LoopBody, l1i, &ctr, fetchReady)
+	} else {
+		simulateFetchGraph(cpu, g, l1i, &ctr, fetchReady)
+	}
 
 	s.doneAt = grow(s.doneAt, nu)
 	s.pending = grow(s.pending, nu)

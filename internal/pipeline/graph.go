@@ -59,6 +59,7 @@ type Graph struct {
 	storePrefix  []int32 // stores among items [0, i)
 	codePhys     []uint64
 	codeLen      []int32
+	lcp          []bool // length-changing prefix (modeled front end)
 
 	loads  []loadSpec
 	stores []storeSpec
@@ -102,6 +103,7 @@ func (g *Graph) shrink() *Graph {
 	out.storePrefix = g.storePrefix[:n+1]
 	out.codePhys = g.codePhys[:n]
 	out.codeLen = g.codeLen[:n]
+	out.lcp = g.lcp[:n]
 	out.stores = g.stores[:g.numStores]
 	return &out
 }
@@ -130,6 +132,7 @@ func (g *Graph) Build(cpu *uarch.CPU, items []Item) {
 	g.storePrefix = grow(g.storePrefix, n+1)
 	g.codePhys = grow(g.codePhys, n)
 	g.codeLen = grow(g.codeLen, n)
+	g.lcp = grow(g.lcp, n)
 
 	var lastWriter [NumRegs]int32
 	for i := range lastWriter {
@@ -143,6 +146,7 @@ func (g *Graph) Build(cpu *uarch.CPU, items []Item) {
 		g.itemFused[i] = int32(it.Desc.FusedUops)
 		g.codePhys[i] = it.CodePhys
 		g.codeLen[i] = int32(it.CodeLen)
+		g.lcp[i] = it.LCP
 		g.itemLoad[i] = -1
 		g.itemStore[i] = -1
 		if it.Load != nil {

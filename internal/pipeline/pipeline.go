@@ -46,6 +46,10 @@ type Item struct {
 	// CodePhys/CodeLen locate the instruction bytes for I-cache modelling.
 	CodePhys uint64
 	CodeLen  int
+
+	// LCP marks a length-changing-prefix encoding, which stalls the
+	// modeled predecoder (ignored by the legacy front end).
+	LCP bool
 }
 
 // Config carries per-run knobs beyond the CPU parameter file.
@@ -63,6 +67,18 @@ type Config struct {
 	// Counters, same RNG draw sequence (see FuzzSimulateEquivalence); the
 	// reference loop is the oracle the fast path is checked against.
 	Reference bool
+	// ModeledFrontEnd replaces the 16-bytes-per-cycle fetch approximation
+	// with the uiCA-style decoded front end (predecode with LCP stalls,
+	// MITE decode-group assignment, DSB residency and delivery, LSD
+	// lock-down, and DSB↔MITE switch penalties), parameterized by the
+	// CPU's FrontEnd fields. Off (the default) keeps the simulator
+	// bit-identical to the legacy model.
+	ModeledFrontEnd bool
+	// LoopBody is the iteration length in instructions for the modeled
+	// front end: the item sequence is treated as ceil(n/LoopBody)
+	// iterations of the first LoopBody items (an unrolled basic block).
+	// 0 means the whole sequence is one iteration (MITE-only delivery).
+	LoopBody int
 }
 
 // Counters are the hardware performance counters the profiler reads.
@@ -162,7 +178,11 @@ func (s *SimScratch) simulate(cpu *uarch.CPU, items []Item, l1i, l1d *cache.Cach
 
 	s.fetchReady = grow(s.fetchReady, len(items))
 	fetchReady := s.fetchReady
-	simulateFetch(cpu, items, l1i, &ctr, fetchReady)
+	if cfg.ModeledFrontEnd {
+		modeledFetch(cpu, feItems(items), cfg.LoopBody, l1i, &ctr, fetchReady)
+	} else {
+		simulateFetch(cpu, items, l1i, &ctr, fetchReady)
+	}
 
 	// Build the µop list with dependence edges. Each item's µops are
 	// contiguous, so itemFirstUop with a sentinel entry replaces the

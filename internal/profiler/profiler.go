@@ -90,6 +90,12 @@ type Options struct {
 	// drawn analytically — statistically equivalent, since an interrupted
 	// sample is discarded either way.
 	RealSampleNoise bool
+
+	// ModeledFrontEnd times every run with the uiCA-style decoded front
+	// end (predecode, MITE/DSB/LSD delivery, switch penalties) instead of
+	// the 16-bytes-per-cycle fetch approximation. Off by default: the
+	// paper's tables are produced by the legacy front end.
+	ModeledFrontEnd bool
 }
 
 // DefaultOptions is the full BHive methodology.
@@ -465,6 +471,14 @@ func (p *Profiler) measureOn(m *machine.Machine, prog *machine.Program, g *pipel
 	var res Result
 	o := &p.Opts
 
+	// Base timing configuration: the front-end mode and the block size
+	// (the modeled front end treats the unrolled program as `unroll`
+	// iterations of the basic block).
+	base := machine.Config{ModeledFrontEnd: o.ModeledFrontEnd}
+	if o.ModeledFrontEnd && unroll > 0 {
+		base.LoopBody = len(prog.Insts) / unroll
+	}
+
 	rng := sampleRNG(unrollSeed(seed, unroll))
 	if o.RealSampleNoise {
 		// Only the fully-faithful mode consumes the machine RNG (for
@@ -479,7 +493,7 @@ func (p *Profiler) measureOn(m *machine.Machine, prog *machine.Program, g *pipel
 	m.WarmCaches(prog, steps)
 
 	// Timed run.
-	ctr := m.TimeGraph(g, machine.Config{})
+	ctr := m.TimeGraph(g, base)
 	res.Counters = ctr
 
 	// Sample acceptance. The paper times each unrolled block 16 times and
@@ -497,9 +511,9 @@ func (p *Profiler) measureOn(m *machine.Machine, prog *machine.Program, g *pipel
 		// each sample is the scheduling loop over the prepared graph.
 		counts := make(map[uint64]int)
 		for s := 0; s < samples; s++ {
-			c := m.TimeGraph(g, machine.Config{
-				SwitchRate: o.SwitchRate, SwitchCost: o.SwitchCost,
-			})
+			scfg := base
+			scfg.SwitchRate, scfg.SwitchCost = o.SwitchRate, o.SwitchCost
+			c := m.TimeGraph(g, scfg)
 			if c.ContextSwitches == 0 {
 				counts[c.Cycles]++
 			}
@@ -578,8 +592,12 @@ func (p *Profiler) MeasureRaw(b *x86.Block, unroll int) (pipeline.Counters, erro
 		return pipeline.Counters{}, err
 	}
 	g := m.PrepareGraph(prog, steps)
-	m.TimeGraph(g, machine.Config{}) // warm-up
-	return m.TimeGraph(g, machine.Config{}), nil
+	base := machine.Config{ModeledFrontEnd: o.ModeledFrontEnd}
+	if o.ModeledFrontEnd {
+		base.LoopBody = len(b.Insts)
+	}
+	m.TimeGraph(g, base) // warm-up
+	return m.TimeGraph(g, base), nil
 }
 
 // entryFromResult converts a Result for persistence. The error is stored

@@ -488,6 +488,13 @@ type Request struct {
 	// CorpusCSV is an inline corpus in the app,hex,freq interchange
 	// format. Empty means generate the paper's corpus at Scale/Seed.
 	CorpusCSV string `json:"corpus_csv,omitempty"`
+	// Asm is an inline corpus as an assembly listing ('@ app [freq]'
+	// headers, one Intel- or AT&T-syntax instruction per line). It is
+	// mutually exclusive with CorpusCSV. Normalization round-trips the
+	// listing through the encoder into CorpusCSV and clears this field, so
+	// a job id depends only on the canonical machine code — submitting the
+	// same corpus as hex or as assembly yields the same job.
+	Asm string `json:"asm,omitempty"`
 	// Scale samples the generated corpus (default 0.02); ignored when
 	// CorpusCSV is set.
 	Scale float64 `json:"scale,omitempty"`
@@ -542,6 +549,20 @@ func (r *Request) normalize() error {
 		if _, err := uarch.ByName(r.Uarch); err != nil {
 			return err
 		}
+	}
+	if r.Asm != "" {
+		if r.CorpusCSV != "" {
+			return fmt.Errorf("asm and corpus_csv are mutually exclusive")
+		}
+		recs, err := corpus.ReadAsm(strings.NewReader(r.Asm))
+		if err != nil {
+			return fmt.Errorf("asm: %w", err)
+		}
+		var sb strings.Builder
+		if err := corpus.WriteCSV(&sb, recs); err != nil {
+			return fmt.Errorf("asm: %w", err)
+		}
+		r.CorpusCSV, r.Asm = sb.String(), ""
 	}
 	if r.CorpusCSV != "" {
 		if _, err := corpus.ReadCSV(strings.NewReader(r.CorpusCSV)); err != nil {

@@ -261,6 +261,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"unknown uarch", `{"uarch":"zen4"}`, "zen4"},
 		{"bad corpus row", `{"corpus_csv":"app,hex,freq\nfoo,90,1\nfoo,zz,1\n"}`, "line 3"},
 		{"duplicate corpus row", `{"corpus_csv":"app,hex,freq\nfoo,90,1\nfoo,90,2\n"}`, "duplicate block row"},
+		{"bad asm", `{"asm":"@ foo\nnot_an_instruction\n"}`, "asm:"},
+		{"asm and csv", `{"asm":"@ foo\nnop\n","corpus_csv":"app,hex,freq\nfoo,90,1\n"}`, "mutually exclusive"},
 		{"unknown backend", `{"backends":["hardware"]}`, "unknown spec"},
 		{"bare recorded backend", `{"backends":["recorded"]}`, "recorded needs a trace path"},
 		{"duplicate backend", `{"backends":["sim","sim"]}`, "duplicate backend spec"},
@@ -324,6 +326,37 @@ func TestRequestIDNormalization(t *testing.T) {
 	}
 	if idc == ida {
 		t.Fatal("different seeds share a job id")
+	}
+}
+
+// TestAsmCorpusIdentity: the same corpus submitted as an assembly listing
+// or as canonical hex must land on the same job id — normalization folds
+// the listing into CorpusCSV through the encoder before the id digests it.
+func TestAsmCorpusIdentity(t *testing.T) {
+	asm := Request{Asm: "@ foo 3\nxor ecx, ecx   # intel\ndivl %ecx       ; at&t\n@ bar\nnop\n"}
+	hex := Request{CorpusCSV: "app,hex,freq\nfoo,31c9f7f1,3\nbar,90,1\n"}
+	if err := asm.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := hex.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if asm.Asm != "" {
+		t.Fatalf("normalize left Asm populated: %q", asm.Asm)
+	}
+	if asm.CorpusCSV != hex.CorpusCSV {
+		t.Fatalf("asm corpus normalized to:\n%q\nwant:\n%q", asm.CorpusCSV, hex.CorpusCSV)
+	}
+	ida, err := asm.id()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idh, err := hex.id()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ida != idh {
+		t.Fatalf("asm job id %s != hex job id %s for the same corpus", ida, idh)
 	}
 }
 

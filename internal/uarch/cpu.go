@@ -126,6 +126,37 @@ type Desc struct {
 	Generic bool
 }
 
+// FrontEnd is the decoded-front-end parameter file consumed by the
+// modeled front end (pipeline.Config.ModeledFrontEnd): the legacy decode
+// pipeline (MITE), the decoded-µop cache (DSB), the loop stream detector
+// (LSD), and the penalties for switching between delivery paths. The
+// numbers follow Abel and Reineke's uiCA characterization. A zero-valued
+// FrontEnd disables the modeled stage (the simulator falls back to the
+// 16-bytes-per-cycle fetch approximation).
+type FrontEnd struct {
+	// DecodeWidth is the number of instructions the legacy decoders accept
+	// per cycle. One decoder is complex (multi-µop instructions must lead
+	// a decode group); the remaining DecodeWidth-1 are simple.
+	DecodeWidth int
+	// LCPStall is the predecoder stall, in cycles, per instruction whose
+	// 0x66 operand-size prefix changes the immediate length.
+	LCPStall int
+	// DSBWidth is the fused-domain µop delivery rate of the µop cache.
+	DSBWidth int
+	// DSBSets × DSBWays × DSBLineUops describe the µop-cache geometry: a
+	// 32-byte code window maps to one set and may occupy at most three
+	// ways; each way holds up to DSBLineUops µops.
+	DSBSets     int
+	DSBWays     int
+	DSBLineUops int
+	// LSDSize is the loop-stream-detector capacity in fused µops; bodies
+	// that fit stream from the µop queue with no front-end constraint.
+	// 0 = LSD disabled (Skylake: the SKL150 erratum fix disables it).
+	LSDSize int
+	// SwitchPenalty is the cycle cost of a DSB↔MITE delivery switch.
+	SwitchPenalty int
+}
+
 // CPU is a microarchitecture parameter file. It is both the configuration
 // of the ground-truth pipeline simulator and the source of the
 // port-mapping tables used for classification.
@@ -163,6 +194,10 @@ type CPU struct {
 	HasAVX2         bool
 	HasFMA          bool
 	MoveElimination bool
+
+	// FE parameterizes the modeled decode front end (opt-in; see
+	// pipeline.Config.ModeledFrontEnd).
+	FE FrontEnd
 
 	// FPAddLat/FPMulLat etc. select per-µarch latencies inside the shared
 	// describe table.
@@ -229,6 +264,17 @@ func IvyBridge() *CPU {
 		HasFMA:          false,
 		MoveElimination: true,
 
+		FE: FrontEnd{
+			DecodeWidth:   4,
+			LCPStall:      3,
+			DSBWidth:      4,
+			DSBSets:       32,
+			DSBWays:       8,
+			DSBLineUops:   6,
+			LSDSize:       28,
+			SwitchPenalty: 2,
+		},
+
 		intALUPorts:  Ports(0, 1, 5),
 		shiftPorts:   Ports(0, 5),
 		shiftCLPorts: Ports(0, 5),
@@ -292,6 +338,17 @@ func Haswell() *CPU {
 		HasFMA:          true,
 		MoveElimination: true,
 
+		FE: FrontEnd{
+			DecodeWidth:   4,
+			LCPStall:      3,
+			DSBWidth:      4,
+			DSBSets:       32,
+			DSBWays:       8,
+			DSBLineUops:   6,
+			LSDSize:       56,
+			SwitchPenalty: 2,
+		},
+
 		intALUPorts:  Ports(0, 1, 5, 6),
 		shiftPorts:   Ports(0, 6),
 		shiftCLPorts: Ports(6),
@@ -334,6 +391,10 @@ func Skylake() *CPU {
 	c.RSSize = 97
 	c.LoadBufs = 72
 	c.StoreBufs = 56
+	// Skylake doubles the DSB delivery rate over Haswell; the LSD is
+	// disabled by the SKL150 erratum microcode fix.
+	c.FE.DSBWidth = 6
+	c.FE.LSDSize = 0
 	c.vecALUPorts = Ports(0, 1, 5)
 	c.fpAddPorts = Ports(0, 1)
 	c.fpMulPorts = Ports(0, 1)
@@ -351,6 +412,33 @@ func Skylake() *CPU {
 	return c
 }
 
+// IceLake returns the Ice Lake (Sunny Cove) parameter file: the
+// post-Skylake core with a 5-wide issue/decode front end, a larger DSB
+// with a restored (and enlarged) LSD, deeper out-of-order windows, a 48 KB
+// 5-cycle L1D, and a fast radix-64 divider. The execution-port layout is
+// carried over from Skylake — the extra store-data and AGU ports of the
+// real core are not modeled — so Ice Lake numbers exercise the front-end
+// and window parameters, not a re-derived port table.
+func IceLake() *CPU {
+	c := Skylake()
+	c.Name = "icelake"
+	c.IssueWidth = 5
+	c.RetireWidth = 5
+	c.ROBSize = 352
+	c.RSSize = 160
+	c.LoadBufs = 128
+	c.StoreBufs = 72
+	c.L1DLatency = 5
+	c.L1DSize = 48 << 10
+	c.L1Assoc = 12
+	c.div32Lat = 12
+	c.div64Lat = 18
+	c.FE.DecodeWidth = 5
+	c.FE.DSBSets = 48
+	c.FE.LSDSize = 70
+	return c
+}
+
 // ByName returns the CPU model with the given name.
 func ByName(name string) (*CPU, error) {
 	switch strings.ToLower(name) {
@@ -360,11 +448,22 @@ func ByName(name string) (*CPU, error) {
 		return Haswell(), nil
 	case "skylake", "skl":
 		return Skylake(), nil
+	case "icelake", "icl":
+		return IceLake(), nil
 	}
 	return nil, fmt.Errorf("uarch: unknown microarchitecture %q", name)
 }
 
 // All returns the three validated microarchitectures in paper order.
+// Ice Lake is deliberately excluded: the paper's tables cover exactly
+// these three, and every golden-pinned experiment iterates All.
 func All() []*CPU {
 	return []*CPU{IvyBridge(), Haswell(), Skylake()}
+}
+
+// Extended returns every parameterized microarchitecture: the paper's
+// three plus Ice Lake. Crosschecks that are proofs rather than paper
+// reproductions (boundcheck) run over this list.
+func Extended() []*CPU {
+	return append(All(), IceLake())
 }

@@ -1,0 +1,58 @@
+package x86
+
+// LengthChangingPrefix reports whether the encoded instruction carries a
+// length-changing prefix: a 0x66 operand-size prefix on an opcode whose
+// immediate shrinks from 4 to 2 bytes because of it. The predecoder
+// determines instruction lengths speculatively assuming the default
+// operand size, so such instructions force a predecoder restart — a stall
+// of FrontEnd.LCPStall cycles in the modeled front end.
+//
+// The classification is by raw bytes so it matches what the hardware
+// predecoder sees; instructions our decoder cannot handle simply report
+// false (they never reach the simulator anyway).
+func LengthChangingPrefix(raw []byte) bool {
+	has66 := false
+	i := 0
+scan:
+	for i < len(raw) {
+		switch raw[i] {
+		case 0x66:
+			has66 = true
+			i++
+		case 0x67, 0xF0, 0xF2, 0xF3, 0x2E, 0x36, 0x3E, 0x26, 0x64, 0x65:
+			i++
+		default:
+			break scan
+		}
+	}
+	if !has66 || i >= len(raw) {
+		return false
+	}
+	if raw[i]&0xF0 == 0x40 { // REX
+		i++
+		if i >= len(raw) {
+			return false
+		}
+	}
+	op := raw[i]
+	switch {
+	case op == 0x05 || op == 0x0D || op == 0x15 || op == 0x1D ||
+		op == 0x25 || op == 0x2D || op == 0x35 || op == 0x3D:
+		return true // ALU ax, imm16
+	case op == 0x68 || op == 0x69:
+		return true // push imm16; imul r, rm, imm16
+	case op == 0x81:
+		return true // group-1 ALU rm, imm16
+	case op == 0xA9:
+		return true // test ax, imm16
+	case op >= 0xB8 && op <= 0xBF:
+		return true // mov r16, imm16
+	case op == 0xC7:
+		return true // mov rm16, imm16
+	case op == 0xF7:
+		// test rm16, imm16 is /0 (and the aliased /1); the other group-3
+		// forms carry no immediate.
+		return i+1 < len(raw) && (raw[i+1]>>3)&7 <= 1
+	}
+	return false
+}

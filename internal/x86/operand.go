@@ -92,7 +92,10 @@ func (m Mem) String() string {
 			b.WriteByte('+')
 		}
 		b.WriteString(m.Index.String())
-		if m.Scale > 1 {
+		// The scale is spelled out even when 1 if there is no base: plain
+		// "[rsi+disp]" would read back as a base register, losing the
+		// index-only (SIB, no base) encoding.
+		if m.Scale > 1 || m.Base == RegNone {
 			fmt.Fprintf(&b, "*%d", m.Scale)
 		}
 		wrote = true

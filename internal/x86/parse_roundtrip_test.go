@@ -1,0 +1,95 @@
+package x86
+
+import (
+	"encoding/hex"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// lintFixtureSeeds loads the machine-code column of the blocklint fixture
+// corpus — realistic blocks from the paper's applications — as fuzz seeds.
+// Read directly (this package cannot import the corpus reader back).
+func lintFixtureSeeds(tb testing.TB) [][]byte {
+	raw, err := os.ReadFile("../blocklint/testdata/example_corpus.csv")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var seeds [][]byte
+	for _, line := range strings.Split(string(raw), "\n")[1:] {
+		fields := strings.Split(strings.TrimSpace(line), ",")
+		if len(fields) != 3 {
+			continue
+		}
+		b, err := hex.DecodeString(fields[1])
+		if err != nil {
+			continue // pathological fixture rows are out of scope
+		}
+		seeds = append(seeds, b)
+	}
+	if len(seeds) == 0 {
+		tb.Fatal("no seeds in the lint fixture corpus")
+	}
+	return seeds
+}
+
+// parsePrintTrip renders decoded instructions in both dialects and
+// requires each listing to parse back to the identical instruction
+// sequence — the invariant behind the assembly front door: submitting a
+// block as text is indistinguishable from submitting its hex.
+func parsePrintTrip(t *testing.T, raw []byte) {
+	t.Helper()
+	insts, err := DecodeBlock(raw)
+	if err != nil {
+		return // undecodable input is out of scope here
+	}
+	canon, err := EncodeBlock(insts)
+	if err != nil {
+		t.Fatalf("decoded % x but cannot encode: %v", raw, err)
+	}
+	for _, syn := range []Syntax{SyntaxIntel, SyntaxATT} {
+		var sb strings.Builder
+		for i := range insts {
+			if syn == SyntaxIntel {
+				sb.WriteString(insts[i].String())
+			} else {
+				sb.WriteString(ATTString(insts[i]))
+			}
+			sb.WriteByte('\n')
+		}
+		got, err := Parse(sb.String(), syn)
+		if err != nil {
+			t.Fatalf("printed listing of % x does not parse (syntax %d):\n%s%v", raw, syn, sb.String(), err)
+		}
+		if !reflect.DeepEqual(got, insts) {
+			t.Fatalf("parse(print) drifts (syntax %d):\n%s got %v, want %v", syn, sb.String(), got, insts)
+		}
+		enc, err := EncodeBlock(got)
+		if err != nil || !reflect.DeepEqual(enc, canon) {
+			t.Fatalf("parsed listing re-encodes to % x, want % x (err %v)", enc, canon, err)
+		}
+	}
+}
+
+// TestParsePrintFixtureCorpus pins the parse(print) identity on every
+// block of the lint fixture corpus deterministically.
+func TestParsePrintFixtureCorpus(t *testing.T) {
+	for _, seed := range lintFixtureSeeds(t) {
+		parsePrintTrip(t, seed)
+	}
+}
+
+// FuzzParseEncodeDecode is the native-fuzzing entry for the text front
+// door: go test -fuzz=FuzzParseEncodeDecode ./internal/x86.
+func FuzzParseEncodeDecode(f *testing.F) {
+	for _, seed := range lintFixtureSeeds(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			return
+		}
+		parsePrintTrip(t, data)
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/hex"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -31,10 +32,11 @@ var corpusSeeds = []string{
 
 // roundTrip decodes a block, re-encodes every instruction, decodes the
 // canonical bytes again, and requires the two instruction sequences to be
-// identical. Byte-level differences are allowed — the encoder picks one
-// canonical form among equivalent encodings (known-lossy: e.g. both
-// 0x88/8A-style direction-bit variants of mov decode to the same Inst and
-// re-encode to the canonical direction) — but semantic drift is not.
+// identical. The first decode→encode hop may change bytes — the encoder
+// picks one canonical member per equivalence class of encodings (the exact
+// classes are pinned in TestCanonicalEncoding) — but after that hop the
+// bytes are a fixed point: re-encoding the canonical decode must reproduce
+// them exactly. Semantic drift is never allowed.
 func roundTrip(t *testing.T, raw []byte) {
 	t.Helper()
 	insts, err := DecodeBlock(raw)
@@ -59,6 +61,95 @@ func roundTrip(t *testing.T, raw []byte) {
 	for i := range insts {
 		if !reflect.DeepEqual(insts[i], again[i]) {
 			t.Fatalf("round trip of % x changes inst %d: %q -> %q", raw, i, insts[i].String(), again[i].String())
+		}
+	}
+	code2, err := EncodeBlock(again)
+	if err != nil {
+		t.Fatalf("canonical % x of % x does not re-encode: %v", code, raw, err)
+	}
+	if !reflect.DeepEqual(code, code2) {
+		t.Fatalf("canonical form of % x is not a fixed point: % x re-encodes to % x", raw, code, code2)
+	}
+}
+
+// TestCanonicalEncoding pins the exact canonical member of every known
+// equivalence class of encodings — the cases the round-trip invariant used
+// to wave through as "known-lossy byte differences". Each entry lists
+// equivalent encodings of one instruction; all must decode to the same
+// instruction and re-encode to precisely the canonical (first) member,
+// which must itself be a decode→encode fixed point.
+func TestCanonicalEncoding(t *testing.T) {
+	classes := []struct {
+		name string
+		encs []string // hex; encs[0] is the canonical form
+	}{
+		// Direction-bit duals: reg-reg ALU/mov ops encode via either the
+		// rm,reg opcode or the reg,rm opcode; the form table lists the
+		// rm,reg (store-direction) opcode first, so it is canonical.
+		{"mov r8 direction", []string{"88c8", "8ac1"}},
+		{"mov r32 direction", []string{"89c8", "8bc1"}},
+		{"mov r64 direction", []string{"4889c8", "488bc1"}},
+		{"xor r32 direction", []string{"31c8", "33c1"}},
+		{"add r64 direction", []string{"4801c8", "48 03c1"}},
+		// SSE moves dual-direction opcodes: the load direction (0F 28/10/6F)
+		// is listed first, so it is canonical for reg-reg moves.
+		{"movaps direction", []string{"0f28c8", "0f29c1"}},
+		{"movdqa direction", []string{"660f6fc8", "660f7fc1"}},
+		// VEX prefix length: a 3-byte VEX with map 1, W=0 and no X/B
+		// extension is redundant — the 2-byte C5 form encodes the same
+		// instruction and is canonical.
+		{"vex 2-byte vpaddd", []string{"c5fdfec0", "c4e17dfec0"}},
+		{"vex 2-byte vpxor", []string{"c5f1efc2", "c4e171efc2"}},
+		// VEX direction duals compose with the prefix-length class.
+		{"vmovaps direction", []string{"c5fc28c8", "c5fc29c1", "c4e17c28c8", "c4e17c29c1"}},
+	}
+	for _, tc := range classes {
+		t.Run(tc.name, func(t *testing.T) {
+			canon, err := hex.DecodeString(strings.ReplaceAll(tc.encs[0], " ", ""))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := DecodeBlock(canon)
+			if err != nil || len(want) != 1 {
+				t.Fatalf("canonical %s does not decode to one instruction: %v", tc.encs[0], err)
+			}
+			for _, e := range tc.encs {
+				raw, err := hex.DecodeString(strings.ReplaceAll(e, " ", ""))
+				if err != nil {
+					t.Fatal(err)
+				}
+				insts, err := DecodeBlock(raw)
+				if err != nil {
+					t.Fatalf("%s does not decode: %v", e, err)
+				}
+				if len(insts) != 1 || !reflect.DeepEqual(insts[0], want[0]) {
+					t.Fatalf("%s decodes to %v, want %q", e, insts, want[0].String())
+				}
+				code, err := EncodeBlock(insts)
+				if err != nil {
+					t.Fatalf("%s (%q) does not encode: %v", e, insts[0].String(), err)
+				}
+				if !reflect.DeepEqual(code, canon) {
+					t.Fatalf("%s re-encodes to % x, want canonical % x", e, code, canon)
+				}
+			}
+		})
+	}
+
+	// Near misses: encodings one bit away from a class member that are NOT
+	// redundant must keep their 3-byte VEX form (B extension in use).
+	for _, e := range []string{"c4c17dfec0", "450f28c1"} {
+		raw, _ := hex.DecodeString(e)
+		insts, err := DecodeBlock(raw)
+		if err != nil {
+			t.Fatalf("%s does not decode: %v", e, err)
+		}
+		code, err := EncodeBlock(insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(code, raw) {
+			t.Fatalf("%s is already canonical but re-encodes to % x", e, code)
 		}
 	}
 }

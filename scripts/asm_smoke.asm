@@ -1,0 +1,43 @@
+# Assembly-listing twin of asm_smoke.csv: the asm front door must produce
+# byte-identical evaluation output to the hex front door on this corpus.
+# Mixed Intel and AT&T syntax on purpose — both normalize through the
+# encoder into the same canonical machine code.
+
+@ alu 3
+add rax, rbx
+imul rcx, rdx
+xor edx, edx        # zero idiom
+cmp rcx, rdi
+
+@ memory 2
+mov rcx, qword ptr [rsp+8]
+mov qword ptr [rsp+8], rcx
+lea rax, [rbx+rcx*2]
+
+@ att-flavor 5
+addq %rbx, %rax     ; AT&T operand order
+movq 8(%rsp), %rcx
+xorl %edx, %edx
+shrq $8, %rdx
+
+@ chase
+mov rax, qword ptr [rax]
+add rdi, 1
+
+@ divider
+xor edx, edx
+div ecx
+add rbx, 1
+
+@ vector 4
+vpaddd ymm0, ymm0, ymm0
+vfmadd231ps ymm0, ymm1, ymm2
+vzeroupper
+
+@ crc 7
+add rdi, 1
+mov eax, edx
+shr rdx, 8
+movzx eax, al
+xor rdx, qword ptr [rax*8+0x4110a]
+cmp rcx, rdi

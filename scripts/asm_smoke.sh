@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Assembly front-door smoke: the same corpus submitted as an assembly
+# listing (scripts/asm_smoke.asm) and as canonical hex CSV
+# (scripts/asm_smoke.csv, its committed twin) must drive bhive-eval and
+# bhive-lint to byte-identical output. Any diff means the text front door
+# drifted from the hex one — parse, encode canonicalization, or corpus
+# identity broke.
+#
+# Used by CI (.github/workflows/ci.yml, job asm-smoke) and runnable
+# locally: ./scripts/asm_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "asm-smoke: evaluating the corpus via both front doors"
+go run ./cmd/bhive-eval -exp table5 -asm scripts/asm_smoke.asm \
+  > "$WORK/eval_asm.txt"
+go run ./cmd/bhive-eval -exp table5 -corpus scripts/asm_smoke.csv \
+  > "$WORK/eval_hex.txt"
+diff -u "$WORK/eval_hex.txt" "$WORK/eval_asm.txt" || {
+  echo "asm-smoke: FAIL: bhive-eval output differs between -asm and -corpus" >&2
+  exit 1
+}
+
+echo "asm-smoke: auditing the corpus via both front doors"
+go run ./cmd/bhive-lint -asm scripts/asm_smoke.asm > "$WORK/lint_asm.txt"
+go run ./cmd/bhive-lint -corpus scripts/asm_smoke.csv > "$WORK/lint_hex.txt"
+diff -u "$WORK/lint_hex.txt" "$WORK/lint_asm.txt" || {
+  echo "asm-smoke: FAIL: bhive-lint output differs between -asm and -corpus" >&2
+  exit 1
+}
+
+echo "asm-smoke: OK (text and hex front doors are byte-identical)"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Sim-vs-bounds crosscheck smoke: run `bhive-eval -exp boundcheck` over
-# the decodable subset of the blocklint fixture corpus on all three
-# microarchitectures and require zero violations.
+# the decodable subset of the blocklint fixture corpus on every modeled
+# microarchitecture (including Ice Lake, which the paper tables omit) and
+# require zero violations.
 #
 # The bounds are sound by construction (lower·n ≤ cycles(n) ≤ upper·n at
 # the measured unroll factor n), so ANY violation is a simulator or
